@@ -1,0 +1,85 @@
+// Ablation: FIFO dynamic scheduling (Ray's policy, used by the paper's
+// resource manager) vs longest-job-first (LPT) and shortest-job-first on
+// the cached per-model durations, at 2 and 4 simulated GPUs. Quantifies
+// how much generation makespan FIFO leaves on the table.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "bench/common.hpp"
+
+using namespace a4nn;
+
+namespace {
+
+/// List-schedule `durations` (in the given order) onto `gpus` devices and
+/// return the makespan contribution past `start`.
+double makespan_of(const std::vector<double>& durations, std::size_t gpus) {
+  std::vector<double> free_at(gpus, 0.0);
+  for (double d : durations) {
+    auto next = std::min_element(free_at.begin(), free_at.end());
+    *next += d;
+  }
+  return *std::max_element(free_at.begin(), free_at.end());
+}
+
+enum class Order { kFifo, kLongestFirst, kShortestFirst };
+
+double total_time(const std::vector<nas::EvaluationRecord>& records,
+                  std::size_t gpus, Order order) {
+  std::map<int, std::vector<double>> generations;
+  for (const auto& r : records)
+    generations[r.generation].push_back(r.virtual_seconds);
+  double total = 0.0;
+  for (auto& [gen, durations] : generations) {
+    if (order == Order::kLongestFirst) {
+      std::sort(durations.begin(), durations.end(), std::greater<>());
+    } else if (order == Order::kShortestFirst) {
+      std::sort(durations.begin(), durations.end());
+    }
+    total += makespan_of(durations, gpus);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Ablation: FIFO vs sorted dispatch on simulated GPUs ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::AsciiTable table({"intensity", "GPUs", "FIFO (h)", "LPT (h)",
+                          "SJF (h)", "LPT gain (%)"});
+  util::CsvWriter csv({"intensity", "gpus", "fifo_hours", "lpt_hours",
+                       "sjf_hours"});
+  for (const auto intensity : bench::all_intensities()) {
+    const auto records =
+        bench::run_or_load(scale, intensity, true, bench::kSeedA);
+    for (const std::size_t gpus : {2, 4}) {
+      const double fifo = total_time(records, gpus, Order::kFifo) / 3600.0;
+      const double lpt =
+          total_time(records, gpus, Order::kLongestFirst) / 3600.0;
+      const double sjf =
+          total_time(records, gpus, Order::kShortestFirst) / 3600.0;
+      table.add_row({xfel::beam_name(intensity), std::to_string(gpus),
+                     util::AsciiTable::num(fifo, 2),
+                     util::AsciiTable::num(lpt, 2),
+                     util::AsciiTable::num(sjf, 2),
+                     util::AsciiTable::num(100.0 * (fifo - lpt) / fifo, 1)});
+      csv.add_row({xfel::beam_name(intensity), std::to_string(gpus),
+                   util::AsciiTable::num(fifo, 3),
+                   util::AsciiTable::num(lpt, 3),
+                   util::AsciiTable::num(sjf, 3)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected: LPT trims the end-of-generation straggler idle time the\n"
+      "paper attributes to FIFO + barriers; the gain is a few percent, which\n"
+      "is why Ray's simple FIFO policy is an acceptable choice.\n");
+  csv.save(bench::artifacts_dir() / "ablation_sched.csv");
+  std::printf("\nseries written to bench_artifacts/ablation_sched.csv\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the paper's macro search space (every phase node is Conv3x3)
+// vs this repo's extended space where each node also chooses its operation
+// (conv3x3 / sepconv3x3 / conv1x1 / sepconv5x5) via two extra genome bits
+// per node — the "generalized to other search spaces" direction of the
+// paper's conclusions. Compares the frontiers' best fitness, cheapest
+// Pareto model, and FLOPs spread on identical data.
+#include <algorithm>
+#include <cstdio>
+
+#include "analytics/analyzer.hpp"
+#include "bench/common.hpp"
+
+using namespace a4nn;
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Ablation: macro vs operation-searchable space ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::AsciiTable table({"space", "best fitness (%)", "cheapest Pareto "
+                          "(FLOPs)", "frontier FLOPs span", "epochs saved (%)"});
+  util::CsvWriter csv({"space", "best_fitness", "cheapest_pareto_flops",
+                       "flops_span", "saved_percent"});
+  for (const bool ops : {false, true}) {
+    const auto records = bench::run_or_load(
+        scale, xfel::BeamIntensity::kMedium, true, bench::kSeedA, ops);
+    const auto pareto = analytics::pareto_indices(records);
+    const auto summary = analytics::fitness_summary(records);
+    const auto savings = analytics::epoch_savings(records);
+    std::uint64_t min_flops = records[pareto[0]].flops;
+    std::uint64_t max_flops = min_flops;
+    for (std::size_t idx : pareto) {
+      min_flops = std::min(min_flops, records[idx].flops);
+      max_flops = std::max(max_flops, records[idx].flops);
+    }
+    const char* name = ops ? "extended (op search)" : "macro (paper)";
+    table.add_row({name, util::AsciiTable::num(summary.best, 2),
+                   std::to_string(min_flops),
+                   std::to_string(max_flops - min_flops),
+                   util::AsciiTable::num(100.0 * savings.saved_fraction, 1)});
+    csv.add_row({name, util::AsciiTable::num(summary.best, 2),
+                 std::to_string(min_flops),
+                 std::to_string(max_flops - min_flops),
+                 util::AsciiTable::num(100.0 * savings.saved_fraction, 2)});
+
+    // Show one representative architecture from the extended space.
+    if (ops) {
+      nas::SearchSpaceConfig space;
+      space.searchable_ops = true;
+      const auto& best = records[pareto.front()];
+      std::printf("extended-space Pareto model %d:\n%s\n", best.model_id,
+                  analytics::render_architecture(best.genome, space).c_str());
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected: operation search widens the frontier toward cheaper models\n"
+      "(conv1x1/sepconv nodes) at comparable best accuracy, and the engine's\n"
+      "savings carry over unchanged — the workflow is search-space agnostic.\n");
+  csv.save(bench::artifacts_dir() / "ablation_space.csv");
+  std::printf("\nseries written to bench_artifacts/ablation_space.csv\n");
+  return 0;
+}

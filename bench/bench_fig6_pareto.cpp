@@ -1,0 +1,91 @@
+// Figure 6: validation accuracy vs FLOPs of the Pareto-optimal models for
+// (a) A4NN and (b) standalone NSGA-Net, at each beam intensity.
+//
+// Expected shape (paper): A4NN's frontier matches or dominates the
+// standalone frontier at every intensity — augmenting the search with the
+// prediction engine does not diminish NAS quality.
+#include <cstdio>
+
+#include "analytics/analyzer.hpp"
+#include "bench/common.hpp"
+
+using namespace a4nn;
+
+namespace {
+
+void print_frontier(const char* title,
+                    const std::vector<nas::EvaluationRecord>& records) {
+  const auto pareto = analytics::pareto_indices(records);
+  // "fitness" is what the NAS optimizes and the paper plots: the engine's
+  // converged prediction of accuracy@e_pred for early-terminated models,
+  // the final measured accuracy otherwise (shown alongside).
+  util::AsciiTable table({"model", "fitness (%)", "measured@e_t (%)",
+                          "FLOPs/image", "epochs", "early"});
+  for (std::size_t idx : pareto) {
+    const auto& r = records[idx];
+    table.add_row({std::to_string(r.model_id),
+                   util::AsciiTable::num(r.fitness, 2),
+                   util::AsciiTable::num(r.measured_fitness, 2),
+                   std::to_string(r.flops), std::to_string(r.epochs_trained),
+                   r.early_terminated ? "yes" : "no"});
+  }
+  std::printf("%s (%zu Pareto-optimal of %zu models)\n%s\n", title,
+              pareto.size(), records.size(), table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Figure 6: Pareto frontiers, A4NN vs standalone NSGA-Net ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::CsvWriter csv(
+      {"intensity", "variant", "model", "accuracy", "flops"});
+  for (const auto intensity : bench::all_intensities()) {
+    const auto a4nn_records =
+        bench::run_or_load(scale, intensity, true, bench::kSeedA);
+    const auto standalone_records =
+        bench::run_or_load(scale, intensity, false, bench::kSeedA);
+
+    std::printf("--- %s beam intensity (fluence %.0e photons/um^2/pulse) ---\n\n",
+                xfel::beam_name(intensity), xfel::beam_fluence(intensity));
+    char title[128];
+    std::snprintf(title, sizeof(title), "(a) A4NN, %s intensity",
+                  xfel::beam_name(intensity));
+    print_frontier(title, a4nn_records);
+    std::snprintf(title, sizeof(title), "(b) standalone NSGA-Net, %s intensity",
+                  xfel::beam_name(intensity));
+    print_frontier(title, standalone_records);
+
+    const auto sa = analytics::fitness_summary(a4nn_records);
+    const auto ss = analytics::fitness_summary(standalone_records);
+    std::printf("best accuracy: A4NN %.2f%% vs standalone %.2f%%  "
+                "(paper shape: A4NN matches or exceeds)\n",
+                sa.best, ss.best);
+    // Whole-frontier comparison: normalized hypervolume over the
+    // (accuracy >= 50%, FLOPs <= 5M) box.
+    const double hv_a4nn =
+        analytics::frontier_hypervolume(a4nn_records, 50.0, 5e6);
+    const double hv_standalone =
+        analytics::frontier_hypervolume(standalone_records, 50.0, 5e6);
+    std::printf("frontier hypervolume: A4NN %.4f vs standalone %.4f\n\n",
+                hv_a4nn, hv_standalone);
+
+    for (const auto* pair :
+         {&a4nn_records, &standalone_records}) {
+      const bool is_a4nn = pair == &a4nn_records;
+      for (std::size_t idx : analytics::pareto_indices(*pair)) {
+        const auto& r = (*pair)[idx];
+        csv.add_row({xfel::beam_name(intensity),
+                     is_a4nn ? "a4nn" : "standalone",
+                     std::to_string(r.model_id),
+                     util::AsciiTable::num(r.fitness, 4),
+                     std::to_string(r.flops)});
+      }
+    }
+  }
+  csv.save(bench::artifacts_dir() / "fig6_pareto.csv");
+  std::printf("series written to bench_artifacts/fig6_pareto.csv\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8: distribution of e_t, the epoch at which the prediction engine
+// terminated training, per beam intensity; the legend reports the share of
+// networks terminated early.
+//
+// Expected shape (paper): low intensity terminates late (mean e_t > 18 at
+// paper scale) because noisy curves take longer to stabilize; medium
+// terminates earliest with the largest early-termination share (>70%);
+// high sits between, with a wide spread.
+#include <cstdio>
+
+#include "analytics/analyzer.hpp"
+#include "bench/common.hpp"
+
+using namespace a4nn;
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Figure 8: termination-epoch (e_t) distributions ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::CsvWriter csv({"intensity", "variant", "e_t"});
+  for (const auto intensity : bench::all_intensities()) {
+    struct Run {
+      const char* variant;
+      std::uint64_t seed;
+    };
+    for (const Run run : {Run{"A4NN (1 GPU)", bench::kSeedA},
+                          Run{"A4NN (4 GPUs)", bench::kSeedB}}) {
+      const auto records =
+          bench::run_or_load(scale, intensity, true, run.seed);
+      const auto stats = analytics::termination_stats(records);
+      std::printf("--- %s intensity, %s ---\n", xfel::beam_name(intensity),
+                  run.variant);
+      std::printf("terminated early: %.0f%% of %zu networks, mean e_t = %.1f\n",
+                  100.0 * stats.early_fraction, records.size(),
+                  stats.mean_e_t);
+      if (!stats.termination_epochs.empty()) {
+        std::printf("%s\n", stats.histogram.render(40).c_str());
+      }
+      for (double e_t : stats.termination_epochs) {
+        csv.add_row({xfel::beam_name(intensity), run.variant,
+                     util::AsciiTable::num(e_t, 0)});
+      }
+    }
+  }
+  csv.save(bench::artifacts_dir() / "fig8_termination.csv");
+  std::printf("series written to bench_artifacts/fig8_termination.csv\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 9: wall time required to train the search's networks — standalone
+// NSGA-Net on 1 GPU vs A4NN on 1 GPU vs A4NN on 4 GPUs — per intensity.
+// Wall times are virtual-device times from the calibrated cost model (see
+// sched/cost_model.hpp); the 4-GPU numbers come from replaying the cached
+// per-model durations through the FIFO scheduler.
+//
+// Expected shape (paper): A4NN < standalone on 1 GPU (epoch savings turn
+// into hours saved); A4NN on 4 GPUs achieves a near-linear 3.4-3.9x
+// speedup over A4NN on 1 GPU, limited by generation-barrier idle time.
+#include <cstdio>
+
+#include "analytics/analyzer.hpp"
+#include "bench/common.hpp"
+
+using namespace a4nn;
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Figure 9: wall times and multi-GPU speedups ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::AsciiTable table({"intensity", "variant", "wall time (h)",
+                          "vs standalone", "idle (h)"});
+  util::CsvWriter csv({"intensity", "variant", "gpus", "wall_hours",
+                       "idle_hours"});
+  for (const auto intensity : bench::all_intensities()) {
+    const auto standalone =
+        bench::run_or_load(scale, intensity, false, bench::kSeedA);
+    const auto a4nn_a =
+        bench::run_or_load(scale, intensity, true, bench::kSeedA);
+    const auto a4nn_b =
+        bench::run_or_load(scale, intensity, true, bench::kSeedB);
+
+    const auto base = bench::replay_schedule(standalone, 1);
+    const auto one = bench::replay_schedule(a4nn_a, 1);
+    const auto four = bench::replay_schedule(a4nn_b, 4);
+
+    struct Row {
+      const char* variant;
+      const bench::ReplayResult* replay;
+      std::size_t gpus;
+    };
+    for (const Row row : {Row{"NSGA-Net (1 GPU)", &base, 1},
+                          Row{"A4NN (1 GPU)", &one, 1},
+                          Row{"A4NN (4 GPUs)", &four, 4}}) {
+      const double hours = row.replay->total_virtual_seconds / 3600.0;
+      const double idle = row.replay->total_idle_seconds / 3600.0;
+      const double ratio =
+          base.total_virtual_seconds / row.replay->total_virtual_seconds;
+      table.add_row({xfel::beam_name(intensity), row.variant,
+                     util::AsciiTable::num(hours, 2),
+                     util::AsciiTable::num(ratio, 2) + "x",
+                     util::AsciiTable::num(idle, 2)});
+      csv.add_row({xfel::beam_name(intensity), row.variant,
+                   std::to_string(row.gpus), util::AsciiTable::num(hours, 3),
+                   util::AsciiTable::num(idle, 3)});
+    }
+
+    // Clean scheduling speedup: the same run replayed on 1 vs 4 devices.
+    const auto b_on_one = bench::replay_schedule(a4nn_b, 1);
+    const double speedup =
+        b_on_one.total_virtual_seconds / four.total_virtual_seconds;
+    std::printf("%s intensity: A4NN 1->4 GPU wall-time speedup %.2fx "
+                "(paper: 3.4-3.9x, near-linear)\n",
+                xfel::beam_name(intensity), speedup);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  csv.save(bench::artifacts_dir() / "fig9_walltime.csv");
+  std::printf("series written to bench_artifacts/fig9_walltime.csv\n");
+  return 0;
+}

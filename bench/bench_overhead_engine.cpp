@@ -1,0 +1,87 @@
+// §4.3.1 engine overhead: google-benchmark microbenchmarks of the
+// prediction engine's per-interaction cost (the paper reports ~28 ms per
+// Algorithm-1 interaction and ~52 s per 100-model test; our from-scratch
+// Levenberg-Marquardt engine is far cheaper, which only strengthens the
+// "overhead is negligible" conclusion).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "penguin/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace a4nn;
+
+namespace {
+
+std::vector<double> synthetic_curve(std::size_t epochs, double plateau,
+                                    double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> ys;
+  for (std::size_t e = 1; e <= epochs; ++e) {
+    ys.push_back(plateau * (1.0 - std::exp(-0.35 * static_cast<double>(e))) +
+                 rng.normal(0.0, noise));
+  }
+  return ys;
+}
+
+void BM_EngineConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    penguin::PredictionEngine engine(penguin::default_engine_config());
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_EngineConstruction);
+
+/// One predictor call (curve fit + extrapolation) at varying history
+/// lengths — the per-epoch cost inside Algorithm 1.
+void BM_PredictorInteraction(benchmark::State& state) {
+  const penguin::PredictionEngine engine(penguin::default_engine_config());
+  const auto curve = synthetic_curve(
+      static_cast<std::size_t>(state.range(0)), 95.0, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.predict(curve));
+  }
+}
+BENCHMARK(BM_PredictorInteraction)->Arg(3)->Arg(8)->Arg(15)->Arg(25);
+
+/// The analyzer's convergence check over a prediction window.
+void BM_AnalyzerConvergence(benchmark::State& state) {
+  const penguin::PredictionEngine engine(penguin::default_engine_config());
+  const std::vector<double> predictions{94.8, 95.1, 95.0, 95.2, 95.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.converged(predictions));
+  }
+}
+BENCHMARK(BM_AnalyzerConvergence);
+
+/// A full simulated Algorithm-1 run over a 25-epoch curve: every
+/// predictor + analyzer interaction a single NN costs.
+void BM_FullTrainingLoopInteractions(benchmark::State& state) {
+  const penguin::PredictionEngine engine(penguin::default_engine_config());
+  const auto curve = synthetic_curve(25, 95.0, 0.5, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        penguin::simulate_early_termination(curve, engine));
+  }
+}
+BENCHMARK(BM_FullTrainingLoopInteractions);
+
+/// The paper's aggregate: engine interactions for a 100-model test.
+void BM_HundredModelTestOverhead(benchmark::State& state) {
+  const penguin::PredictionEngine engine(penguin::default_engine_config());
+  std::vector<std::vector<double>> curves;
+  for (std::uint64_t m = 0; m < 100; ++m)
+    curves.push_back(synthetic_curve(25, 80.0 + (m % 20), 0.8, m));
+  for (auto _ : state) {
+    for (const auto& curve : curves) {
+      benchmark::DoNotOptimize(
+          penguin::simulate_early_termination(curve, engine));
+    }
+  }
+}
+BENCHMARK(BM_HundredModelTestOverhead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

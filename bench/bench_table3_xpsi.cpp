@@ -1,0 +1,68 @@
+// Table 3: wall time and accuracy of A4NN versus the XPSI framework
+// (autoencoder + kNN) for the three beam intensities on a single GPU.
+//
+// Expected shape (paper): XPSI's single-model training time is far below
+// the full NAS wall time, but A4NN's models match or beat XPSI's accuracy
+// — decisively so on the noisy low-intensity data (97.8% vs 92%) — and
+// distributing A4NN over 4 GPUs closes most of the wall-time gap.
+#include <cstdio>
+
+#include "analytics/analyzer.hpp"
+#include "bench/common.hpp"
+#include "xpsi/xpsi.hpp"
+
+using namespace a4nn;
+
+int main() {
+  const bench::BenchScale scale = bench::bench_scale();
+  std::printf("=== Table 3: A4NN vs XPSI per beam intensity ===\n\n");
+  bench::print_configuration_tables(scale);
+
+  util::AsciiTable table({"Beam", "Metric", "A4NN (1 GPU)", "A4NN (4 GPUs)",
+                          "XPSI"});
+  util::CsvWriter csv({"intensity", "a4nn_accuracy", "xpsi_accuracy",
+                       "a4nn_1gpu_hours", "a4nn_4gpu_hours", "xpsi_hours"});
+  for (const auto intensity : bench::all_intensities()) {
+    const auto a4nn_records =
+        bench::run_or_load(scale, intensity, true, bench::kSeedA);
+    const auto summary = analytics::fitness_summary(a4nn_records);
+    const auto one_gpu = bench::replay_schedule(a4nn_records, 1);
+    const auto four_gpu = bench::replay_schedule(a4nn_records, 4);
+
+    // XPSI trains once on the identical dataset.
+    core::WorkflowConfig cfg =
+        bench::experiment_config(scale, intensity, true, bench::kSeedA);
+    const xfel::XfelDataset data = xfel::generate_xfel_dataset(cfg.dataset);
+    xpsi::XpsiConfig xcfg;
+    xcfg.autoencoder_epochs = 40;
+    xpsi::XpsiClassifier classifier(xcfg);
+    const xpsi::XpsiResult xpsi_result =
+        classifier.fit_and_evaluate(data.train, data.validation);
+
+    const double a4nn_1gpu_h = one_gpu.total_virtual_seconds / 3600.0;
+    const double a4nn_4gpu_h = four_gpu.total_virtual_seconds / 3600.0;
+    const double xpsi_h = xpsi_result.virtual_seconds / 3600.0;
+    table.add_row({xfel::beam_name(intensity), "Wall Time (h)",
+                   util::AsciiTable::num(a4nn_1gpu_h, 2),
+                   util::AsciiTable::num(a4nn_4gpu_h, 2),
+                   util::AsciiTable::num(xpsi_h, 2)});
+    table.add_row({xfel::beam_name(intensity), "Accuracy (%)",
+                   util::AsciiTable::num(summary.best_pareto, 1),
+                   util::AsciiTable::num(summary.best_pareto, 1),
+                   util::AsciiTable::num(xpsi_result.validation_accuracy, 1)});
+    csv.add_row({xfel::beam_name(intensity),
+                 util::AsciiTable::num(summary.best_pareto, 2),
+                 util::AsciiTable::num(xpsi_result.validation_accuracy, 2),
+                 util::AsciiTable::num(a4nn_1gpu_h, 3),
+                 util::AsciiTable::num(a4nn_4gpu_h, 3),
+                 util::AsciiTable::num(xpsi_h, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape checks vs paper: XPSI's wall time is fixed and much smaller\n"
+      "than a full NAS; A4NN accuracy >= XPSI accuracy at every intensity,\n"
+      "with the largest margin on noisy data; 4 GPUs shrink A4NN's gap.\n");
+  csv.save(bench::artifacts_dir() / "table3_xpsi.csv");
+  std::printf("\nseries written to bench_artifacts/table3_xpsi.csv\n");
+  return 0;
+}

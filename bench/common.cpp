@@ -1,0 +1,154 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "util/fsutil.hpp"
+#include "util/timer.hpp"
+
+namespace a4nn::bench {
+
+namespace fs = std::filesystem;
+
+BenchScale bench_scale() {
+  const char* env = std::getenv("A4NN_SCALE");
+  if (env != nullptr && std::strcmp(env, "paper") == 0) {
+    // Table 2 of the paper: pop 10, 10 offspring, 10 generations, 25
+    // epochs -> 100 networks per search.
+    return BenchScale{"paper", 200, 10, 10, 10, 25};
+  }
+  return BenchScale{"quick", 100, 8, 8, 3, 25};
+}
+
+std::vector<xfel::BeamIntensity> all_intensities() {
+  return {xfel::BeamIntensity::kLow, xfel::BeamIntensity::kMedium,
+          xfel::BeamIntensity::kHigh};
+}
+
+fs::path artifacts_dir() {
+  const fs::path dir = "bench_artifacts";
+  util::ensure_dir(dir);
+  return dir;
+}
+
+core::WorkflowConfig experiment_config(const BenchScale& scale,
+                                       xfel::BeamIntensity intensity,
+                                       bool use_engine, std::uint64_t seed) {
+  core::WorkflowConfig cfg;
+  cfg.dataset.intensity = intensity;
+  cfg.dataset.images_per_class = scale.images_per_class;
+  cfg.nas.population_size = scale.population;
+  cfg.nas.offspring_per_generation = scale.offspring;
+  cfg.nas.generations = scale.generations;
+  cfg.nas.max_epochs = scale.max_epochs;
+  cfg.trainer.max_epochs = scale.max_epochs;
+  cfg.trainer.use_prediction_engine = use_engine;
+  cfg.trainer.engine.e_pred = static_cast<double>(scale.max_epochs);
+  cfg.cluster.num_gpus = 1;  // placements are replayed per GPU count
+  cfg.seed = seed;
+  return cfg;
+}
+
+namespace {
+
+std::string cache_key(const BenchScale& scale, xfel::BeamIntensity intensity,
+                      bool use_engine, std::uint64_t seed,
+                      bool searchable_ops) {
+  return scale.name + "_" + xfel::beam_name(intensity) + "_" +
+         (use_engine ? "a4nn" : "standalone") + "_" + std::to_string(seed) +
+         (searchable_ops ? "_ops" : "") + ".json";
+}
+
+}  // namespace
+
+std::vector<nas::EvaluationRecord> run_or_load(const BenchScale& scale,
+                                               xfel::BeamIntensity intensity,
+                                               bool use_engine,
+                                               std::uint64_t seed,
+                                               bool searchable_ops) {
+  const fs::path path = artifacts_dir() / cache_key(scale, intensity,
+                                                    use_engine, seed,
+                                                    searchable_ops);
+  if (fs::exists(path)) {
+    const util::Json doc = util::Json::parse(util::read_file(path));
+    std::vector<nas::EvaluationRecord> records;
+    for (const auto& j : doc.at("records").as_array())
+      records.push_back(nas::EvaluationRecord::from_json(j));
+    return records;
+  }
+
+  std::fprintf(stderr,
+               "[bench] computing %s (%zu networks, %s intensity, %s)...\n",
+               path.filename().c_str(), scale.total_networks(),
+               xfel::beam_name(intensity), use_engine ? "A4NN" : "standalone");
+  util::Timer timer;
+  core::WorkflowConfig cfg =
+      experiment_config(scale, intensity, use_engine, seed);
+  cfg.nas.space.searchable_ops = searchable_ops;
+  core::A4nnWorkflow workflow(std::move(cfg));
+  const core::WorkflowResult result = workflow.run();
+  std::fprintf(stderr, "[bench]   done in %.1f s host time\n",
+               timer.seconds());
+
+  util::Json doc = util::Json::object();
+  doc["config"] = workflow.config().to_json();
+  util::Json records = util::Json::array();
+  for (const auto& r : result.search.history) records.push_back(r.to_json());
+  doc["records"] = std::move(records);
+  util::write_file(path, doc.dump());
+  return result.search.history;
+}
+
+ReplayResult replay_schedule(const std::vector<nas::EvaluationRecord>& records,
+                             std::size_t gpus) {
+  // Group by generation, preserving model-id (submission) order.
+  std::map<int, std::vector<double>> generations;
+  for (const auto& r : records)
+    generations[r.generation].push_back(r.virtual_seconds);
+
+  sched::ClusterConfig cfg;
+  cfg.num_gpus = gpus;
+  cfg.parallel_execution = false;  // durations are precomputed
+  sched::ResourceManager manager(cfg);
+  ReplayResult out;
+  for (const auto& [gen, durations] : generations) {
+    std::vector<sched::Job> jobs;
+    jobs.reserve(durations.size());
+    for (double d : durations)
+      jobs.push_back(sched::Job{[d] { return d; }});
+    const auto schedule = manager.run_generation(std::move(jobs));
+    out.total_idle_seconds += schedule.idle_seconds;
+    out.schedules.push_back(schedule);
+  }
+  out.total_virtual_seconds = manager.virtual_now();
+  return out;
+}
+
+void print_configuration_tables(const BenchScale& scale) {
+  std::printf("Scale: %s (%zu networks per search, %zu images/class)\n\n",
+              scale.name.c_str(), scale.total_networks(),
+              scale.images_per_class);
+
+  util::AsciiTable t1({"Variable", "Setting", "Description"});
+  t1.add_row({"F", "F(x) = a - b^(c-x)", "parametric fitness model"});
+  t1.add_row({"C_min", "3", "min epochs before making a prediction"});
+  t1.add_row({"e_pred", std::to_string(scale.max_epochs),
+              "epoch for which to predict final fitness"});
+  t1.add_row({"N", "3", "predictions considered when converging"});
+  t1.add_row({"r", "0.5", "variance tolerated in convergence"});
+  std::printf("Table 1: Prediction Engine Configuration\n%s\n",
+              t1.render().c_str());
+
+  util::AsciiTable t2({"Setting", "Value"});
+  t2.add_row({"size of starting population", std::to_string(scale.population)});
+  t2.add_row({"number of nodes per phase", "4"});
+  t2.add_row({"number of offspring per generation",
+              std::to_string(scale.offspring)});
+  t2.add_row({"number of generations", std::to_string(scale.generations)});
+  t2.add_row({"number of epochs to train", std::to_string(scale.max_epochs)});
+  std::printf("Table 2: NSGA-Net Configuration\n%s\n", t2.render().c_str());
+}
+
+}  // namespace a4nn::bench

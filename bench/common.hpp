@@ -1,0 +1,82 @@
+// Shared experiment runner for the figure/table benches.
+//
+// Every evaluation figure in the paper is derived from the same nine
+// searches (3 intensities x {A4NN seed A, A4NN seed B, standalone}).
+// Searches are expensive, so this runner caches their full record trails
+// as JSON under ./bench_artifacts/, keyed by scale + configuration;
+// re-running a bench binary reuses the cache. GPU-count variations are
+// *replayed* from the cached per-model virtual durations through the real
+// ResourceManager — training results do not depend on placement, so this
+// is exact, not an approximation.
+//
+// Scale is selected with the A4NN_SCALE environment variable:
+//   quick (default) — 24 networks/search, 100 images/class: minutes total.
+//   paper           — Table 2's 100 networks/search, 200 images/class.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/a4nn.hpp"
+#include "sched/resource_manager.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace a4nn::bench {
+
+struct BenchScale {
+  std::string name;
+  std::size_t images_per_class = 100;
+  std::size_t population = 8;
+  std::size_t offspring = 8;
+  std::size_t generations = 3;
+  std::size_t max_epochs = 25;
+
+  std::size_t total_networks() const {
+    return population + (generations - 1) * offspring;
+  }
+};
+
+/// Resolve from A4NN_SCALE (quick | paper); defaults to quick.
+BenchScale bench_scale();
+
+/// Seeds for the two independent A4NN runs (the paper's 1-GPU and 4-GPU
+/// measurements are separate runs; run-to-run NAS variation is genuine).
+inline constexpr std::uint64_t kSeedA = 1001;
+inline constexpr std::uint64_t kSeedB = 2002;
+
+/// The workflow configuration for one cached search.
+core::WorkflowConfig experiment_config(const BenchScale& scale,
+                                       xfel::BeamIntensity intensity,
+                                       bool use_engine, std::uint64_t seed);
+
+/// Run (or load from bench_artifacts/) one search and return its record
+/// trail. Prints a one-line note when computing fresh. `searchable_ops`
+/// switches to the extended per-node-operation search space.
+std::vector<nas::EvaluationRecord> run_or_load(const BenchScale& scale,
+                                               xfel::BeamIntensity intensity,
+                                               bool use_engine,
+                                               std::uint64_t seed,
+                                               bool searchable_ops = false);
+
+/// Re-simulate FIFO scheduling of cached records onto `gpus` devices.
+struct ReplayResult {
+  std::vector<sched::GenerationSchedule> schedules;
+  double total_virtual_seconds = 0.0;  // final barrier
+  double total_idle_seconds = 0.0;
+};
+ReplayResult replay_schedule(const std::vector<nas::EvaluationRecord>& records,
+                             std::size_t gpus);
+
+/// Paper-style preamble: prints Table 1 (engine config) and Table 2 (NAS
+/// config) for the current scale so every bench is self-describing.
+void print_configuration_tables(const BenchScale& scale);
+
+/// bench_artifacts/ directory (created on demand).
+std::filesystem::path artifacts_dir();
+
+/// All three intensities in paper order.
+std::vector<xfel::BeamIntensity> all_intensities();
+
+}  // namespace a4nn::bench

@@ -1,0 +1,146 @@
+// The full A4NN driver: every knob from the paper's user interface
+// (§2.6: NAS settings, data path, prediction engine settings, cluster)
+// exposed as command-line arguments, exactly like the original driver
+// script that instantiates a NAS run.
+//
+//   ./a4nn_run --intensity low --population 10 --offspring 10
+//              --generations 10 --epochs 25 --gpus 4
+//              --function pow_exp --window 3 --tolerance 0.5
+//              --commons /tmp/my_commons --snapshot-every 1
+#include <cstdio>
+
+#include "analytics/dot_export.hpp"
+#include "core/a4nn.hpp"
+#include "util/args.hpp"
+#include "util/fsutil.hpp"
+
+using namespace a4nn;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("a4nn_run",
+                       "Run the A4NN workflow (NSGA-Net + prediction engine "
+                       "+ simulated GPU cluster + lineage commons)");
+  // NAS settings (Table 2).
+  args.add_option("population", "10", "size of starting population");
+  args.add_option("offspring", "10", "offspring per generation");
+  args.add_option("generations", "10",
+                  "evaluation rounds incl. the initial population");
+  args.add_option("epochs", "25", "max training epochs per network");
+  args.add_option("nodes", "4", "nodes per phase in the search space");
+  args.add_option("phases", "3", "phases in the search space");
+  args.add_flag("search-ops",
+                "extended space: nodes also choose their operation "
+                "(conv3x3/sepconv3x3/conv1x1/sepconv5x5)");
+  // Data path settings.
+  args.add_option("intensity", "medium", "beam intensity: low|medium|high");
+  args.add_option("images", "150", "simulated images per conformation class");
+  args.add_option("pixels", "16", "detector resolution (pixels per side)");
+  // Prediction engine settings (Table 1).
+  args.add_flag("no-engine", "disable the prediction engine (standalone NAS)");
+  args.add_option("function", "pow_exp",
+                  "parametric family (pow_exp|inverse_power|logistic|"
+                  "vapor_pressure|weibull|ilog|janoschek|mmf)");
+  args.add_flag("ensemble", "predict with the full family ensemble");
+  args.add_option("c-min", "3", "min epochs before the first prediction");
+  args.add_option("window", "3", "N: predictions required to converge");
+  args.add_option("tolerance", "0.5", "r: prediction variance tolerance");
+  // Resource manager + lineage.
+  args.add_option("gpus", "1", "simulated GPU count");
+  args.add_option("commons", "", "data-commons directory (empty: disabled)");
+  args.add_option("snapshot-every", "0",
+                  "snapshot model weights every N epochs (0: off)");
+  args.add_flag("resume",
+                "reuse record trails already in the commons (interrupted-run "
+                "recovery; requires --commons)");
+  args.add_option("seed", "2023", "experiment seed");
+  args.add_flag("dot", "print the best architecture as Graphviz DOT");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), args.usage().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  core::WorkflowConfig cfg;
+  const std::string intensity = args.get("intensity");
+  cfg.dataset.intensity = intensity == "low" ? xfel::BeamIntensity::kLow
+                          : intensity == "high" ? xfel::BeamIntensity::kHigh
+                                                : xfel::BeamIntensity::kMedium;
+  cfg.dataset.images_per_class = args.get_size("images");
+  cfg.dataset.detector.pixels = args.get_size("pixels");
+  cfg.nas.population_size = args.get_size("population");
+  cfg.nas.offspring_per_generation = args.get_size("offspring");
+  cfg.nas.generations = args.get_size("generations");
+  cfg.nas.max_epochs = args.get_size("epochs");
+  cfg.nas.space.nodes_per_phase = args.get_size("nodes");
+  cfg.nas.space.phase_count = args.get_size("phases");
+  cfg.nas.space.input_shape = {1, cfg.dataset.detector.pixels,
+                               cfg.dataset.detector.pixels};
+  cfg.nas.space.searchable_ops = args.get_flag("search-ops");
+  cfg.trainer.max_epochs = cfg.nas.max_epochs;
+  cfg.trainer.use_prediction_engine = !args.get_flag("no-engine");
+  cfg.trainer.engine.function = penguin::make_function(args.get("function"));
+  if (args.get_flag("ensemble")) {
+    for (const auto& name : penguin::function_names())
+      cfg.trainer.engine.ensemble.push_back(penguin::make_function(name));
+  }
+  cfg.trainer.engine.c_min = args.get_size("c-min");
+  cfg.trainer.engine.window = args.get_size("window");
+  cfg.trainer.engine.tolerance = args.get_double("tolerance");
+  cfg.trainer.engine.e_pred = static_cast<double>(cfg.nas.max_epochs);
+  cfg.cluster.num_gpus = args.get_size("gpus");
+  cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
+  if (!args.get("commons").empty()) {
+    cfg.lineage = lineage::TrackerConfig{args.get("commons"),
+                                         args.get_size("snapshot-every")};
+    cfg.resume_from_commons = args.get_flag("resume");
+  } else if (args.get_flag("resume")) {
+    std::fprintf(stderr, "--resume requires --commons\n");
+    return 1;
+  }
+
+  std::printf("A4NN run: %zu networks, %s intensity, %zu GPU(s), engine %s\n",
+              cfg.nas.total_networks(), intensity.c_str(),
+              cfg.cluster.num_gpus,
+              cfg.trainer.use_prediction_engine
+                  ? (args.get_flag("ensemble") ? "ensemble"
+                                               : args.get("function").c_str())
+                  : "off");
+  core::A4nnWorkflow workflow(std::move(cfg));
+  const core::WorkflowResult result = workflow.run();
+
+  const auto& history = result.search.history;
+  const auto savings = analytics::epoch_savings(history);
+  const auto summary = analytics::fitness_summary(history);
+  if (result.resumed_evaluations > 0) {
+    std::printf("resumed: %zu of %zu evaluations reused from the commons\n",
+                result.resumed_evaluations, history.size());
+  }
+  std::printf("epochs: %zu/%zu (%.1f%% saved, %zu early terminations)\n",
+              savings.epochs_trained, savings.epochs_budget,
+              100.0 * savings.saved_fraction, savings.early_terminated);
+  std::printf("best fitness: %.2f%%  virtual wall time: %.2f h  host: %.1f s\n",
+              summary.best, result.virtual_wall_seconds / 3600.0,
+              result.measured_wall_seconds);
+  std::printf("Pareto front:\n");
+  for (std::size_t idx : result.search.pareto) {
+    const auto& r = history[idx];
+    std::printf("  model %3d: %.2f%%  %llu FLOPs  %zu epochs%s\n", r.model_id,
+                r.fitness, static_cast<unsigned long long>(r.flops),
+                r.epochs_trained, r.early_terminated ? " [early]" : "");
+  }
+  if (result.commons_root)
+    std::printf("commons: %s\n", result.commons_root->c_str());
+  if (args.get_flag("dot")) {
+    const auto& best = history[result.search.pareto.front()];
+    std::printf("\n%s", analytics::to_dot(best.genome,
+                                          workflow.config().nas.space)
+                            .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Generality demo (paper §2.6.2 "Data Path"): the identical A4NN
+// machinery — NAS, prediction engine, scheduler — running on a completely
+// different dataset (synthetic geometric shapes, 3 classes). The only
+// change relative to the protein use case is which nn::Dataset is handed
+// to the training loop.
+//
+//   ./custom_dataset_search [networks] [noise_sigma]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analytics/analyzer.hpp"
+#include "nas/search.hpp"
+#include "orchestrator/workflow_evaluator.hpp"
+#include "xfel/shapes_dataset.hpp"
+
+using namespace a4nn;
+
+int main(int argc, char** argv) {
+  const std::size_t networks =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+  const double noise = argc > 2 ? std::atof(argv[2]) : 0.15;
+
+  xfel::ShapesDatasetConfig dcfg;
+  dcfg.images_per_class = 100;
+  dcfg.classes = 3;
+  dcfg.noise_sigma = noise;
+  std::printf("generating 3-class shapes dataset (noise sigma %.2f)...\n",
+              noise);
+  const xfel::ShapesDataset data = xfel::generate_shapes_dataset(dcfg);
+
+  // Same workflow components, different data path.
+  orchestrator::TrainerConfig tcfg;
+  tcfg.max_epochs = 25;
+  orchestrator::TrainingLoop loop(data.train, data.validation, tcfg);
+  sched::ClusterConfig ccfg;
+  ccfg.num_gpus = 2;
+  sched::ResourceManager cluster(ccfg);
+
+  nas::NsgaNetConfig ncfg;
+  ncfg.population_size = 10;
+  ncfg.offspring_per_generation = 10;
+  ncfg.generations = (networks - 10) / 10 + 1;
+  ncfg.space.classes = 3;  // the only search-space change: 3 output classes
+  orchestrator::WorkflowEvaluator evaluator(loop, cluster, ncfg.space, 606);
+  nas::NsgaNetSearch search(ncfg, evaluator);
+  const nas::SearchResult result = search.run();
+
+  const auto savings = analytics::epoch_savings(result.history);
+  const auto summary = analytics::fitness_summary(result.history);
+  std::printf("\nnetworks: %zu  epochs: %zu/%zu (%.1f%% saved)\n",
+              result.history.size(), savings.epochs_trained,
+              savings.epochs_budget, 100.0 * savings.saved_fraction);
+  std::printf("best fitness: %.2f%% (3-class chance = 33.3%%)\n", summary.best);
+  std::printf("Pareto front:\n");
+  for (std::size_t idx : result.pareto) {
+    const auto& r = result.history[idx];
+    std::printf("  model %3d: %.2f%%  %llu FLOPs  %zu epochs%s\n", r.model_id,
+                r.fitness, static_cast<unsigned long long>(r.flops),
+                r.epochs_trained, r.early_terminated ? " [early]" : "");
+  }
+  std::printf("\nNo A4NN component changed: only the nn::Dataset (and the\n"
+              "classifier head width) differ from the protein use case.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Composability demo: swapping the prediction engine's parametric fitness
+// function — the paper's §2.6.3 "Prediction Engine Settings" knob.
+//
+//   ./custom_fitness_function [family]
+//     family: pow_exp | inverse_power | logistic | vapor_pressure
+//
+// Defines a user-provided parametric family (a shifted hyperbola) to show
+// the ParametricFunction extension point, then runs the engine over one
+// real learning curve with both the chosen built-in family and the custom
+// one, comparing when each would terminate training.
+#include <cmath>
+#include <cstdio>
+
+#include "orchestrator/training_loop.hpp"
+#include "xfel/dataset.hpp"
+
+using namespace a4nn;
+
+namespace {
+
+/// User-defined family: F(x) = a - b / (x + c), c > 0 — another concave
+/// saturating curve with plateau `a`.
+class ShiftedHyperbola final : public penguin::ParametricFunction {
+ public:
+  std::string name() const override { return "shifted_hyperbola"; }
+  std::size_t param_count() const override { return 3; }
+
+  double eval(std::span<const double> p, double x) const override {
+    return p[0] - p[1] / (x + p[2]);
+  }
+
+  void gradient(std::span<const double> p, double x,
+                std::span<double> out) const override {
+    out[0] = 1.0;
+    out[1] = -1.0 / (x + p[2]);
+    out[2] = p[1] / ((x + p[2]) * (x + p[2]));
+  }
+
+  std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const override {
+    double best = ys[0];
+    for (double y : ys) best = std::max(best, y);
+    // b from the first observation, unit shift.
+    const double b0 = (best + 1.0 - ys[0]) * (xs[0] + 1.0);
+    return std::vector<double>{best + 1.0, b0, 1.0};
+  }
+
+  bool valid_params(std::span<const double> p) const override {
+    return std::isfinite(p[0]) && p[1] > 0.0 && p[2] > 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "pow_exp";
+
+  // One real learning curve: train a model for the full budget.
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 100;
+  dcfg.intensity = xfel::BeamIntensity::kMedium;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+
+  orchestrator::TrainerConfig tcfg;
+  tcfg.max_epochs = 25;
+  tcfg.use_prediction_engine = false;  // record the whole curve
+  orchestrator::TrainingLoop loop(data.train, data.validation, tcfg);
+  nas::SearchSpaceConfig space;
+  util::Rng rng(21);
+  std::printf("training one NN for the full %zu epochs to record its curve...\n",
+              tcfg.max_epochs);
+  const nas::EvaluationRecord record = loop.train_genome(
+      nas::random_genome(space.phase_count, space.nodes_per_phase, rng),
+      space, 0, 333);
+  std::printf("final validation accuracy: %.2f%%\n\n",
+              record.fitness_history.back());
+
+  auto report = [&](const char* label, penguin::FunctionPtr fn) {
+    penguin::EngineConfig cfg = penguin::default_engine_config();
+    cfg.function = std::move(fn);
+    const penguin::PredictionEngine engine(cfg);
+    const auto sim =
+        penguin::simulate_early_termination(record.fitness_history, engine);
+    if (sim.early_terminated) {
+      std::printf("%-18s: terminate at epoch %zu, predicted %.2f%% "
+                  "(true final %.2f%%)\n",
+                  label, sim.epochs_trained, sim.reported_fitness,
+                  record.fitness_history.back());
+    } else {
+      std::printf("%-18s: never converged; full %zu epochs trained\n", label,
+                  sim.epochs_trained);
+    }
+  };
+
+  report(family.c_str(), penguin::make_function(family));
+  report("shifted_hyperbola", std::make_shared<ShiftedHyperbola>());
+  std::printf(
+      "\nThe engine, orchestrator, and NAS are untouched: composability means\n"
+      "swapping F is one line in the engine's configuration (paper §2.6.3).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Lineage explorer: the analyzer's notebook-style interface as a CLI.
+//
+//   ./lineage_explorer <commons_dir> [min_fitness] [max_flops]
+//
+// Loads a data commons produced by an A4NN run (e.g. by
+// protein_conformation_search or bench_lineage_commons), prints summary
+// metrics, searches for NNs matching the given attributes, shows learning
+// curve shapes, and renders the best architecture.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analytics/analyzer.hpp"
+#include "lineage/tracker.hpp"
+#include "nas/search_space.hpp"
+
+using namespace a4nn;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <commons_dir> [min_fitness] [max_flops]\n"
+                 "hint: run bench_lineage_commons first; it writes a commons\n"
+                 "      to bench_artifacts/commons_demo\n",
+                 argv[0]);
+    return 1;
+  }
+  const double min_fitness = argc > 2 ? std::atof(argv[2]) : -1.0;
+  const double max_flops = argc > 3 ? std::atof(argv[3]) : -1.0;
+
+  lineage::DataCommons commons(argv[1]);
+  const auto records = commons.load_records();
+  if (records.empty()) {
+    std::fprintf(stderr, "commons at %s holds no record trails\n", argv[1]);
+    return 1;
+  }
+  std::printf("loaded %zu record trails from %s\n\n", records.size(), argv[1]);
+
+  const auto summary = analytics::fitness_summary(records);
+  const auto savings = analytics::epoch_savings(records);
+  const auto shape = analytics::curve_shape(records);
+  std::printf("fitness: best %.2f%%  mean %.2f%%  worst %.2f%%\n",
+              summary.best, summary.mean, summary.worst);
+  std::printf("epochs:  %zu trained of %zu budget (%.1f%% saved, %zu early "
+              "terminations)\n",
+              savings.epochs_trained, savings.epochs_budget,
+              100.0 * savings.saved_fraction, savings.early_terminated);
+  std::printf("curves:  %.0f%% increasing; first-half gain %.1f pp vs "
+              "second-half %.1f pp (concave saturating)\n",
+              100.0 * shape.increasing_fraction, shape.mean_first_half_gain,
+              shape.mean_second_half_gain);
+  std::printf("FLOPs-accuracy correlation: %.3f\n\n",
+              analytics::flops_fitness_correlation(records));
+
+  analytics::RecordQuery query;
+  query.min_fitness = min_fitness;
+  query.max_flops = max_flops;
+  const auto matches = analytics::find_records(records, query);
+  std::printf("query (fitness >= %.1f, flops <= %.0f): %zu matches\n",
+              min_fitness, max_flops, matches.size());
+  for (std::size_t idx : matches) {
+    const auto& r = records[idx];
+    std::printf("  model %3d gen %d: %.2f%%  %8llu FLOPs  %zu epochs%s\n",
+                r.model_id, r.generation, r.measured_fitness,
+                static_cast<unsigned long long>(r.flops), r.epochs_trained,
+                r.early_terminated ? " [early]" : "");
+  }
+
+  // Render the best architecture in the commons (Figure 3/10 style). The
+  // search-space geometry is read back from the stored search config.
+  const util::Json cfg = commons.search_config();
+  nas::SearchSpaceConfig space;
+  if (cfg.contains("nas") && cfg.at("nas").contains("space")) {
+    const auto& sp = cfg.at("nas").at("space");
+    space.phase_count = static_cast<std::size_t>(sp.at("phase_count").as_int());
+    space.nodes_per_phase =
+        static_cast<std::size_t>(sp.at("nodes_per_phase").as_int());
+    space.stem_channels =
+        static_cast<std::size_t>(sp.at("stem_channels").as_int());
+    space.channel_multiplier = sp.at("channel_multiplier").as_number();
+    space.input_shape.clear();
+    for (const auto& d : sp.at("input_shape").as_array())
+      space.input_shape.push_back(static_cast<std::size_t>(d.as_int()));
+  }
+  const auto pareto = analytics::pareto_indices(records);
+  const auto& best = records[pareto.front()];
+  std::printf("\nbest Pareto model %d (%.2f%%, %llu FLOPs):\n%s",
+              best.model_id, best.measured_fitness,
+              static_cast<unsigned long long>(best.flops),
+              analytics::render_architecture(best.genome, space).c_str());
+
+  // Learning-curve sparkline of the best model.
+  std::printf("\nlearning curve of model %d (validation accuracy %%):\n",
+              best.model_id);
+  for (std::size_t e = 0; e < best.fitness_history.size(); ++e) {
+    const int bar = static_cast<int>(best.fitness_history[e] / 2.5);
+    std::printf("  epoch %2zu %6.2f ", e + 1, best.fitness_history[e]);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

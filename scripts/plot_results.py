@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSV series the benches write.
+
+Every bench binary saves its data under bench_artifacts/*.csv; this script
+turns them into matplotlib figures mirroring the paper's Figures 6-9.
+
+Usage:
+    python3 scripts/plot_results.py [bench_artifacts_dir] [--out plots/]
+"""
+import argparse
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    print("matplotlib is required: pip install matplotlib", file=sys.stderr)
+    sys.exit(1)
+
+MARKERS = {"low": "o", "medium": "s", "high": "^"}
+
+
+def read_csv(path: Path):
+    with path.open() as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig6(artifacts: Path, out: Path) -> None:
+    rows = read_csv(artifacts / "fig6_pareto.csv")
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4), sharey=True)
+    for ax, variant, title in ((axes[0], "a4nn", "(a) A4NN"),
+                               (axes[1], "standalone", "(b) NSGA-Net")):
+        for intensity, marker in MARKERS.items():
+            xs = [float(r["flops"]) for r in rows
+                  if r["variant"] == variant and r["intensity"] == intensity]
+            ys = [float(r["accuracy"]) for r in rows
+                  if r["variant"] == variant and r["intensity"] == intensity]
+            ax.scatter(xs, ys, marker=marker, label=intensity)
+        ax.set_title(title)
+        ax.set_xlabel("FLOPs / image")
+        ax.legend(title="beam intensity")
+    axes[0].set_ylabel("validation accuracy (%)")
+    fig.suptitle("Figure 6: Pareto-optimal models")
+    fig.tight_layout()
+    fig.savefig(out / "fig6_pareto.png", dpi=150)
+
+
+def plot_fig7(artifacts: Path, out: Path) -> None:
+    rows = read_csv(artifacts / "fig7_epoch_savings.csv")
+    groups = defaultdict(list)
+    for r in rows:
+        groups[r["intensity"]].append(r)
+    fig, ax = plt.subplots(figsize=(8, 4))
+    intensities = list(MARKERS)
+    variants = [r["variant"] for r in groups[intensities[0]]]
+    width = 0.8 / len(variants)
+    for vi, variant in enumerate(variants):
+        xs = [i + vi * width for i in range(len(intensities))]
+        ys = [next(float(r["epochs"]) for r in groups[inten]
+                   if r["variant"] == variant) for inten in intensities]
+        ax.bar(xs, ys, width=width, label=variant)
+    ax.set_xticks([i + width for i in range(len(intensities))])
+    ax.set_xticklabels(intensities)
+    ax.set_ylabel("training epochs")
+    ax.set_title("Figure 7: epochs required per search")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "fig7_epochs.png", dpi=150)
+
+
+def plot_fig8(artifacts: Path, out: Path) -> None:
+    rows = read_csv(artifacts / "fig8_termination.csv")
+    fig, axes = plt.subplots(1, 3, figsize=(12, 3.5), sharey=True)
+    for ax, intensity in zip(axes, MARKERS):
+        values = [float(r["e_t"]) for r in rows
+                  if r["intensity"] == intensity]
+        ax.hist(values, bins=range(1, 27), edgecolor="black")
+        ax.set_title(f"{intensity} intensity")
+        ax.set_xlabel("termination epoch e_t")
+    axes[0].set_ylabel("networks")
+    fig.suptitle("Figure 8: e_t distributions (A4NN)")
+    fig.tight_layout()
+    fig.savefig(out / "fig8_termination.png", dpi=150)
+
+
+def plot_fig9(artifacts: Path, out: Path) -> None:
+    rows = read_csv(artifacts / "fig9_walltime.csv")
+    groups = defaultdict(list)
+    for r in rows:
+        groups[r["intensity"]].append(r)
+    fig, ax = plt.subplots(figsize=(8, 4))
+    intensities = list(MARKERS)
+    variants = [r["variant"] for r in groups[intensities[0]]]
+    width = 0.8 / len(variants)
+    for vi, variant in enumerate(variants):
+        xs = [i + vi * width for i in range(len(intensities))]
+        ys = [next(float(r["wall_hours"]) for r in groups[inten]
+                   if r["variant"] == variant) for inten in intensities]
+        ax.bar(xs, ys, width=width, label=variant)
+    ax.set_xticks([i + width for i in range(len(intensities))])
+    ax.set_xticklabels(intensities)
+    ax.set_ylabel("wall time (h, virtual devices)")
+    ax.set_title("Figure 9: wall time per search")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "fig9_walltime.png", dpi=150)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="?", type=Path,
+                        default=Path("bench_artifacts"))
+    parser.add_argument("--out", type=Path, default=Path("plots"))
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+    for fn in (plot_fig6, plot_fig7, plot_fig8, plot_fig9):
+        try:
+            fn(args.artifacts, args.out)
+        except FileNotFoundError as e:
+            print(f"skipping {fn.__name__}: {e}", file=sys.stderr)
+    print(f"plots written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+#include "analytics/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace a4nn::analytics {
+
+std::vector<std::size_t> pareto_indices(
+    std::span<const nas::EvaluationRecord> records) {
+  std::vector<nas::Objectives> obj;
+  obj.reserve(records.size());
+  for (const auto& r : records) obj.push_back(nas::record_objectives(r));
+  return nas::pareto_front(obj);
+}
+
+EpochSavings epoch_savings(std::span<const nas::EvaluationRecord> records) {
+  EpochSavings s;
+  for (const auto& r : records) {
+    s.epochs_trained += r.epochs_trained;
+    s.epochs_budget += r.max_epochs;
+    if (r.early_terminated) ++s.early_terminated;
+  }
+  if (s.epochs_budget > 0) {
+    s.saved_fraction = 1.0 - static_cast<double>(s.epochs_trained) /
+                                 static_cast<double>(s.epochs_budget);
+  }
+  if (!records.empty()) {
+    s.early_terminated_fraction = static_cast<double>(s.early_terminated) /
+                                  static_cast<double>(records.size());
+  }
+  return s;
+}
+
+TerminationStats termination_stats(
+    std::span<const nas::EvaluationRecord> records) {
+  TerminationStats t;
+  std::size_t max_epochs = 1;
+  for (const auto& r : records) {
+    max_epochs = std::max(max_epochs, r.max_epochs);
+    if (r.early_terminated)
+      t.termination_epochs.push_back(static_cast<double>(r.epochs_trained));
+  }
+  if (!t.termination_epochs.empty())
+    t.mean_e_t = util::mean(t.termination_epochs);
+  if (!records.empty()) {
+    t.early_fraction = static_cast<double>(t.termination_epochs.size()) /
+                       static_cast<double>(records.size());
+  }
+  t.histogram = t.termination_epochs.empty()
+                    ? util::Histogram{}
+                    : util::histogram(t.termination_epochs, 1.0,
+                                      static_cast<double>(max_epochs + 1),
+                                      max_epochs);
+  return t;
+}
+
+FitnessSummary fitness_summary(std::span<const nas::EvaluationRecord> records) {
+  FitnessSummary s;
+  if (records.empty()) return s;
+  std::vector<double> fitness;
+  fitness.reserve(records.size());
+  for (const auto& r : records) fitness.push_back(r.fitness);
+  s.best = util::max_of(fitness);
+  s.mean = util::mean(fitness);
+  s.worst = util::min_of(fitness);
+  const auto pareto = pareto_indices(records);
+  for (std::size_t idx : pareto) {
+    if (records[idx].fitness >= s.best_pareto) {
+      s.best_pareto = records[idx].fitness;
+      s.best_pareto_flops = static_cast<double>(records[idx].flops);
+      s.best_pareto_measured = records[idx].measured_fitness;
+    }
+  }
+  return s;
+}
+
+double flops_fitness_correlation(
+    std::span<const nas::EvaluationRecord> records) {
+  std::vector<double> flops, fitness;
+  for (const auto& r : records) {
+    flops.push_back(static_cast<double>(r.flops));
+    fitness.push_back(r.measured_fitness);
+  }
+  return util::pearson(flops, fitness);
+}
+
+CurveShape curve_shape(std::span<const nas::EvaluationRecord> records) {
+  CurveShape shape;
+  if (records.empty()) return shape;
+  std::size_t increasing = 0, counted = 0;
+  double first_gain = 0.0, second_gain = 0.0;
+  for (const auto& r : records) {
+    const auto& h = r.fitness_history;
+    if (h.size() < 4) continue;
+    ++counted;
+    if (h.back() >= h.front()) ++increasing;
+    const std::size_t mid = h.size() / 2;
+    first_gain += h[mid] - h.front();
+    second_gain += h.back() - h[mid];
+  }
+  if (counted > 0) {
+    shape.increasing_fraction =
+        static_cast<double>(increasing) / static_cast<double>(counted);
+    shape.mean_first_half_gain = first_gain / static_cast<double>(counted);
+    shape.mean_second_half_gain = second_gain / static_cast<double>(counted);
+  }
+  return shape;
+}
+
+std::vector<std::size_t> find_records(
+    std::span<const nas::EvaluationRecord> records, const RecordQuery& query) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (query.min_fitness >= 0.0 && r.fitness < query.min_fitness) continue;
+    if (query.max_flops >= 0.0 &&
+        static_cast<double>(r.flops) > query.max_flops)
+      continue;
+    if (query.early_terminated_only && !r.early_terminated) continue;
+    if (query.generation >= 0 && r.generation != query.generation) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::string render_architecture(const nas::Genome& genome,
+                                const nas::SearchSpaceConfig& space) {
+  std::ostringstream out;
+  std::size_t channels = space.stem_channels;
+  out << "input " << tensor::shape_to_string(space.input_shape) << "\n";
+  out << "  stem: conv3x3(" << space.input_shape[0] << "->" << channels
+      << ") + bn + relu\n";
+  for (std::size_t p = 0; p < genome.phase_count(); ++p) {
+    const auto& phase = genome.phases[p];
+    out << "  phase " << p + 1 << " [" << channels << " ch]";
+    if (phase.skip) out << " (+input skip)";
+    out << "\n";
+    // Recompute node activity the way PhaseBlock does.
+    std::vector<bool> active(phase.nodes, false);
+    for (std::size_t j = 1; j < phase.nodes; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (phase.edge(i, j)) active[i] = active[j] = true;
+      }
+    }
+    bool any = false;
+    for (bool a : active) any |= a;
+    if (!any) active[0] = true;
+    for (std::size_t j = 0; j < phase.nodes; ++j) {
+      if (!active[j]) {
+        out << "    node " << j << ": (pruned)\n";
+        continue;
+      }
+      out << "    node " << j << ": " << nn::node_op_name(phase.op_of(j))
+          << "+bn+relu <- ";
+      bool has_input = false;
+      for (std::size_t i = 0; i < j; ++i) {
+        if (active[i] && phase.edge(i, j)) {
+          out << (has_input ? ", " : "") << "node " << i;
+          has_input = true;
+        }
+      }
+      if (!has_input) out << "phase input";
+      out << "\n";
+    }
+    if (p + 1 < genome.phase_count()) {
+      const std::size_t next = static_cast<std::size_t>(std::llround(
+          static_cast<double>(channels) * space.channel_multiplier));
+      out << "  downsample: maxpool2 + conv1x1(" << channels << "->" << next
+          << ")\n";
+      channels = next;
+    }
+  }
+  out << "  head: global-avg-pool + linear(" << channels << "->"
+      << space.classes << ")\n";
+  return out.str();
+}
+
+double hypervolume(std::span<const nas::Objectives> points,
+                   const nas::Objectives& reference) {
+  // Keep only points that strictly dominate the reference, take the Pareto
+  // subset, sort by the first objective, and sum the staircase rectangles.
+  std::vector<nas::Objectives> candidates;
+  for (const auto& p : points) {
+    if (p[0] < reference[0] && p[1] < reference[1]) candidates.push_back(p);
+  }
+  if (candidates.empty()) return 0.0;
+  const auto front = nas::pareto_front(candidates);
+  std::vector<nas::Objectives> frontier;
+  frontier.reserve(front.size());
+  for (std::size_t idx : front) frontier.push_back(candidates[idx]);
+  std::sort(frontier.begin(), frontier.end(),
+            [](const nas::Objectives& a, const nas::Objectives& b) {
+              return a[0] < b[0];
+            });
+  double volume = 0.0;
+  double prev_o1 = reference[0];
+  // Sweep from the largest first objective toward the smallest; each point
+  // contributes a rectangle up to the previous sweep line.
+  for (auto it = frontier.rbegin(); it != frontier.rend(); ++it) {
+    volume += (prev_o1 - (*it)[0]) * (reference[1] - (*it)[1]);
+    prev_o1 = (*it)[0];
+  }
+  return volume;
+}
+
+double frontier_hypervolume(std::span<const nas::EvaluationRecord> records,
+                            double reference_accuracy,
+                            double reference_flops) {
+  std::vector<nas::Objectives> points;
+  points.reserve(records.size());
+  for (const auto& r : records) points.push_back(nas::record_objectives(r));
+  const nas::Objectives reference{-reference_accuracy, reference_flops};
+  const double box = (100.0 - reference_accuracy) * reference_flops;
+  if (box <= 0.0) return 0.0;
+  return hypervolume(points, reference) / box;
+}
+
+}  // namespace a4nn::analytics

@@ -1,0 +1,98 @@
+// The analyzer: queries and summaries over record trails, standing in for
+// the paper's Jupyter-notebook interface. Computes Pareto frontiers
+// (Fig 6), epoch savings (Fig 7), termination-epoch distributions (Fig 8),
+// wall-time summaries (Fig 9), learning-curve shape statistics, and ASCII
+// renderings of NN architectures (Figs 3 and 10).
+#pragma once
+
+#include "nas/search.hpp"
+#include "util/stats.hpp"
+
+namespace a4nn::analytics {
+
+/// Indices of the Pareto-optimal records (max fitness, min FLOPs).
+std::vector<std::size_t> pareto_indices(
+    std::span<const nas::EvaluationRecord> records);
+
+struct EpochSavings {
+  std::size_t epochs_trained = 0;   // total epochs across all models
+  std::size_t epochs_budget = 0;    // models * max_epochs (standalone cost)
+  double saved_fraction = 0.0;      // [0, 1]
+  std::size_t early_terminated = 0; // models stopped by the engine
+  double early_terminated_fraction = 0.0;
+};
+EpochSavings epoch_savings(std::span<const nas::EvaluationRecord> records);
+
+/// Termination-epoch (e_t) distribution over early-terminated models.
+struct TerminationStats {
+  std::vector<double> termination_epochs;  // e_t of each early-terminated NN
+  double mean_e_t = 0.0;
+  double early_fraction = 0.0;             // share of models terminated early
+  util::Histogram histogram;               // over [1, max_epochs]
+};
+TerminationStats termination_stats(
+    std::span<const nas::EvaluationRecord> records);
+
+struct FitnessSummary {
+  // Over the NAS-reported fitness (the engine's converged prediction of
+  // accuracy@e_pred for early-terminated models, else the final measured
+  // accuracy) — the value the paper's figures plot.
+  double best = 0.0;
+  double mean = 0.0;
+  double worst = 0.0;
+  /// Best reported fitness among Pareto-optimal records, and its FLOPs.
+  double best_pareto = 0.0;
+  double best_pareto_flops = 0.0;
+  /// The same Pareto point's measured accuracy at its termination epoch
+  /// (equals best_pareto for fully trained models).
+  double best_pareto_measured = 0.0;
+};
+FitnessSummary fitness_summary(std::span<const nas::EvaluationRecord> records);
+
+/// Pearson correlation between FLOPs and measured fitness across records
+/// (one of the paper's open questions).
+double flops_fitness_correlation(
+    std::span<const nas::EvaluationRecord> records);
+
+/// Learning-curve shape: fraction of curves that are (weakly) increasing
+/// overall, and mean first-half vs second-half gain — concave saturating
+/// curves gain much more in the first half.
+struct CurveShape {
+  double increasing_fraction = 0.0;
+  double mean_first_half_gain = 0.0;
+  double mean_second_half_gain = 0.0;
+};
+CurveShape curve_shape(std::span<const nas::EvaluationRecord> records);
+
+/// Search records by attribute (the commons query the paper's notebook
+/// offers). Filters compose via the config's optional bounds.
+struct RecordQuery {
+  double min_fitness = -1.0;      // keep records with fitness >= this
+  double max_flops = -1.0;        // keep records with flops <= this (<0: off)
+  bool early_terminated_only = false;
+  int generation = -1;            // keep a single generation (<0: off)
+};
+std::vector<std::size_t> find_records(
+    std::span<const nas::EvaluationRecord> records, const RecordQuery& query);
+
+/// ASCII structural rendering of a genome's architecture (Fig 3/10 style):
+/// one block per phase, listing active nodes, their inputs, and skips.
+std::string render_architecture(const nas::Genome& genome,
+                                const nas::SearchSpaceConfig& space);
+
+/// 2-objective hypervolume (both objectives minimized) dominated by the
+/// Pareto front of `points` relative to `reference`. Standard scalar
+/// quality measure for comparing whole frontiers (used to compare A4NN's
+/// and the standalone NAS's Pareto fronts beyond best-point accuracy).
+/// Points that do not dominate the reference contribute nothing.
+double hypervolume(std::span<const nas::Objectives> points,
+                   const nas::Objectives& reference);
+
+/// Hypervolume of a record set's frontier in (accuracy, FLOPs) space,
+/// normalized by the reference box so the result lies in [0, 1].
+/// reference_accuracy: worst acceptable accuracy (e.g. 50 = chance);
+/// reference_flops: largest FLOPs budget of interest.
+double frontier_hypervolume(std::span<const nas::EvaluationRecord> records,
+                            double reference_accuracy, double reference_flops);
+
+}  // namespace a4nn::analytics

@@ -1,0 +1,26 @@
+// Graphviz export of NN architectures — the analyzer's "visualize the
+// structure of NNs" capability (paper Figures 3 and 10) in a portable
+// format: `dot -Tsvg model.dot > model.svg`.
+#pragma once
+
+#include <string>
+
+#include "nas/search_space.hpp"
+
+namespace a4nn::analytics {
+
+struct DotStyle {
+  std::string node_color = "#4a90d9";
+  std::string pruned_color = "#cccccc";
+  std::string skip_color = "#d94a4a";
+  bool rankdir_lr = false;  // top-to-bottom by default, like Fig 10
+};
+
+/// Render a genome's full architecture (stem, phases with node DAGs,
+/// downsamples, head) as a Graphviz digraph. Pruned nodes are drawn
+/// greyed-out; skip connections are highlighted.
+std::string to_dot(const nas::Genome& genome,
+                   const nas::SearchSpaceConfig& space,
+                   const DotStyle& style = {});
+
+}  // namespace a4nn::analytics

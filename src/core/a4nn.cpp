@@ -1,0 +1,85 @@
+#include "core/a4nn.hpp"
+
+#include "util/timer.hpp"
+
+namespace a4nn::core {
+
+util::Json WorkflowConfig::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json ds = util::Json::object();
+  ds["intensity"] = xfel::beam_name(dataset.intensity);
+  ds["fluence"] = xfel::beam_fluence(dataset.intensity);
+  ds["images_per_class"] = dataset.images_per_class;
+  ds["conformations"] = dataset.conformations;
+  ds["detector_pixels"] = dataset.detector.pixels;
+  ds["train_fraction"] = dataset.train_fraction;
+  ds["seed"] = dataset.seed;
+  j["dataset"] = std::move(ds);
+  j["nas"] = nas.to_json();
+  j["trainer"] = trainer.to_json();
+  util::Json cl = util::Json::object();
+  cl["num_gpus"] = cluster.num_gpus;
+  cl["flops_per_second"] = cluster.cost.flops_per_second;
+  j["cluster"] = std::move(cl);
+  j["seed"] = seed;
+  return j;
+}
+
+A4nnWorkflow::A4nnWorkflow(WorkflowConfig config)
+    : config_(std::move(config)),
+      owned_data_(xfel::generate_xfel_dataset(config_.dataset)),
+      data_(&*owned_data_) {}
+
+A4nnWorkflow::A4nnWorkflow(WorkflowConfig config,
+                           const xfel::XfelDataset& shared_data)
+    : config_(std::move(config)), data_(&shared_data) {}
+
+WorkflowResult A4nnWorkflow::run() {
+  util::Timer wall;
+  // Keep the trainer's virtual cost model consistent with the cluster's,
+  // and the classifier head consistent with the dataset's class count.
+  config_.trainer.cost = config_.cluster.cost;
+  config_.nas.space.classes = data_->train.num_classes();
+
+  std::optional<lineage::LineageTracker> tracker;
+  if (config_.lineage) {
+    tracker.emplace(*config_.lineage);
+    tracker->record_search_config(config_.to_json());
+  }
+
+  orchestrator::TrainingLoop loop(data_->train, data_->validation,
+                                  config_.trainer,
+                                  tracker ? &*tracker : nullptr);
+  sched::ResourceManager cluster(config_.cluster);
+  orchestrator::WorkflowEvaluator evaluator(loop, cluster, config_.nas.space,
+                                            config_.seed,
+                                            tracker ? &*tracker : nullptr);
+  if (config_.resume_from_commons && config_.lineage) {
+    // Reuse whatever record trails a previous (interrupted) run left in
+    // the commons; deterministic seeding makes the replay exact.
+    std::error_code ec;
+    if (std::filesystem::exists(config_.lineage->root / "models", ec)) {
+      lineage::DataCommons commons(config_.lineage->root);
+      evaluator.preload_records(commons.load_records());
+    }
+  }
+  nas::NsgaNetSearch search(config_.nas, evaluator);
+
+  WorkflowResult result;
+  result.search = search.run();
+  result.resumed_evaluations = evaluator.resumed_count();
+  result.schedules = evaluator.schedules();
+  result.virtual_wall_seconds = cluster.virtual_now();
+  result.measured_wall_seconds = wall.seconds();
+  if (config_.lineage) result.commons_root = config_.lineage->root;
+  return result;
+}
+
+WorkflowConfig standalone_variant(WorkflowConfig config) {
+  config.trainer.use_prediction_engine = false;
+  // NSGA-Net standalone does not support multiple GPUs (paper §4.2.2).
+  config.cluster.num_gpus = 1;
+  return config;
+}
+
+}  // namespace a4nn::core

@@ -1,0 +1,80 @@
+// A4NN — the user-facing, composable workflow.
+//
+// One configuration object wires together every component of Figure 1:
+// the dataset (data path), the NAS (NSGA-Net settings), the prediction
+// engine (Table 1 settings), the resource manager (GPU count), and the
+// lineage tracker (commons location). `run()` executes the full search
+// and returns the search history plus scheduling/timing information.
+// Setting `use_prediction_engine = false` yields the standalone-NSGA-Net
+// baseline on the exact same plumbing — the comparison the paper's
+// evaluation is built around.
+#pragma once
+
+#include <optional>
+
+#include "analytics/analyzer.hpp"
+#include "lineage/tracker.hpp"
+#include "nas/search.hpp"
+#include "orchestrator/workflow_evaluator.hpp"
+#include "xfel/dataset.hpp"
+
+namespace a4nn::core {
+
+struct WorkflowConfig {
+  /// Scientific data: customize the dataset without touching the rest.
+  xfel::XfelDatasetConfig dataset;
+  /// NAS settings (Table 2).
+  nas::NsgaNetConfig nas;
+  /// Training-loop settings, including the prediction-engine settings
+  /// (Table 1) and whether the engine is used at all.
+  orchestrator::TrainerConfig trainer;
+  /// Resource manager: simulated GPU cluster.
+  sched::ClusterConfig cluster;
+  /// Data commons root; nullopt disables lineage tracking.
+  std::optional<lineage::TrackerConfig> lineage;
+  /// Resume an interrupted run: record trails already present in the
+  /// commons are reused instead of retraining (requires `lineage` and the
+  /// same configuration/seed as the original run).
+  bool resume_from_commons = false;
+  std::uint64_t seed = 2023;
+
+  util::Json to_json() const;
+};
+
+struct WorkflowResult {
+  nas::SearchResult search;
+  /// Evaluations reused from the commons when resuming (0 otherwise).
+  std::size_t resumed_evaluations = 0;
+  /// Per-generation placement/timing from the resource manager.
+  std::vector<sched::GenerationSchedule> schedules;
+  /// Virtual wall time of the whole search (last generation barrier).
+  double virtual_wall_seconds = 0.0;
+  /// Measured host time for the whole search.
+  double measured_wall_seconds = 0.0;
+  /// Commons location, when lineage tracking was enabled.
+  std::optional<std::filesystem::path> commons_root;
+};
+
+class A4nnWorkflow {
+ public:
+  /// Generates the dataset up front (or accepts a pre-generated one via
+  /// the second constructor, so A4NN and the baseline share data).
+  explicit A4nnWorkflow(WorkflowConfig config);
+  A4nnWorkflow(WorkflowConfig config, const xfel::XfelDataset& shared_data);
+
+  WorkflowResult run();
+
+  const xfel::XfelDataset& dataset() const { return *data_; }
+  const WorkflowConfig& config() const { return config_; }
+
+ private:
+  WorkflowConfig config_;
+  std::optional<xfel::XfelDataset> owned_data_;
+  const xfel::XfelDataset* data_;
+};
+
+/// Convenience: the same search without the prediction engine (standalone
+/// NSGA-Net), sharing the given dataset.
+WorkflowConfig standalone_variant(WorkflowConfig config);
+
+}  // namespace a4nn::core

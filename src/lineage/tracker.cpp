@@ -1,0 +1,113 @@
+#include "lineage/tracker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/fsutil.hpp"
+
+namespace a4nn::lineage {
+
+namespace fs = std::filesystem;
+
+std::string model_dir_name(int model_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "model_%05d", model_id);
+  return buf;
+}
+
+std::string snapshot_file_name(std::size_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch_%04zu.ckpt.json", epoch);
+  return buf;
+}
+
+LineageTracker::LineageTracker(TrackerConfig config)
+    : config_(std::move(config)) {
+  if (config_.root.empty())
+    throw std::invalid_argument("LineageTracker: empty root path");
+  util::ensure_dir(config_.root);
+  util::ensure_dir(config_.root / "models");
+}
+
+void LineageTracker::record_search_config(const util::Json& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::write_file(config_.root / "search.json", config.dump(2));
+}
+
+bool LineageTracker::wants_snapshot(std::size_t epoch) const {
+  return config_.snapshot_every > 0 && epoch % config_.snapshot_every == 0;
+}
+
+fs::path LineageTracker::model_dir(int model_id) const {
+  return config_.root / "models" / model_dir_name(model_id);
+}
+
+void LineageTracker::record_model_epoch(int model_id, std::size_t epoch,
+                                        const nn::Model& model) {
+  const util::Json ckpt = model.checkpoint();
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::write_file(model_dir(model_id) / snapshot_file_name(epoch),
+                   ckpt.dump());
+}
+
+void LineageTracker::record_evaluation(const nas::EvaluationRecord& record) {
+  const util::Json j = record.to_json();
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::write_file(model_dir(record.model_id) / "record.json", j.dump(2));
+}
+
+DataCommons::DataCommons(fs::path root) : root_(std::move(root)) {
+  if (!fs::exists(root_ / "models"))
+    throw std::invalid_argument("DataCommons: " + root_.string() +
+                                " is not a commons tree");
+}
+
+util::Json DataCommons::search_config() const {
+  return util::Json::parse(util::read_file(root_ / "search.json"));
+}
+
+std::vector<int> DataCommons::model_ids() const {
+  std::vector<int> ids;
+  for (const auto& entry : fs::directory_iterator(root_ / "models")) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("model_", 0) != 0) continue;
+    ids.push_back(std::atoi(name.c_str() + 6));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<nas::EvaluationRecord> DataCommons::load_records() const {
+  std::vector<nas::EvaluationRecord> records;
+  for (int id : model_ids()) {
+    const fs::path path = root_ / "models" / model_dir_name(id) / "record.json";
+    if (!fs::exists(path)) continue;
+    records.push_back(nas::EvaluationRecord::from_json(
+        util::Json::parse(util::read_file(path))));
+  }
+  return records;
+}
+
+std::vector<std::size_t> DataCommons::snapshot_epochs(int model_id) const {
+  std::vector<std::size_t> epochs;
+  const fs::path dir = root_ / "models" / model_dir_name(model_id);
+  for (const auto& file : util::list_files(dir)) {
+    const std::string name = file.filename().string();
+    if (name.rfind("epoch_", 0) != 0) continue;
+    epochs.push_back(static_cast<std::size_t>(std::atoll(name.c_str() + 6)));
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+nn::Model DataCommons::load_model(int model_id, std::size_t epoch) const {
+  const fs::path path =
+      root_ / "models" / model_dir_name(model_id) / snapshot_file_name(epoch);
+  return nn::Model::from_checkpoint(
+      util::Json::parse(util::read_file(path)));
+}
+
+}  // namespace a4nn::lineage

@@ -1,0 +1,81 @@
+// Lineage tracker: writes complete record trails — search configuration,
+// per-network metadata (genome, architecture, fitness and prediction
+// histories, timings, FLOPs) and optional per-epoch model snapshots — into
+// a file-tree "data commons" that the analyzer loads back. This is the
+// paper's Dataverse commons at laptop scale: every model can be reloaded
+// and re-evaluated from any training epoch.
+//
+// Layout:
+//   <root>/search.json                     search + engine + dataset config
+//   <root>/models/model_00042/record.json  EvaluationRecord
+//   <root>/models/model_00042/epoch_0007.ckpt.json  model snapshot (optional)
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <optional>
+
+#include "nas/evaluator.hpp"
+#include "nn/model.hpp"
+
+namespace a4nn::lineage {
+
+struct TrackerConfig {
+  std::filesystem::path root;
+  /// Snapshot model weights every N epochs (0 disables snapshots; 1
+  /// matches the paper's "models after every training epoch").
+  std::size_t snapshot_every = 0;
+};
+
+class LineageTracker {
+ public:
+  explicit LineageTracker(TrackerConfig config);
+
+  /// Persist the experiment-level configuration document.
+  void record_search_config(const util::Json& config);
+
+  /// Persist a model snapshot for (model, epoch). Thread-safe.
+  void record_model_epoch(int model_id, std::size_t epoch,
+                          const nn::Model& model);
+
+  /// Persist the final record trail of a trained network. Thread-safe.
+  void record_evaluation(const nas::EvaluationRecord& record);
+
+  /// Whether a snapshot should be taken at this epoch.
+  bool wants_snapshot(std::size_t epoch) const;
+
+  const std::filesystem::path& root() const { return config_.root; }
+
+ private:
+  std::filesystem::path model_dir(int model_id) const;
+
+  TrackerConfig config_;
+  std::mutex mutex_;
+};
+
+/// Read-side API over a commons tree.
+class DataCommons {
+ public:
+  explicit DataCommons(std::filesystem::path root);
+
+  util::Json search_config() const;
+  /// Every record trail in the commons, sorted by model id.
+  std::vector<nas::EvaluationRecord> load_records() const;
+  /// Model ids present in the commons.
+  std::vector<int> model_ids() const;
+  /// Epochs with snapshots for a model.
+  std::vector<std::size_t> snapshot_epochs(int model_id) const;
+  /// Reload the model state captured after `epoch`.
+  nn::Model load_model(int model_id, std::size_t epoch) const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+};
+
+/// Zero-padded directory/file naming shared by tracker and commons.
+std::string model_dir_name(int model_id);
+std::string snapshot_file_name(std::size_t epoch);
+
+}  // namespace a4nn::lineage

@@ -1,0 +1,68 @@
+#include "nas/evaluator.hpp"
+
+namespace a4nn::nas {
+
+namespace {
+
+util::Json doubles_to_json(const std::vector<double>& v) {
+  util::JsonArray arr;
+  arr.reserve(v.size());
+  for (double d : v) arr.emplace_back(d);
+  return util::Json(std::move(arr));
+}
+
+std::vector<double> doubles_from_json(const util::Json& j) {
+  return j.as_double_vector();
+}
+
+}  // namespace
+
+util::Json EvaluationRecord::to_json() const {
+  util::Json j = util::Json::object();
+  j["genome"] = genome.to_json();
+  j["model_id"] = model_id;
+  j["generation"] = generation;
+  j["fitness"] = fitness;
+  j["measured_fitness"] = measured_fitness;
+  j["flops"] = flops;
+  j["parameters"] = parameters;
+  j["epochs_trained"] = epochs_trained;
+  j["max_epochs"] = max_epochs;
+  j["early_terminated"] = early_terminated;
+  j["fitness_history"] = doubles_to_json(fitness_history);
+  j["train_accuracy_history"] = doubles_to_json(train_accuracy_history);
+  j["train_loss_history"] = doubles_to_json(train_loss_history);
+  j["prediction_history"] = doubles_to_json(prediction_history);
+  j["epoch_virtual_seconds"] = doubles_to_json(epoch_virtual_seconds);
+  j["wall_seconds"] = wall_seconds;
+  j["virtual_seconds"] = virtual_seconds;
+  j["engine_overhead_seconds"] = engine_overhead_seconds;
+  j["device_id"] = device_id;
+  return j;
+}
+
+EvaluationRecord EvaluationRecord::from_json(const util::Json& j) {
+  EvaluationRecord r;
+  r.genome = Genome::from_json(j.at("genome"));
+  r.model_id = static_cast<int>(j.at("model_id").as_int());
+  r.generation = static_cast<int>(j.at("generation").as_int());
+  r.fitness = j.at("fitness").as_number();
+  r.measured_fitness = j.at("measured_fitness").as_number();
+  r.flops = static_cast<std::uint64_t>(j.at("flops").as_number());
+  r.parameters = static_cast<std::size_t>(j.at("parameters").as_int());
+  r.epochs_trained = static_cast<std::size_t>(j.at("epochs_trained").as_int());
+  r.max_epochs = static_cast<std::size_t>(j.at("max_epochs").as_int());
+  r.early_terminated = j.at("early_terminated").as_bool();
+  r.fitness_history = doubles_from_json(j.at("fitness_history"));
+  r.train_accuracy_history = doubles_from_json(j.at("train_accuracy_history"));
+  r.train_loss_history = doubles_from_json(j.at("train_loss_history"));
+  r.prediction_history = doubles_from_json(j.at("prediction_history"));
+  r.epoch_virtual_seconds = doubles_from_json(j.at("epoch_virtual_seconds"));
+  r.wall_seconds = j.at("wall_seconds").as_number();
+  r.virtual_seconds = j.at("virtual_seconds").as_number();
+  r.engine_overhead_seconds = j.at("engine_overhead_seconds").as_number();
+  r.device_id = static_cast<int>(j.at("device_id").as_int());
+  return r;
+}
+
+}  // namespace a4nn::nas

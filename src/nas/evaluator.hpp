@@ -1,0 +1,61 @@
+// The seam between the NAS and everything else.
+//
+// NSGA-Net only needs a fitness and a FLOPs number per genome; *how* a
+// genome is trained — full 25 epochs standalone, or early-terminated by
+// the A4NN prediction engine, on one simulated GPU or four — is entirely
+// the evaluator's business. This decoupling is the paper's composability
+// claim made concrete: the same search runs against a standalone
+// evaluator and an A4NN-augmented one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nas/genome.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::nas {
+
+/// Full record trail of one trained network, also what the lineage tracker
+/// persists to the data commons.
+struct EvaluationRecord {
+  Genome genome;
+  int model_id = -1;
+  int generation = -1;
+
+  double fitness = 0.0;           // fitness reported to the NAS (%)
+  double measured_fitness = 0.0;  // last measured validation accuracy (%)
+  std::uint64_t flops = 0;        // forward FLOPs per image
+  std::size_t parameters = 0;
+
+  std::size_t epochs_trained = 0;
+  std::size_t max_epochs = 0;
+  bool early_terminated = false;
+
+  std::vector<double> fitness_history;      // validation accuracy per epoch
+  std::vector<double> train_accuracy_history;
+  std::vector<double> train_loss_history;
+  std::vector<double> prediction_history;   // engine predictions per epoch
+  std::vector<double> epoch_virtual_seconds;
+
+  double wall_seconds = 0.0;     // measured host time spent training
+  double virtual_seconds = 0.0;  // simulated device time (scheduler clock)
+  double engine_overhead_seconds = 0.0;  // measured time inside the engine
+  int device_id = -1;            // simulated GPU the model trained on
+
+  util::Json to_json() const;
+  static EvaluationRecord from_json(const util::Json& j);
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Train/score one generation of genomes. Called once per generation so
+  /// the resource manager can schedule the whole batch across devices.
+  virtual std::vector<EvaluationRecord> evaluate_generation(
+      std::span<const Genome> genomes, int generation) = 0;
+};
+
+}  // namespace a4nn::nas

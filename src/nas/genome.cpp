@@ -1,0 +1,138 @@
+#include "nas/genome.hpp"
+
+#include <stdexcept>
+
+namespace a4nn::nas {
+
+std::size_t Genome::bit_count() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) {
+    n += p.bits.size() + 1;
+    n += 2 * p.node_ops.size();  // 2 op-selection bits per node
+  }
+  return n;
+}
+
+std::vector<bool> Genome::to_bits() const {
+  std::vector<bool> bits;
+  bits.reserve(bit_count());
+  for (const auto& p : phases) {
+    bits.insert(bits.end(), p.bits.begin(), p.bits.end());
+    bits.push_back(p.skip);
+    for (nn::NodeOp op : p.node_ops) {
+      const auto code = static_cast<std::uint8_t>(op);
+      bits.push_back((code & 1) != 0);
+      bits.push_back((code & 2) != 0);
+    }
+  }
+  return bits;
+}
+
+Genome Genome::from_bits(const std::vector<bool>& bits,
+                         std::size_t phase_count, std::size_t nodes_per_phase,
+                         bool with_node_ops) {
+  const std::size_t per_phase =
+      nn::PhaseSpec::bits_for_nodes(nodes_per_phase) + 1 +
+      (with_node_ops ? 2 * nodes_per_phase : 0);
+  if (bits.size() != per_phase * phase_count)
+    throw std::invalid_argument("Genome::from_bits: bit count mismatch");
+  Genome g;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < phase_count; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = nodes_per_phase;
+    const std::size_t conn = nn::PhaseSpec::bits_for_nodes(nodes_per_phase);
+    spec.bits.assign(bits.begin() + static_cast<std::ptrdiff_t>(cursor),
+                     bits.begin() + static_cast<std::ptrdiff_t>(cursor + conn));
+    cursor += conn;
+    spec.skip = bits[cursor++];
+    if (with_node_ops) {
+      for (std::size_t j = 0; j < nodes_per_phase; ++j) {
+        std::uint8_t code = 0;
+        if (bits[cursor++]) code |= 1;
+        if (bits[cursor++]) code |= 2;
+        spec.node_ops.push_back(static_cast<nn::NodeOp>(code));
+      }
+    }
+    g.phases.push_back(std::move(spec));
+  }
+  return g;
+}
+
+std::string Genome::key() const {
+  std::string out;
+  for (const auto& p : phases) {
+    for (bool b : p.bits) out += b ? '1' : '0';
+    out += p.skip ? 'S' : 's';
+    for (nn::NodeOp op : p.node_ops)
+      out += static_cast<char>('a' + static_cast<std::uint8_t>(op));
+    out += '|';
+  }
+  return out;
+}
+
+util::Json Genome::to_json() const {
+  util::Json j = util::Json::object();
+  util::JsonArray phase_arr;
+  for (const auto& p : phases) {
+    util::Json pj = util::Json::object();
+    pj["nodes"] = p.nodes;
+    util::JsonArray bits;
+    for (bool b : p.bits) bits.emplace_back(b);
+    pj["bits"] = util::Json(std::move(bits));
+    pj["skip"] = p.skip;
+    if (!p.node_ops.empty()) {
+      util::JsonArray ops;
+      for (nn::NodeOp op : p.node_ops)
+        ops.emplace_back(static_cast<std::int64_t>(op));
+      pj["node_ops"] = util::Json(std::move(ops));
+    }
+    phase_arr.push_back(std::move(pj));
+  }
+  j["phases"] = util::Json(std::move(phase_arr));
+  return j;
+}
+
+Genome Genome::from_json(const util::Json& j) {
+  Genome g;
+  for (const auto& pj : j.at("phases").as_array()) {
+    nn::PhaseSpec spec;
+    spec.nodes = static_cast<std::size_t>(pj.at("nodes").as_int());
+    for (const auto& b : pj.at("bits").as_array())
+      spec.bits.push_back(b.as_bool());
+    spec.skip = pj.at("skip").as_bool();
+    if (pj.contains("node_ops")) {
+      for (const auto& op : pj.at("node_ops").as_array())
+        spec.node_ops.push_back(static_cast<nn::NodeOp>(op.as_int()));
+    }
+    if (spec.bits.size() != nn::PhaseSpec::bits_for_nodes(spec.nodes))
+      throw std::invalid_argument("Genome::from_json: malformed phase");
+    if (!spec.node_ops.empty() && spec.node_ops.size() != spec.nodes)
+      throw std::invalid_argument("Genome::from_json: malformed node_ops");
+    g.phases.push_back(std::move(spec));
+  }
+  return g;
+}
+
+Genome random_genome(std::size_t phase_count, std::size_t nodes_per_phase,
+                     util::Rng& rng, bool with_node_ops) {
+  Genome g;
+  for (std::size_t p = 0; p < phase_count; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = nodes_per_phase;
+    spec.bits.resize(nn::PhaseSpec::bits_for_nodes(nodes_per_phase));
+    for (std::size_t i = 0; i < spec.bits.size(); ++i)
+      spec.bits[i] = rng.bernoulli(0.5);
+    spec.skip = rng.bernoulli(0.5);
+    if (with_node_ops) {
+      for (std::size_t j = 0; j < nodes_per_phase; ++j) {
+        spec.node_ops.push_back(static_cast<nn::NodeOp>(
+            rng.uniform_index(nn::kNodeOpCount)));
+      }
+    }
+    g.phases.push_back(std::move(spec));
+  }
+  return g;
+}
+
+}  // namespace a4nn::nas

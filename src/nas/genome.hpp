@@ -1,0 +1,52 @@
+// NSGA-Net macro search-space genome.
+//
+// A genome is one connectivity bit-string per phase (bits for every
+// (i -> j) node pair plus a skip bit), exactly the encoding of Lu et al.'s
+// NSGA-Net macro space. Genomes serialize into record trails, and their
+// canonical key deduplicates architectures across a search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/phase_block.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace a4nn::nas {
+
+struct Genome {
+  std::vector<nn::PhaseSpec> phases;
+
+  std::size_t phase_count() const { return phases.size(); }
+  /// True when the genome carries per-node operation genes (the extended
+  /// operation-searchable space); false for the paper's macro space.
+  bool has_node_ops() const {
+    return !phases.empty() && !phases.front().node_ops.empty();
+  }
+  /// Total number of bits (connectivity + skip per phase, plus 2 bits per
+  /// node when operations are searchable).
+  std::size_t bit_count() const;
+
+  /// Flatten to a bit vector: per phase, connectivity bits, skip bit, then
+  /// (if operations are searchable) 2 op bits per node, LSB first.
+  std::vector<bool> to_bits() const;
+  /// Rebuild from a flat bit vector given the per-phase node counts.
+  static Genome from_bits(const std::vector<bool>& bits,
+                          std::size_t phase_count, std::size_t nodes_per_phase,
+                          bool with_node_ops = false);
+
+  /// Canonical "0101|1..." string; unique per architecture encoding.
+  std::string key() const;
+
+  util::Json to_json() const;
+  static Genome from_json(const util::Json& j);
+
+  bool operator==(const Genome& other) const { return key() == other.key(); }
+};
+
+/// Uniformly random genome. `with_node_ops` enables the extended space.
+Genome random_genome(std::size_t phase_count, std::size_t nodes_per_phase,
+                     util::Rng& rng, bool with_node_ops = false);
+
+}  // namespace a4nn::nas

@@ -1,0 +1,133 @@
+#include "nas/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace a4nn::nas {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  bool strictly_better = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    std::span<const Objectives> points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(points[p], points[q])) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(points[q], points[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distance(std::span<const Objectives> points,
+                                      std::span<const std::size_t> front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(),
+              std::numeric_limits<double>::infinity());
+    return distance;
+  }
+  for (std::size_t obj = 0; obj < 2; ++obj) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return points[front[a]][obj] < points[front[b]][obj];
+    });
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double lo = points[front[order.front()]][obj];
+    const double hi = points[front[order.back()]][obj];
+    if (hi <= lo) continue;  // degenerate objective: no spread
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (points[front[order[i + 1]]][obj] -
+                             points[front[order[i - 1]]][obj]) /
+                            (hi - lo);
+    }
+  }
+  return distance;
+}
+
+std::vector<std::size_t> environmental_selection(
+    std::span<const Objectives> points, std::size_t count) {
+  if (count > points.size())
+    throw std::invalid_argument(
+        "environmental_selection: count exceeds population");
+  const auto fronts = fast_non_dominated_sort(points);
+  std::vector<std::size_t> selected;
+  selected.reserve(count);
+  for (const auto& front : fronts) {
+    if (selected.size() + front.size() <= count) {
+      selected.insert(selected.end(), front.begin(), front.end());
+      if (selected.size() == count) break;
+      continue;
+    }
+    // Partial front: keep the most crowded-out (largest distance) members.
+    const auto dist = crowding_distance(points, front);
+    std::vector<std::size_t> order(front.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+    for (std::size_t i = 0; selected.size() < count; ++i)
+      selected.push_back(front[order[i]]);
+    break;
+  }
+  return selected;
+}
+
+std::vector<RankedPoint> rank_population(std::span<const Objectives> points) {
+  std::vector<RankedPoint> ranked(points.size());
+  const auto fronts = fast_non_dominated_sort(points);
+  for (std::size_t r = 0; r < fronts.size(); ++r) {
+    const auto dist = crowding_distance(points, fronts[r]);
+    for (std::size_t i = 0; i < fronts[r].size(); ++i) {
+      ranked[fronts[r][i]].rank = r;
+      ranked[fronts[r][i]].crowding = dist[i];
+    }
+  }
+  return ranked;
+}
+
+std::size_t tournament_winner(std::span<const RankedPoint> ranked,
+                              std::size_t a, std::size_t b) {
+  if (ranked[a].rank != ranked[b].rank)
+    return ranked[a].rank < ranked[b].rank ? a : b;
+  return ranked[a].crowding >= ranked[b].crowding ? a : b;
+}
+
+std::vector<std::size_t> pareto_front(std::span<const Objectives> points) {
+  if (points.empty()) return {};
+  return fast_non_dominated_sort(points).front();
+}
+
+}  // namespace a4nn::nas

@@ -1,0 +1,52 @@
+// NSGA-II machinery: fast non-dominated sorting, crowding distance,
+// environmental selection, and binary tournament — the multi-objective
+// core of NSGA-Net. Objectives are minimized; callers negate
+// maximization objectives (accuracy) before handing points in.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace a4nn::nas {
+
+/// One point in objective space (2 objectives, both minimized:
+/// {-accuracy, flops} for NSGA-Net).
+using Objectives = std::array<double, 2>;
+
+/// True if a dominates b (<= in every objective, < in at least one).
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Fronts of indices: fronts[0] is the Pareto-optimal set, fronts[1] the
+/// set dominated only by fronts[0], etc. (Deb et al.'s fast sort.)
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    std::span<const Objectives> points);
+
+/// Crowding distance of each member within one front (same index order as
+/// `front`); boundary points get +infinity.
+std::vector<double> crowding_distance(std::span<const Objectives> points,
+                                      std::span<const std::size_t> front);
+
+/// Pick `count` survivors from `points` by rank then crowding distance —
+/// NSGA-II environmental selection. Returns selected indices.
+std::vector<std::size_t> environmental_selection(
+    std::span<const Objectives> points, std::size_t count);
+
+/// Rank (front index) and crowding distance for every point, as used by
+/// tournament selection.
+struct RankedPoint {
+  std::size_t rank = 0;
+  double crowding = 0.0;
+};
+std::vector<RankedPoint> rank_population(std::span<const Objectives> points);
+
+/// Binary tournament: lower rank wins; ties broken by larger crowding.
+/// Returns the winning index of {a, b}.
+std::size_t tournament_winner(std::span<const RankedPoint> ranked,
+                              std::size_t a, std::size_t b);
+
+/// Pareto-optimal subset of the points (front 0 indices).
+std::vector<std::size_t> pareto_front(std::span<const Objectives> points);
+
+}  // namespace a4nn::nas

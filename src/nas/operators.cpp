@@ -1,0 +1,42 @@
+#include "nas/operators.hpp"
+
+#include <stdexcept>
+
+namespace a4nn::nas {
+
+Genome crossover(const Genome& a, const Genome& b, const OperatorConfig& cfg,
+                 util::Rng& rng) {
+  if (a.phase_count() != b.phase_count())
+    throw std::invalid_argument("crossover: incompatible genomes");
+  const std::vector<bool> bits_a = a.to_bits();
+  const std::vector<bool> bits_b = b.to_bits();
+  if (bits_a.size() != bits_b.size())
+    throw std::invalid_argument("crossover: bit length mismatch");
+
+  std::vector<bool> child = bits_a;
+  if (rng.bernoulli(cfg.crossover_rate)) {
+    if (cfg.uniform_crossover) {
+      for (std::size_t i = 0; i < child.size(); ++i) {
+        if (rng.bernoulli(0.5)) child[i] = bits_b[i];
+      }
+    } else {
+      // Single point: take the tail from parent b.
+      const std::size_t cut =
+          static_cast<std::size_t>(rng.uniform_index(child.size()));
+      for (std::size_t i = cut; i < child.size(); ++i) child[i] = bits_b[i];
+    }
+  }
+  return Genome::from_bits(child, a.phase_count(), a.phases[0].nodes,
+                           a.has_node_ops());
+}
+
+Genome mutate(const Genome& g, const OperatorConfig& cfg, util::Rng& rng) {
+  std::vector<bool> bits = g.to_bits();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (rng.bernoulli(cfg.mutation_rate)) bits[i] = !bits[i];
+  }
+  return Genome::from_bits(bits, g.phase_count(), g.phases[0].nodes,
+                           g.has_node_ops());
+}
+
+}  // namespace a4nn::nas

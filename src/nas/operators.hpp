@@ -1,0 +1,22 @@
+// Variation operators on genome bit-strings: uniform and single-point
+// crossover plus per-bit flip mutation (NSGA-Net's operators).
+#pragma once
+
+#include "nas/genome.hpp"
+
+namespace a4nn::nas {
+
+struct OperatorConfig {
+  double crossover_rate = 0.9;   // probability offspring mixes both parents
+  double mutation_rate = 0.02;   // per-bit flip probability
+  bool uniform_crossover = false;  // false: single-point (NSGA-Net default)
+};
+
+/// Produce one child from two parents.
+Genome crossover(const Genome& a, const Genome& b, const OperatorConfig& cfg,
+                 util::Rng& rng);
+
+/// Flip each bit independently with cfg.mutation_rate.
+Genome mutate(const Genome& g, const OperatorConfig& cfg, util::Rng& rng);
+
+}  // namespace a4nn::nas

@@ -1,0 +1,164 @@
+#include "nas/search.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/log.hpp"
+
+namespace a4nn::nas {
+
+util::Json NsgaNetConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j["population_size"] = population_size;
+  j["offspring_per_generation"] = offspring_per_generation;
+  j["generations"] = generations;
+  j["max_epochs"] = max_epochs;
+  j["space"] = space.to_json();
+  j["crossover_rate"] = operators.crossover_rate;
+  j["mutation_rate"] = operators.mutation_rate;
+  j["seed"] = seed;
+  return j;
+}
+
+std::size_t SearchResult::total_epochs_trained() const {
+  std::size_t n = 0;
+  for (const auto& r : history) n += r.epochs_trained;
+  return n;
+}
+
+double SearchResult::total_virtual_seconds() const {
+  double t = 0.0;
+  for (const auto& r : history) t = std::max(t, r.virtual_seconds);
+  return t;
+}
+
+double SearchResult::total_wall_seconds() const {
+  double t = 0.0;
+  for (const auto& r : history) t += r.wall_seconds;
+  return t;
+}
+
+Objectives record_objectives(const EvaluationRecord& r) {
+  return {-r.fitness, static_cast<double>(r.flops)};
+}
+
+NsgaNetSearch::NsgaNetSearch(NsgaNetConfig config, Evaluator& evaluator)
+    : config_(std::move(config)), evaluator_(&evaluator) {
+  if (config_.population_size < 2)
+    throw std::invalid_argument("NsgaNetSearch: population must be >= 2");
+  if (config_.generations == 0)
+    throw std::invalid_argument("NsgaNetSearch: need >= 1 generation");
+}
+
+void NsgaNetSearch::set_observer(GenerationObserver observer) {
+  observer_ = std::move(observer);
+}
+
+SearchResult NsgaNetSearch::run() {
+  util::Rng rng(config_.seed);
+  SearchResult result;
+  std::unordered_set<std::string> seen;
+
+  auto fresh_random = [&] {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      Genome g = random_genome(config_.space.phase_count,
+                               config_.space.nodes_per_phase, rng,
+                               config_.space.searchable_ops);
+      if (seen.insert(g.key()).second) return g;
+    }
+    throw std::runtime_error("NsgaNetSearch: search space exhausted");
+  };
+
+  // Initial population.
+  std::vector<Genome> population;
+  population.reserve(config_.population_size);
+  for (std::size_t i = 0; i < config_.population_size; ++i)
+    population.push_back(fresh_random());
+
+  auto evaluate = [&](std::span<const Genome> genomes, int generation) {
+    std::vector<EvaluationRecord> records =
+        evaluator_->evaluate_generation(genomes, generation);
+    if (records.size() != genomes.size())
+      throw std::runtime_error("NsgaNetSearch: evaluator record count mismatch");
+    const std::size_t base = result.history.size();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i].model_id = static_cast<int>(base + i);
+      records[i].generation = generation;
+      result.history.push_back(records[i]);
+    }
+    if (observer_) {
+      observer_(generation,
+                std::span<const EvaluationRecord>(
+                    result.history.data() + base, records.size()));
+    }
+  };
+
+  evaluate(population, 0);
+  // Indices into result.history of the current population.
+  std::vector<std::size_t> pop_indices(config_.population_size);
+  for (std::size_t i = 0; i < pop_indices.size(); ++i) pop_indices[i] = i;
+
+  for (std::size_t gen = 1; gen < config_.generations; ++gen) {
+    // Rank the current population for tournament selection.
+    std::vector<Objectives> pop_obj;
+    pop_obj.reserve(pop_indices.size());
+    for (std::size_t idx : pop_indices)
+      pop_obj.push_back(record_objectives(result.history[idx]));
+    const auto ranked = rank_population(pop_obj);
+
+    auto pick_parent = [&] {
+      const std::size_t a = rng.uniform_index(pop_indices.size());
+      const std::size_t b = rng.uniform_index(pop_indices.size());
+      return pop_indices[tournament_winner(ranked, a, b)];
+    };
+
+    std::vector<Genome> offspring;
+    offspring.reserve(config_.offspring_per_generation);
+    while (offspring.size() < config_.offspring_per_generation) {
+      const Genome& parent_a = result.history[pick_parent()].genome;
+      const Genome& parent_b = result.history[pick_parent()].genome;
+      Genome child =
+          mutate(crossover(parent_a, parent_b, config_.operators, rng),
+                 config_.operators, rng);
+      // Deduplicate: retry mutation, then fall back to a random genome so
+      // every evaluation trains a distinct architecture.
+      bool unique = seen.insert(child.key()).second;
+      for (int attempt = 0; !unique && attempt < 64; ++attempt) {
+        child = mutate(child, config_.operators, rng);
+        unique = seen.insert(child.key()).second;
+      }
+      if (!unique) child = fresh_random();
+      offspring.push_back(std::move(child));
+    }
+
+    const std::size_t base = result.history.size();
+    evaluate(offspring, static_cast<int>(gen));
+
+    // Environmental selection over population + offspring.
+    std::vector<std::size_t> union_indices = pop_indices;
+    for (std::size_t i = 0; i < offspring.size(); ++i)
+      union_indices.push_back(base + i);
+    std::vector<Objectives> union_obj;
+    union_obj.reserve(union_indices.size());
+    for (std::size_t idx : union_indices)
+      union_obj.push_back(record_objectives(result.history[idx]));
+    const auto survivors =
+        environmental_selection(union_obj, config_.population_size);
+    std::vector<std::size_t> next;
+    next.reserve(survivors.size());
+    for (std::size_t s : survivors) next.push_back(union_indices[s]);
+    pop_indices = std::move(next);
+    util::log_info("generation ", gen, " complete: population updated");
+  }
+
+  result.final_population = pop_indices;
+  // Pareto set over every network evaluated in the whole search.
+  std::vector<Objectives> all_obj;
+  all_obj.reserve(result.history.size());
+  for (const auto& r : result.history)
+    all_obj.push_back(record_objectives(r));
+  result.pareto = pareto_front(all_obj);
+  return result;
+}
+
+}  // namespace a4nn::nas

@@ -1,0 +1,75 @@
+// The NSGA-Net generation loop: initialize a random population, evaluate
+// it through an Evaluator, then repeatedly breed offspring via binary
+// tournament + crossover + mutation and apply NSGA-II environmental
+// selection on the union. Objectives: maximize fitness, minimize FLOPs.
+#pragma once
+
+#include <functional>
+
+#include "nas/evaluator.hpp"
+#include "nas/nsga2.hpp"
+#include "nas/operators.hpp"
+#include "nas/search_space.hpp"
+
+namespace a4nn::nas {
+
+/// Table 2 of the paper, plus operator settings.
+struct NsgaNetConfig {
+  std::size_t population_size = 10;          // size of starting population
+  std::size_t offspring_per_generation = 10; // offspring per generation
+  /// Total evaluation rounds including the initial population, so the
+  /// paper's configuration (10) trains 10 + 9*10 = 100 networks.
+  std::size_t generations = 10;
+  std::size_t max_epochs = 25;               // epochs to train (upper bound)
+  SearchSpaceConfig space;                   // 4 nodes/phase by default
+  OperatorConfig operators;
+  std::uint64_t seed = 1234;
+
+  /// Networks the configuration will train in total.
+  std::size_t total_networks() const {
+    return population_size + (generations - 1) * offspring_per_generation;
+  }
+
+  util::Json to_json() const;
+};
+
+struct SearchResult {
+  /// Every network trained during the search, in evaluation order; the
+  /// model_id of each record indexes into this vector.
+  std::vector<EvaluationRecord> history;
+  /// Indices (into history) of the final surviving population.
+  std::vector<std::size_t> final_population;
+  /// Indices (into history) of the Pareto-optimal set over all evaluated
+  /// networks (accuracy maximized, FLOPs minimized).
+  std::vector<std::size_t> pareto;
+
+  std::size_t total_epochs_trained() const;
+  double total_virtual_seconds() const;
+  double total_wall_seconds() const;
+};
+
+class NsgaNetSearch {
+ public:
+  /// The evaluator must outlive the search.
+  NsgaNetSearch(NsgaNetConfig config, Evaluator& evaluator);
+
+  /// Optional observer called after each generation with (generation
+  /// index, records of that generation).
+  using GenerationObserver =
+      std::function<void(int, std::span<const EvaluationRecord>)>;
+  void set_observer(GenerationObserver observer);
+
+  SearchResult run();
+
+  const NsgaNetConfig& config() const { return config_; }
+
+ private:
+  NsgaNetConfig config_;
+  Evaluator* evaluator_;
+  GenerationObserver observer_;
+};
+
+/// Objective-space view of a record: {-accuracy, flops}, both minimized.
+Objectives record_objectives(const EvaluationRecord& r);
+
+}  // namespace a4nn::nas

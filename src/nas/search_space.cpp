@@ -1,0 +1,69 @@
+#include "nas/search_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace a4nn::nas {
+
+util::Json SearchSpaceConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j["phase_count"] = phase_count;
+  j["nodes_per_phase"] = nodes_per_phase;
+  j["stem_channels"] = stem_channels;
+  j["channel_multiplier"] = channel_multiplier;
+  j["classes"] = classes;
+  util::JsonArray shape;
+  for (std::size_t d : input_shape) shape.emplace_back(d);
+  j["input_shape"] = util::Json(std::move(shape));
+  j["searchable_ops"] = searchable_ops;
+  return j;
+}
+
+nn::Model decode_genome(const Genome& genome, const SearchSpaceConfig& config,
+                        util::Rng& rng) {
+  if (genome.phase_count() != config.phase_count)
+    throw std::invalid_argument("decode_genome: phase count mismatch");
+  if (config.input_shape.size() != 3)
+    throw std::invalid_argument("decode_genome: input shape must be CHW");
+
+  auto trunk = std::make_unique<nn::Sequential>();
+  const std::size_t in_channels = config.input_shape[0];
+  std::size_t channels = config.stem_channels;
+  trunk->append(std::make_unique<nn::Conv2d>(in_channels, channels, 3, 1, 1, rng));
+  trunk->append(std::make_unique<nn::BatchNorm2d>(channels));
+  trunk->append(std::make_unique<nn::ReLU>());
+
+  std::size_t spatial = std::min(config.input_shape[1], config.input_shape[2]);
+  for (std::size_t p = 0; p < config.phase_count; ++p) {
+    trunk->append(
+        std::make_unique<nn::PhaseBlock>(genome.phases[p], channels, rng));
+    const bool last = p + 1 == config.phase_count;
+    if (!last && spatial >= 4) {
+      // Downsample and widen between phases.
+      trunk->append(std::make_unique<nn::MaxPool2d>(2));
+      spatial /= 2;
+      const std::size_t next_channels = static_cast<std::size_t>(
+          std::llround(static_cast<double>(channels) *
+                       config.channel_multiplier));
+      trunk->append(
+          std::make_unique<nn::Conv2d>(channels, next_channels, 1, 1, 0, rng));
+      trunk->append(std::make_unique<nn::BatchNorm2d>(next_channels));
+      trunk->append(std::make_unique<nn::ReLU>());
+      channels = next_channels;
+    }
+  }
+  trunk->append(std::make_unique<nn::GlobalAvgPool>());
+  trunk->append(std::make_unique<nn::Linear>(channels, config.classes, rng));
+  return nn::Model(std::move(trunk), config.input_shape);
+}
+
+std::uint64_t genome_flops(const Genome& genome,
+                           const SearchSpaceConfig& config) {
+  util::Rng rng(0);  // weights do not influence FLOPs
+  nn::Model model = decode_genome(genome, config, rng);
+  return model.flops_per_image();
+}
+
+}  // namespace a4nn::nas

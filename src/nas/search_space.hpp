@@ -1,0 +1,42 @@
+// Decode a genome into a trainable model.
+//
+// Architecture template (NSGA-Net macro space):
+//   stem Conv3x3 -> BN -> ReLU
+//   phase 1 (PhaseBlock) -> MaxPool2 -> Conv1x1 channel expansion
+//   phase 2 (PhaseBlock) -> MaxPool2 -> Conv1x1 channel expansion
+//   ...
+//   phase P (PhaseBlock)
+//   GlobalAvgPool -> Linear(classes)
+#pragma once
+
+#include "nas/genome.hpp"
+#include "nn/model.hpp"
+
+namespace a4nn::nas {
+
+struct SearchSpaceConfig {
+  std::size_t phase_count = 3;
+  std::size_t nodes_per_phase = 4;    // Table 2: number of nodes per phase
+  std::size_t stem_channels = 4;
+  double channel_multiplier = 2.0;    // channel growth at each downsample
+  std::size_t classes = 2;
+  tensor::Shape input_shape{1, 16, 16};
+  /// Extended space: each node also chooses its operation (conv3x3,
+  /// sepconv3x3, conv1x1, sepconv5x5) via 2 extra genome bits per node.
+  /// Off by default — the paper's macro space uses conv3x3 everywhere.
+  bool searchable_ops = false;
+
+  util::Json to_json() const;
+};
+
+/// Build a freshly initialized model for `genome`. Weight init is drawn
+/// from `rng` (each candidate NN gets its own stream).
+nn::Model decode_genome(const Genome& genome, const SearchSpaceConfig& config,
+                        util::Rng& rng);
+
+/// FLOPs of the decoded architecture without building trainable state
+/// twice — convenience wrapper used by the NAS objectives.
+std::uint64_t genome_flops(const Genome& genome,
+                           const SearchSpaceConfig& config);
+
+}  // namespace a4nn::nas

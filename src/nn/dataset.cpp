@@ -1,0 +1,91 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace a4nn::nn {
+
+Dataset::Dataset(std::size_t channels, std::size_t height, std::size_t width)
+    : channels_(channels), height_(height), width_(width) {
+  if (channels == 0 || height == 0 || width == 0)
+    throw std::invalid_argument("Dataset: zero-sized image geometry");
+}
+
+void Dataset::add_sample(std::span<const float> image, std::int64_t label) {
+  if (image.size() != image_numel())
+    throw std::invalid_argument("Dataset::add_sample: image size mismatch");
+  if (label < 0)
+    throw std::invalid_argument("Dataset::add_sample: negative label");
+  pixels_.insert(pixels_.end(), image.begin(), image.end());
+  labels_.push_back(label);
+}
+
+std::span<const float> Dataset::image(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::image: index out of range");
+  return {pixels_.data() + i * image_numel(), image_numel()};
+}
+
+std::size_t Dataset::num_classes() const {
+  std::int64_t max_label = -1;
+  for (std::int64_t l : labels_) max_label = std::max(max_label, l);
+  return static_cast<std::size_t>(max_label + 1);
+}
+
+Dataset::Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  Batch batch;
+  batch.images = tensor::Tensor({indices.size(), channels_, height_, width_});
+  batch.labels.reserve(indices.size());
+  const std::size_t numel = image_numel();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const auto img = image(indices[b]);
+    std::copy(img.begin(), img.end(), batch.images.data() + b * numel);
+    batch.labels.push_back(label(indices[b]));
+  }
+  return batch;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double head_fraction,
+                                           util::Rng& rng) const {
+  if (head_fraction <= 0.0 || head_fraction >= 1.0)
+    throw std::invalid_argument("Dataset::split: fraction must be in (0, 1)");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t head_count =
+      static_cast<std::size_t>(head_fraction * static_cast<double>(size()));
+  Dataset head(channels_, height_, width_);
+  Dataset tail(channels_, height_, width_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = i < head_count ? head : tail;
+    dst.add_sample(image(order[i]), label(order[i]));
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+BatchIterator::BatchIterator(std::size_t dataset_size, std::size_t batch_size,
+                             util::Rng& rng, bool shuffle)
+    : batch_size_(batch_size), rng_(&rng), shuffle_(shuffle) {
+  if (batch_size == 0)
+    throw std::invalid_argument("BatchIterator: batch size must be > 0");
+  order_.resize(dataset_size);
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+std::vector<std::size_t> BatchIterator::next() {
+  if (cursor_ >= order_.size()) return {};
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  std::vector<std::size_t> batch(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                 order_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  return batch;
+}
+
+void BatchIterator::reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_->shuffle(order_);
+}
+
+}  // namespace a4nn::nn

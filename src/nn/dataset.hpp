@@ -1,0 +1,72 @@
+// In-memory labeled image dataset with mini-batch iteration. The XFEL
+// simulator produces these; the trainer and the XPSI baseline consume them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace a4nn::nn {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// channels/height/width describe each image; images are appended via
+  /// add_sample in row-major CHW order.
+  Dataset(std::size_t channels, std::size_t height, std::size_t width);
+
+  void add_sample(std::span<const float> image, std::int64_t label);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t image_numel() const { return channels_ * height_ * width_; }
+  tensor::Shape image_shape() const { return {channels_, height_, width_}; }
+
+  std::span<const float> image(std::size_t i) const;
+  std::int64_t label(std::size_t i) const { return labels_.at(i); }
+  std::span<const std::int64_t> labels() const { return labels_; }
+  std::size_t num_classes() const;
+
+  /// Assemble a batch tensor (B x C x H x W) and labels for the given
+  /// sample indices.
+  struct Batch {
+    tensor::Tensor images;
+    std::vector<std::int64_t> labels;
+  };
+  Batch gather(std::span<const std::size_t> indices) const;
+
+  /// Split into (first `head` samples, rest) after an optional shuffle —
+  /// the 80/20 train/test split of the use case.
+  std::pair<Dataset, Dataset> split(double head_fraction, util::Rng& rng) const;
+
+ private:
+  std::size_t channels_ = 0, height_ = 0, width_ = 0;
+  std::vector<float> pixels_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Yields index batches in shuffled order each epoch.
+class BatchIterator {
+ public:
+  BatchIterator(std::size_t dataset_size, std::size_t batch_size,
+                util::Rng& rng, bool shuffle = true);
+
+  /// Next batch of indices, or empty when the epoch is exhausted.
+  std::vector<std::size_t> next();
+  void reset();
+
+ private:
+  std::size_t batch_size_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  util::Rng* rng_;
+  bool shuffle_;
+};
+
+}  // namespace a4nn::nn

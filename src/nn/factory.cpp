@@ -1,0 +1,71 @@
+#include "nn/factory.hpp"
+
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "nn/layers_extra.hpp"
+#include "nn/phase_block.hpp"
+
+namespace a4nn::nn {
+
+LayerPtr make_layer(const util::Json& spec, util::Rng& rng) {
+  const std::string kind = spec.at("kind").as_string();
+  auto dim = [&](const char* key) {
+    return static_cast<std::size_t>(spec.at(key).as_int());
+  };
+  if (kind == "conv2d") {
+    return std::make_unique<Conv2d>(dim("in_channels"), dim("out_channels"),
+                                    dim("kernel"), dim("stride"), dim("pad"),
+                                    rng);
+  }
+  if (kind == "linear") {
+    return std::make_unique<Linear>(dim("in_features"), dim("out_features"),
+                                    rng);
+  }
+  if (kind == "relu") return std::make_unique<ReLU>();
+  if (kind == "identity") return std::make_unique<Identity>();
+  if (kind == "maxpool2d") return std::make_unique<MaxPool2d>(dim("window"));
+  if (kind == "avgpool2d") return std::make_unique<AvgPool2d>(dim("window"));
+  if (kind == "sepconv2d") {
+    return std::make_unique<SeparableConv2d>(dim("in_channels"),
+                                             dim("out_channels"),
+                                             dim("kernel"), dim("pad"), rng);
+  }
+  if (kind == "gap") return std::make_unique<GlobalAvgPool>();
+  if (kind == "flatten") return std::make_unique<Flatten>();
+  if (kind == "dropout") {
+    return std::make_unique<Dropout>(spec.at("rate").as_number(),
+                                     rng.next_u64());
+  }
+  if (kind == "batchnorm2d") {
+    return std::make_unique<BatchNorm2d>(dim("channels"),
+                                         spec.number_or("momentum", 0.1),
+                                         spec.number_or("eps", 1e-5));
+  }
+  if (kind == "phase") {
+    PhaseSpec ps;
+    ps.nodes = dim("nodes");
+    for (const auto& b : spec.at("bits").as_array())
+      ps.bits.push_back(b.as_bool());
+    ps.skip = spec.at("skip").as_bool();
+    if (spec.contains("node_ops")) {
+      for (const auto& op : spec.at("node_ops").as_array())
+        ps.node_ops.push_back(static_cast<NodeOp>(op.as_int()));
+    }
+    return std::make_unique<PhaseBlock>(std::move(ps), dim("channels"), rng);
+  }
+  if (kind == "sequential") return make_sequential(spec, rng);
+  throw std::invalid_argument("make_layer: unknown layer kind '" + kind + "'");
+}
+
+std::unique_ptr<Sequential> make_sequential(const util::Json& spec,
+                                            util::Rng& rng) {
+  if (spec.at("kind").as_string() != "sequential")
+    throw std::invalid_argument("make_sequential: spec is not a sequential");
+  auto seq = std::make_unique<Sequential>();
+  for (const auto& layer_spec : spec.at("layers").as_array())
+    seq->append(make_layer(layer_spec, rng));
+  return seq;
+}
+
+}  // namespace a4nn::nn

@@ -1,0 +1,17 @@
+// Rebuild layers and trunks from their JSON specs — the reload half of the
+// lineage tracker's "load and re-evaluate a model from any training epoch".
+#pragma once
+
+#include "nn/sequential.hpp"
+
+namespace a4nn::nn {
+
+/// Construct a layer from its spec(). Weights are freshly initialized from
+/// `rng`; call load_weights() afterwards to restore a snapshot.
+LayerPtr make_layer(const util::Json& spec, util::Rng& rng);
+
+/// Construct a Sequential trunk from its spec().
+std::unique_ptr<Sequential> make_sequential(const util::Json& spec,
+                                            util::Rng& rng);
+
+}  // namespace a4nn::nn

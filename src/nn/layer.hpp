@@ -1,0 +1,79 @@
+// Layer abstraction for the from-scratch NN library.
+//
+// Every layer owns its parameters and gradient buffers, implements
+// forward/backward, reports FLOPs per image (the second NAS objective),
+// and serializes both its hyperparameter spec and its weights to JSON so
+// the lineage tracker can snapshot a model after every training epoch and
+// reload it from any point — the paper's "re-evaluate from any point in
+// the training phase" requirement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace a4nn::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A mutable view of one parameter tensor and its gradient, handed to the
+/// optimizer. Views stay valid for the lifetime of the owning layer.
+struct ParamSlot {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch (N x ...). `training` toggles dropout /
+  /// batch-norm statistics. Layers cache what backward needs.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Backward pass: gradient w.r.t. this layer's output in, gradient
+  /// w.r.t. its input out. Parameter gradients accumulate into the slots.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Parameter/gradient views for the optimizer. Default: no parameters.
+  virtual std::vector<ParamSlot> params() { return {}; }
+
+  /// Output shape for a given input shape (both without the batch dim).
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Forward FLOPs for one image of the given shape (no batch dim).
+  /// Multiply-accumulate counted as 2 FLOPs, matching common convention.
+  virtual std::uint64_t flops(const Shape& in) const = 0;
+
+  /// Stable type tag used by the factory ("conv2d", "relu", ...).
+  virtual std::string kind() const = 0;
+
+  /// Hyperparameter spec (architecture description, no weights).
+  virtual util::Json spec() const = 0;
+
+  /// Weight snapshot; default for stateless layers is an empty object.
+  virtual util::Json weights() const { return util::Json::object(); }
+
+  /// Restore weights from a snapshot produced by weights().
+  virtual void load_weights(const util::Json& w) { (void)w; }
+
+  /// Zero all parameter gradients.
+  void zero_grad() {
+    for (auto& p : params()) p.grad->zero();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Serialization helpers shared by layer implementations.
+util::Json tensor_to_json(const Tensor& t);
+Tensor tensor_from_json(const util::Json& j);
+
+}  // namespace a4nn::nn

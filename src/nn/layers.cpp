@@ -1,0 +1,635 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace a4nn::nn {
+
+util::Json tensor_to_json(const Tensor& t) {
+  util::Json j = util::Json::object();
+  util::JsonArray shape;
+  for (std::size_t d : t.shape()) shape.emplace_back(d);
+  j["shape"] = util::Json(std::move(shape));
+  util::JsonArray data;
+  data.reserve(t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    data.emplace_back(static_cast<double>(t[i]));
+  j["data"] = util::Json(std::move(data));
+  return j;
+}
+
+Tensor tensor_from_json(const util::Json& j) {
+  Shape shape;
+  for (const auto& d : j.at("shape").as_array())
+    shape.push_back(static_cast<std::size_t>(d.as_int()));
+  const auto& arr = j.at("data").as_array();
+  std::vector<float> data;
+  data.reserve(arr.size());
+  for (const auto& v : arr) data.push_back(static_cast<float>(v.as_number()));
+  return Tensor(std::move(shape), std::move(data));
+}
+
+namespace {
+
+void check_rank4(const Shape& s, const char* who) {
+  if (s.size() != 4)
+    throw std::invalid_argument(std::string(who) + ": expected NCHW input, got " +
+                                tensor::shape_to_string(s));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  if (in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0)
+    throw std::invalid_argument("Conv2d: zero-sized configuration");
+  const std::size_t patch = in_channels * kernel * kernel;
+  weight_ = Tensor::he_init({out_channels, patch}, patch, rng);
+  weight_grad_ = Tensor::zeros({out_channels, patch});
+  bias_ = Tensor::zeros({out_channels});
+  bias_grad_ = Tensor::zeros({out_channels});
+}
+
+tensor::ConvGeometry Conv2d::geometry(const Shape& in) const {
+  tensor::ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = in[in.size() - 2];
+  g.in_w = in[in.size() - 1];
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  check_rank4(x.shape(), "Conv2d");
+  if (x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d: channel mismatch");
+  const std::size_t batch = x.dim(0);
+  const auto g = geometry(x.shape());
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t cols = oh * ow;
+  const std::size_t patch = g.patch_size();
+  const std::size_t image_size = in_channels_ * g.in_h * g.in_w;
+
+  input_cache_ = x;
+  in_shape_cache_ = x.shape();
+  columns_cache_.assign(batch * patch * cols, 0.0f);
+
+  Tensor out({batch, out_channels_, oh, ow});
+  for (std::size_t n = 0; n < batch; ++n) {
+    std::span<float> col(columns_cache_.data() + n * patch * cols,
+                         patch * cols);
+    tensor::im2col(g, {x.data() + n * image_size, image_size}, col);
+    // out_n(oc x cols) = W(oc x patch) * col(patch x cols)
+    tensor::gemm(out_channels_, patch, cols, weight_.data(), col.data(),
+                 out.data() + n * out_channels_ * cols);
+  }
+  // Bias broadcast over spatial cells.
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float* plane = out.data() + (n * out_channels_ + oc) * cols;
+      const float b = bias_[oc];
+      for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Shape& in = in_shape_cache_;
+  const std::size_t batch = in[0];
+  const auto g = geometry(in);
+  const std::size_t cols = g.out_h() * g.out_w();
+  const std::size_t patch = g.patch_size();
+  const std::size_t image_size = in_channels_ * g.in_h * g.in_w;
+
+  Tensor grad_in(in);
+  std::vector<float> grad_cols(patch * cols);
+  std::vector<float> dw(out_channels_ * patch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* gout = grad_out.data() + n * out_channels_ * cols;
+    const float* col = columns_cache_.data() + n * patch * cols;
+    // dW(oc x patch) += gout(oc x cols) * col^T(cols x patch)
+    tensor::gemm_a_bt(out_channels_, cols, patch, gout, col, dw.data());
+    for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
+    // db(oc) += sum over cells
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float acc = 0.0f;
+      const float* row = gout + oc * cols;
+      for (std::size_t i = 0; i < cols; ++i) acc += row[i];
+      bias_grad_[oc] += acc;
+    }
+    // dcol(patch x cols) = W^T(patch x oc) * gout(oc x cols)
+    grad_cols.assign(patch * cols, 0.0f);
+    tensor::gemm_at_b(patch, out_channels_, cols, weight_.data(), gout,
+                      grad_cols.data());
+    tensor::col2im(g, grad_cols,
+                   {grad_in.data() + n * image_size, image_size});
+    grad_cols.assign(patch * cols, 0.0f);
+  }
+  return grad_in;
+}
+
+std::vector<ParamSlot> Conv2d::params() {
+  return {{"weight", &weight_, &weight_grad_},
+          {"bias", &bias_, &bias_grad_}};
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  // Accepts (C,H,W); batch dim is handled by callers.
+  if (in.size() != 3)
+    throw std::invalid_argument("Conv2d::output_shape: expected CHW");
+  tensor::ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = in[1];
+  g.in_w = in[2];
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  return {out_channels_, g.out_h(), g.out_w()};
+}
+
+std::uint64_t Conv2d::flops(const Shape& in) const {
+  const Shape out = output_shape(in);
+  const std::uint64_t cells = out[1] * out[2];
+  const std::uint64_t patch = in_channels_ * kernel_ * kernel_;
+  // 2 FLOPs per MAC plus one add for the bias.
+  return cells * out_channels_ * (2 * patch + 1);
+}
+
+util::Json Conv2d::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["in_channels"] = in_channels_;
+  j["out_channels"] = out_channels_;
+  j["kernel"] = kernel_;
+  j["stride"] = stride_;
+  j["pad"] = pad_;
+  return j;
+}
+
+util::Json Conv2d::weights() const {
+  util::Json j = util::Json::object();
+  j["weight"] = tensor_to_json(weight_);
+  j["bias"] = tensor_to_json(bias_);
+  return j;
+}
+
+void Conv2d::load_weights(const util::Json& w) {
+  Tensor weight = tensor_from_json(w.at("weight"));
+  Tensor bias = tensor_from_json(w.at("bias"));
+  if (!weight.same_shape(weight_) || !bias.same_shape(bias_))
+    throw std::invalid_argument("Conv2d::load_weights: shape mismatch");
+  weight_ = std::move(weight);
+  bias_ = std::move(bias);
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  if (in_features == 0 || out_features == 0)
+    throw std::invalid_argument("Linear: zero-sized configuration");
+  weight_ =
+      Tensor::xavier_init({out_features, in_features}, in_features,
+                          out_features, rng);
+  weight_grad_ = Tensor::zeros({out_features, in_features});
+  bias_ = Tensor::zeros({out_features});
+  bias_grad_ = Tensor::zeros({out_features});
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear: expected (N x " +
+                                std::to_string(in_features_) + ") input, got " +
+                                tensor::shape_to_string(x.shape()));
+  input_cache_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor out({batch, out_features_});
+  // out(N x out) = x(N x in) * W^T(in x out)
+  tensor::gemm_a_bt(batch, in_features_, out_features_, x.data(),
+                    weight_.data(), out.data());
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* row = out.data() + n * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t batch = input_cache_.dim(0);
+  // dW(out x in) += gout^T(out x N) * x(N x in)
+  std::vector<float> dw(out_features_ * in_features_, 0.0f);
+  tensor::gemm_at_b(out_features_, batch, in_features_, grad_out.data(),
+                    input_cache_.data(), dw.data());
+  for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = grad_out.data() + n * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) bias_grad_[j] += row[j];
+  }
+  // dx(N x in) = gout(N x out) * W(out x in)
+  Tensor grad_in({batch, in_features_});
+  tensor::gemm(batch, out_features_, in_features_, grad_out.data(),
+               weight_.data(), grad_in.data());
+  return grad_in;
+}
+
+std::vector<ParamSlot> Linear::params() {
+  return {{"weight", &weight_, &weight_grad_},
+          {"bias", &bias_, &bias_grad_}};
+}
+
+Shape Linear::output_shape(const Shape& in) const {
+  if (in.size() != 1 || in[0] != in_features_)
+    throw std::invalid_argument("Linear::output_shape: feature mismatch");
+  return {out_features_};
+}
+
+std::uint64_t Linear::flops(const Shape&) const {
+  return static_cast<std::uint64_t>(out_features_) * (2 * in_features_ + 1);
+}
+
+util::Json Linear::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["in_features"] = in_features_;
+  j["out_features"] = out_features_;
+  return j;
+}
+
+util::Json Linear::weights() const {
+  util::Json j = util::Json::object();
+  j["weight"] = tensor_to_json(weight_);
+  j["bias"] = tensor_to_json(bias_);
+  return j;
+}
+
+void Linear::load_weights(const util::Json& w) {
+  Tensor weight = tensor_from_json(w.at("weight"));
+  Tensor bias = tensor_from_json(w.at("bias"));
+  if (!weight.same_shape(weight_) || !bias.same_shape(bias_))
+    throw std::invalid_argument("Linear::load_weights: shape mismatch");
+  weight_ = std::move(weight);
+  bias_ = std::move(bias);
+}
+
+// ---------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  input_cache_ = x;
+  Tensor out(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[i] = input_cache_[i] > 0.0f ? grad_out[i] : 0.0f;
+  return grad_in;
+}
+
+std::uint64_t ReLU::flops(const Shape& in) const {
+  return tensor::shape_numel(in);
+}
+
+util::Json ReLU::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  return j;
+}
+
+// ---------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MaxPool2d: window must be > 0");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  check_rank4(x.shape(), "MaxPool2d");
+  const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (h < window_ || w < window_)
+    throw std::invalid_argument("MaxPool2d: input smaller than window");
+  const std::size_t oh = h / window_, ow = w / window_;
+  in_shape_cache_ = x.shape();
+  argmax_cache_.assign(batch * ch * oh * ow, 0);
+  Tensor out({batch, ch, oh, ow});
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (n * ch + c) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = plane[oy * window_ * w + ox * window_];
+          std::size_t best_idx = oy * window_ * w + ox * window_;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              const std::size_t idx =
+                  (oy * window_ + dy) * w + ox * window_ + dx;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_cache_[oi] = (n * ch + c) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_cache_);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[argmax_cache_[i]] += grad_out[i];
+  return grad_in;
+}
+
+Shape MaxPool2d::output_shape(const Shape& in) const {
+  if (in.size() != 3)
+    throw std::invalid_argument("MaxPool2d::output_shape: expected CHW");
+  return {in[0], in[1] / window_, in[2] / window_};
+}
+
+std::uint64_t MaxPool2d::flops(const Shape& in) const {
+  // One comparison per window cell.
+  return tensor::shape_numel(in);
+}
+
+util::Json MaxPool2d::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["window"] = window_;
+  return j;
+}
+
+// ---------------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  check_rank4(x.shape(), "GlobalAvgPool");
+  const std::size_t batch = x.dim(0), ch = x.dim(1), hw = x.dim(2) * x.dim(3);
+  in_shape_cache_ = x.shape();
+  Tensor out({batch, ch});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (n * ch + c) * hw;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      out[n * ch + c] = acc / static_cast<float>(hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::size_t batch = in_shape_cache_[0], ch = in_shape_cache_[1];
+  const std::size_t hw = in_shape_cache_[2] * in_shape_cache_[3];
+  Tensor grad_in(in_shape_cache_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float g = grad_out[n * ch + c] / static_cast<float>(hw);
+      float* plane = grad_in.data() + (n * ch + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& in) const {
+  if (in.size() != 3)
+    throw std::invalid_argument("GlobalAvgPool::output_shape: expected CHW");
+  return {in[0]};
+}
+
+std::uint64_t GlobalAvgPool::flops(const Shape& in) const {
+  return tensor::shape_numel(in);
+}
+
+util::Json GlobalAvgPool::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  return j;
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  in_shape_cache_ = x.shape();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_cache_);
+}
+
+Shape Flatten::output_shape(const Shape& in) const {
+  return {tensor::shape_numel(in)};
+}
+
+util::Json Flatten::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  return j;
+}
+
+// ---------------------------------------------------------------- Dropout
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0)
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_cache_ = Tensor();
+    return x;
+  }
+  const float keep = static_cast<float>(1.0 - rate_);
+  mask_cache_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float m = rng_.bernoulli(1.0 - rate_) ? 1.0f / keep : 0.0f;
+    mask_cache_[i] = m;
+    out[i] = x[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_cache_.numel() == 0) return grad_out;
+  Tensor grad_in(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[i] = grad_out[i] * mask_cache_[i];
+  return grad_in;
+}
+
+std::uint64_t Dropout::flops(const Shape& in) const {
+  return tensor::shape_numel(in);
+}
+
+util::Json Dropout::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["rate"] = rate_;
+  return j;
+}
+
+// ---------------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  if (channels == 0) throw std::invalid_argument("BatchNorm2d: zero channels");
+  gamma_ = Tensor::full({channels}, 1.0f);
+  gamma_grad_ = Tensor::zeros({channels});
+  beta_ = Tensor::zeros({channels});
+  beta_grad_ = Tensor::zeros({channels});
+  running_mean_ = Tensor::zeros({channels});
+  running_var_ = Tensor::full({channels}, 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  check_rank4(x.shape(), "BatchNorm2d");
+  if (x.dim(1) != channels_)
+    throw std::invalid_argument("BatchNorm2d: channel mismatch");
+  const std::size_t batch = x.dim(0), hw = x.dim(2) * x.dim(3);
+  const std::size_t per_channel = batch * hw;
+  in_shape_cache_ = x.shape();
+  batch_mean_.assign(channels_, 0.0);
+  batch_inv_std_.assign(channels_, 0.0);
+  Tensor out(x.shape());
+  xhat_cache_ = Tensor(x.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean_c, var_c;
+    if (training) {
+      double acc = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* plane = x.data() + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      }
+      mean_c = acc / static_cast<double>(per_channel);
+      double vacc = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* plane = x.data() + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          const double d = plane[i] - mean_c;
+          vacc += d * d;
+        }
+      }
+      var_c = vacc / static_cast<double>(per_channel);
+      running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] +
+                                            momentum_ * mean_c);
+      running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
+                                           momentum_ * var_c);
+    } else {
+      mean_c = running_mean_[c];
+      var_c = running_var_[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var_c + eps_);
+    batch_mean_[c] = mean_c;
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_[c], b = beta_[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* in_plane = x.data() + (n * channels_ + c) * hw;
+      float* xhat_plane = xhat_cache_.data() + (n * channels_ + c) * hw;
+      float* out_plane = out.data() + (n * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float xhat =
+            static_cast<float>((in_plane[i] - mean_c) * inv_std);
+        xhat_plane[i] = xhat;
+        out_plane[i] = g * xhat + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const std::size_t batch = in_shape_cache_[0];
+  const std::size_t hw = in_shape_cache_[2] * in_shape_cache_[3];
+  const double m = static_cast<double>(batch * hw);
+  Tensor grad_in(in_shape_cache_);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Standard batch-norm backward: accumulate the two reduction terms,
+    // then distribute.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* dy = grad_out.data() + (n * channels_ + c) * hw;
+      const float* xh = xhat_cache_.data() + (n * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dy);
+    const double g = gamma_[c];
+    const double inv_std = batch_inv_std_[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* dy = grad_out.data() + (n * channels_ + c) * hw;
+      const float* xh = xhat_cache_.data() + (n * channels_ + c) * hw;
+      float* dx = grad_in.data() + (n * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dx[i] = static_cast<float>(
+            g * inv_std *
+            (dy[i] - sum_dy / m - xh[i] * sum_dy_xhat / m));
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamSlot> BatchNorm2d::params() {
+  return {{"gamma", &gamma_, &gamma_grad_}, {"beta", &beta_, &beta_grad_}};
+}
+
+std::uint64_t BatchNorm2d::flops(const Shape& in) const {
+  // Two passes over the data plus normalization: ~4 FLOPs per element.
+  return 4 * tensor::shape_numel(in);
+}
+
+util::Json BatchNorm2d::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["channels"] = channels_;
+  j["momentum"] = momentum_;
+  j["eps"] = eps_;
+  return j;
+}
+
+util::Json BatchNorm2d::weights() const {
+  util::Json j = util::Json::object();
+  j["gamma"] = tensor_to_json(gamma_);
+  j["beta"] = tensor_to_json(beta_);
+  j["running_mean"] = tensor_to_json(running_mean_);
+  j["running_var"] = tensor_to_json(running_var_);
+  return j;
+}
+
+void BatchNorm2d::load_weights(const util::Json& w) {
+  gamma_ = tensor_from_json(w.at("gamma"));
+  beta_ = tensor_from_json(w.at("beta"));
+  running_mean_ = tensor_from_json(w.at("running_mean"));
+  running_var_ = tensor_from_json(w.at("running_var"));
+  if (gamma_.numel() != channels_)
+    throw std::invalid_argument("BatchNorm2d::load_weights: shape mismatch");
+}
+
+}  // namespace a4nn::nn

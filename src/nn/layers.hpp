@@ -1,0 +1,170 @@
+// Concrete layers: Conv2d (im2col + GEMM), Linear, ReLU, MaxPool2d,
+// GlobalAvgPool, Flatten, Dropout, and BatchNorm2d.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace a4nn::nn {
+
+/// 2-d convolution with square kernels, implemented as im2col + GEMM.
+/// Weight layout: (out_channels x in_channels*k*k); bias per out channel.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamSlot> params() override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "conv2d"; }
+  util::Json spec() const override;
+  util::Json weights() const override;
+  void load_weights(const util::Json& w) override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  tensor::ConvGeometry geometry(const Shape& in) const;
+
+  std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  Tensor weight_, weight_grad_;
+  Tensor bias_, bias_grad_;
+  // Cached for backward.
+  Tensor input_cache_;
+  std::vector<float> columns_cache_;  // im2col per batch image, concatenated
+  Shape in_shape_cache_;
+};
+
+/// Fully connected layer on flattened input (N x features).
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamSlot> params() override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "linear"; }
+  util::Json spec() const override;
+  util::Json weights() const override;
+  void load_weights(const util::Json& w) override;
+
+ private:
+  std::size_t in_features_, out_features_;
+  Tensor weight_, weight_grad_;  // (out x in)
+  Tensor bias_, bias_grad_;
+  Tensor input_cache_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "relu"; }
+  util::Json spec() const override;
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Max pooling with square window; window == stride (non-overlapping).
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "maxpool2d"; }
+  util::Json spec() const override;
+
+ private:
+  std::size_t window_;
+  Shape in_shape_cache_;
+  std::vector<std::size_t> argmax_cache_;  // flat input index per output cell
+};
+
+/// Collapse each channel plane to its mean: (N,C,H,W) -> (N,C).
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "gap"; }
+  util::Json spec() const override;
+
+ private:
+  Shape in_shape_cache_;
+};
+
+/// (N, C, H, W) -> (N, C*H*W).
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape&) const override { return 0; }
+  std::string kind() const override { return "flatten"; }
+  util::Json spec() const override;
+
+ private:
+  Shape in_shape_cache_;
+};
+
+/// Inverted dropout; identity at evaluation time.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, std::uint64_t seed);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "dropout"; }
+  util::Json spec() const override;
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Tensor mask_cache_;
+};
+
+/// Per-channel batch normalization over (N, H, W) with learnable affine
+/// parameters and running statistics for evaluation.
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1,
+                       double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamSlot> params() override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "batchnorm2d"; }
+  util::Json spec() const override;
+  util::Json weights() const override;
+  void load_weights(const util::Json& w) override;
+
+ private:
+  std::size_t channels_;
+  double momentum_, eps_;
+  Tensor gamma_, gamma_grad_;
+  Tensor beta_, beta_grad_;
+  Tensor running_mean_, running_var_;
+  // Backward caches.
+  Tensor xhat_cache_;
+  std::vector<double> batch_mean_, batch_inv_std_;
+  Shape in_shape_cache_;
+};
+
+}  // namespace a4nn::nn

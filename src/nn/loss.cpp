@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace a4nn::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int64_t> labels) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("softmax_cross_entropy: logits must be 2-d");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = tensor::Tensor(logits.shape());
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    const std::int64_t label = labels[n];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+
+    float max_logit = row[0];
+    for (std::size_t c = 1; c < classes; ++c)
+      max_logit = std::max(max_logit, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      denom += std::exp(static_cast<double>(row[c] - max_logit));
+    const double log_denom = std::log(denom);
+    total += log_denom - (row[static_cast<std::size_t>(label)] - max_logit);
+
+    float* grad_row = result.grad.data() + n * classes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(row[c] - max_logit)) / denom;
+      grad_row[c] = static_cast<float>(
+          (p - (c == static_cast<std::size_t>(label) ? 1.0 : 0.0)) /
+          static_cast<double>(batch));
+    }
+    if (tensor::argmax({row, classes}) == static_cast<std::size_t>(label))
+      ++result.correct;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+tensor::Tensor softmax(const tensor::Tensor& logits) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("softmax: logits must be 2-d");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  tensor::Tensor out(logits.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* out_row = out.data() + n * classes;
+    float max_logit = row[0];
+    for (std::size_t c = 1; c < classes; ++c)
+      max_logit = std::max(max_logit, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      denom += std::exp(static_cast<double>(row[c] - max_logit));
+    for (std::size_t c = 0; c < classes; ++c)
+      out_row[c] = static_cast<float>(
+          std::exp(static_cast<double>(row[c] - max_logit)) / denom);
+  }
+  return out;
+}
+
+}  // namespace a4nn::nn

@@ -1,0 +1,26 @@
+// Softmax cross-entropy loss with integer class labels, plus the accuracy
+// metric that serves as the NAS fitness measurement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace a4nn::nn {
+
+struct LossResult {
+  double loss = 0.0;          // mean cross-entropy over the batch
+  tensor::Tensor grad;        // d(mean loss)/d(logits), same shape as logits
+  std::size_t correct = 0;    // argmax(logits) == label count
+};
+
+/// logits: (N x classes); labels: N entries in [0, classes).
+/// Numerically stable log-sum-exp formulation.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int64_t> labels);
+
+/// Softmax probabilities (row-wise), for inspection / the analyzer.
+tensor::Tensor softmax(const tensor::Tensor& logits);
+
+}  // namespace a4nn::nn

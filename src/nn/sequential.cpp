@@ -1,0 +1,77 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace a4nn::nn {
+
+void Sequential::append(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::append: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamSlot> Sequential::params() {
+  std::vector<ParamSlot> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (auto& p : layers_[i]->params()) {
+      p.name = "layer" + std::to_string(i) + "." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Shape Sequential::output_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+std::uint64_t Sequential::flops(const Shape& in) const {
+  std::uint64_t total = 0;
+  Shape s = in;
+  for (const auto& layer : layers_) {
+    total += layer->flops(s);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+util::Json Sequential::spec() const {
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  util::JsonArray layers;
+  for (const auto& layer : layers_) layers.push_back(layer->spec());
+  j["layers"] = util::Json(std::move(layers));
+  return j;
+}
+
+util::Json Sequential::weights() const {
+  util::Json j = util::Json::object();
+  util::JsonArray layers;
+  for (const auto& layer : layers_) layers.push_back(layer->weights());
+  j["layers"] = util::Json(std::move(layers));
+  return j;
+}
+
+void Sequential::load_weights(const util::Json& w) {
+  const auto& arr = w.at("layers").as_array();
+  if (arr.size() != layers_.size())
+    throw std::invalid_argument("Sequential::load_weights: layer count mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->load_weights(arr[i]);
+}
+
+}  // namespace a4nn::nn

@@ -1,0 +1,31 @@
+// Ordered container of layers with pass-through forward/backward.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace a4nn::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void append(LayerPtr layer);
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamSlot> params() override;
+  Shape output_shape(const Shape& in) const override;
+  std::uint64_t flops(const Shape& in) const override;
+  std::string kind() const override { return "sequential"; }
+  util::Json spec() const override;
+  util::Json weights() const override;
+  void load_weights(const util::Json& w) override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace a4nn::nn

@@ -1,0 +1,143 @@
+#include "orchestrator/training_loop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace a4nn::orchestrator {
+
+const char* lr_schedule_name(LrSchedule schedule) {
+  switch (schedule) {
+    case LrSchedule::kConstant: return "constant";
+    case LrSchedule::kCosine: return "cosine";
+    case LrSchedule::kStep: return "step";
+  }
+  return "?";
+}
+
+double TrainerConfig::lr_at(std::size_t epoch) const {
+  if (epoch == 0) throw std::invalid_argument("lr_at: epochs are 1-based");
+  switch (lr_schedule) {
+    case LrSchedule::kConstant: return learning_rate;
+    case LrSchedule::kCosine: {
+      const double progress =
+          static_cast<double>(epoch - 1) /
+          static_cast<double>(std::max<std::size_t>(1, max_epochs - 1));
+      return min_learning_rate +
+             0.5 * (learning_rate - min_learning_rate) *
+                 (1.0 + std::cos(M_PI * progress));
+    }
+    case LrSchedule::kStep: {
+      double lr = learning_rate;
+      for (std::size_t e = step_every; e < epoch; e += step_every) lr *= 0.5;
+      return std::max(lr, min_learning_rate);
+    }
+  }
+  return learning_rate;
+}
+
+util::Json TrainerConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j["max_epochs"] = max_epochs;
+  j["batch_size"] = batch_size;
+  j["learning_rate"] = learning_rate;
+  j["momentum"] = momentum;
+  j["weight_decay"] = weight_decay;
+  j["lr_schedule"] = lr_schedule_name(lr_schedule);
+  j["use_prediction_engine"] = use_prediction_engine;
+  j["engine"] = engine.to_json();
+  return j;
+}
+
+TrainingLoop::TrainingLoop(const nn::Dataset& train,
+                           const nn::Dataset& validation, TrainerConfig config,
+                           lineage::LineageTracker* lineage)
+    : train_(&train),
+      validation_(&validation),
+      config_(std::move(config)),
+      lineage_(lineage) {
+  if (train.size() == 0 || validation.size() == 0)
+    throw std::invalid_argument("TrainingLoop: empty dataset");
+  if (config_.max_epochs == 0)
+    throw std::invalid_argument("TrainingLoop: max_epochs must be >= 1");
+}
+
+nas::EvaluationRecord TrainingLoop::train_genome(
+    const nas::Genome& genome, const nas::SearchSpaceConfig& space,
+    int model_id, std::uint64_t seed) const {
+  util::Rng init_rng(seed);
+  nn::Model model = nas::decode_genome(genome, space, init_rng);
+  nas::EvaluationRecord record = train_model(model, model_id, seed ^ 0x5bd1e995);
+  record.genome = genome;
+  return record;
+}
+
+nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
+                                                std::uint64_t seed) const {
+  util::Rng rng(seed);
+  nn::Sgd opt(config_.learning_rate, config_.momentum, config_.weight_decay);
+  // Engine construction is part of the loop (Algorithm 1 line 1); its cost
+  // is measured into the overhead the paper reports in §4.3.1.
+  util::Timer wall;
+  util::Timer engine_timer;
+  double engine_overhead = 0.0;
+  std::optional<penguin::PredictionEngine> engine;
+  if (config_.use_prediction_engine) {
+    engine_timer.reset();
+    engine.emplace(config_.engine);
+    engine_overhead += engine_timer.seconds();
+  }
+
+  nas::EvaluationRecord record;
+  record.model_id = model_id;
+  record.flops = model.flops_per_image();
+  record.parameters = model.parameter_count();
+  record.max_epochs = config_.max_epochs;
+  const double epoch_virtual = config_.cost.epoch_seconds(record.flops);
+
+  bool converged = false;
+  for (std::size_t epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    opt.set_learning_rate(config_.lr_at(epoch));
+    const nn::EpochMetrics train_metrics =
+        model.train_epoch(*train_, config_.batch_size, opt, rng);
+    const nn::EpochMetrics val_metrics = model.evaluate(*validation_);
+
+    record.train_accuracy_history.push_back(train_metrics.accuracy);
+    record.train_loss_history.push_back(train_metrics.loss);
+    record.fitness_history.push_back(val_metrics.accuracy);  // H <- h_e
+    record.epoch_virtual_seconds.push_back(epoch_virtual);
+    record.epochs_trained = epoch;
+
+    if (lineage_ && lineage_->wants_snapshot(epoch))
+      lineage_->record_model_epoch(model_id, epoch, model);
+
+    if (engine) {
+      engine_timer.reset();
+      // Predictor step: p_e from the fitness history.
+      const std::optional<double> p_e =
+          engine->predict(record.fitness_history);
+      if (p_e) record.prediction_history.push_back(*p_e);  // P <- p_e
+      // Analyzer step: has P converged to a stable value?
+      converged = engine->converged(record.prediction_history);
+      engine_overhead += engine_timer.seconds();
+      if (converged) break;
+    }
+  }
+
+  record.early_terminated =
+      converged && record.epochs_trained < config_.max_epochs;
+  // Algorithm 1 lines 17-21: converged -> P[-1], else the last measured
+  // fitness h_e.
+  record.measured_fitness = record.fitness_history.back();
+  record.fitness = converged ? record.prediction_history.back()
+                             : record.measured_fitness;
+  record.engine_overhead_seconds = engine_overhead;
+  record.wall_seconds = wall.seconds();
+  record.virtual_seconds =
+      epoch_virtual * static_cast<double>(record.epochs_trained);
+
+  return record;
+}
+
+}  // namespace a4nn::orchestrator

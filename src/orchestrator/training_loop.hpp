@@ -1,0 +1,76 @@
+// Algorithm 1 of the paper: the training loop with the prediction engine
+// plugged in. After every epoch the orchestrator validates the model,
+// appends the fitness to the history H, asks the engine for a prediction
+// (appended to P), and asks the analyzer whether P has converged; on
+// convergence training stops early and P.back() becomes the network's
+// fitness, otherwise the final measured fitness is used.
+#pragma once
+
+#include <optional>
+
+#include "lineage/tracker.hpp"
+#include "nas/evaluator.hpp"
+#include "nas/search_space.hpp"
+#include "penguin/engine.hpp"
+#include "sched/cost_model.hpp"
+
+namespace a4nn::orchestrator {
+
+/// Learning-rate schedule over the epoch budget. NSGA-Net trains its
+/// candidates with cosine annealing; constant is the simplest baseline.
+enum class LrSchedule { kConstant, kCosine, kStep };
+const char* lr_schedule_name(LrSchedule schedule);
+
+struct TrainerConfig {
+  std::size_t max_epochs = 25;   // Table 2: number of epochs to train
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+  /// Cosine floor / step multiplier target.
+  double min_learning_rate = 5e-3;
+  /// kStep: halve the rate every this many epochs.
+  std::size_t step_every = 10;
+
+  /// Plug in the prediction engine (A4NN) or train the fixed epoch budget
+  /// (standalone NSGA-Net).
+  bool use_prediction_engine = true;
+  penguin::EngineConfig engine = penguin::default_engine_config();
+
+  /// Virtual-time accounting for the simulated devices.
+  sched::DeviceCostModel cost;
+
+  util::Json to_json() const;
+
+  /// Learning rate for 1-based `epoch` under the configured schedule.
+  double lr_at(std::size_t epoch) const;
+};
+
+class TrainingLoop {
+ public:
+  /// Datasets must outlive the loop. `lineage` may be null (no tracking).
+  TrainingLoop(const nn::Dataset& train, const nn::Dataset& validation,
+               TrainerConfig config, lineage::LineageTracker* lineage = nullptr);
+
+  /// Train one genome (Algorithm 1). `model_id` labels lineage artifacts;
+  /// `seed` controls weight init and batch order.
+  nas::EvaluationRecord train_genome(const nas::Genome& genome,
+                                     const nas::SearchSpaceConfig& space,
+                                     int model_id, std::uint64_t seed) const;
+
+  /// Train an existing model the same way (used by tests and the
+  /// prediction-trace bench, which needs a fixed architecture).
+  nas::EvaluationRecord train_model(nn::Model& model, int model_id,
+                                    std::uint64_t seed) const;
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  const nn::Dataset* train_;
+  const nn::Dataset* validation_;
+  TrainerConfig config_;
+  lineage::LineageTracker* lineage_;
+};
+
+}  // namespace a4nn::orchestrator

@@ -1,0 +1,69 @@
+#include "orchestrator/workflow_evaluator.hpp"
+
+namespace a4nn::orchestrator {
+
+WorkflowEvaluator::WorkflowEvaluator(const TrainingLoop& loop,
+                                     sched::ResourceManager& cluster,
+                                     nas::SearchSpaceConfig space,
+                                     std::uint64_t seed,
+                                     lineage::LineageTracker* lineage)
+    : loop_(&loop),
+      cluster_(&cluster),
+      space_(std::move(space)),
+      seed_(seed),
+      lineage_(lineage) {}
+
+void WorkflowEvaluator::preload_records(
+    std::vector<nas::EvaluationRecord> records) {
+  for (auto& r : records) resume_pool_[r.model_id] = std::move(r);
+}
+
+std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
+    std::span<const nas::Genome> genomes, int generation) {
+  std::vector<nas::EvaluationRecord> records(genomes.size());
+
+  // One job per genome. Each job owns a slot in `records`; jobs never touch
+  // shared state, so they can run on any pool worker.
+  std::vector<sched::Job> jobs;
+  jobs.reserve(genomes.size());
+  const int base_id = next_model_id_;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    const nas::Genome genome = genomes[i];
+    const int model_id = base_id + static_cast<int>(i);
+    nas::EvaluationRecord* slot = &records[i];
+
+    // Resume hit: identical model id and genome from a previous run.
+    const auto cached = resume_pool_.find(model_id);
+    if (cached != resume_pool_.end() &&
+        cached->second.genome.key() == genome.key()) {
+      *slot = cached->second;
+      ++resumed_;
+      jobs.push_back(sched::Job{[slot] { return slot->virtual_seconds; }});
+      continue;
+    }
+
+    // Per-model deterministic seed independent of execution order.
+    const std::uint64_t model_seed =
+        seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(model_id + 1));
+    jobs.push_back(sched::Job{[this, genome, model_id, model_seed, slot] {
+      *slot = loop_->train_genome(genome, space_, model_id, model_seed);
+      return slot->virtual_seconds;
+    }});
+  }
+  next_model_id_ += static_cast<int>(genomes.size());
+
+  const sched::GenerationSchedule schedule =
+      cluster_->run_generation(std::move(jobs));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].generation = generation;
+    records[i].device_id = schedule.placements[i].device_id;
+  }
+  schedules_.push_back(schedule);
+
+  if (lineage_) {
+    for (const auto& record : records) lineage_->record_evaluation(record);
+  }
+  return records;
+}
+
+}  // namespace a4nn::orchestrator

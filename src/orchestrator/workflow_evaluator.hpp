@@ -1,0 +1,54 @@
+// The evaluator that the A4NN workflow (and the standalone baseline) plug
+// into NSGA-Net: for each generation it builds one training job per
+// genome, hands the batch to the resource manager (FIFO over simulated
+// GPUs), stamps placement/timing into the records, and forwards every
+// record trail to the lineage tracker.
+#pragma once
+
+#include <map>
+
+#include "orchestrator/training_loop.hpp"
+#include "sched/resource_manager.hpp"
+
+namespace a4nn::orchestrator {
+
+class WorkflowEvaluator : public nas::Evaluator {
+ public:
+  /// All referenced objects must outlive the evaluator. `lineage` may be
+  /// null. `space` defines genome decoding; `seed` derives per-model
+  /// weight-init streams.
+  WorkflowEvaluator(const TrainingLoop& loop, sched::ResourceManager& cluster,
+                    nas::SearchSpaceConfig space, std::uint64_t seed,
+                    lineage::LineageTracker* lineage = nullptr);
+
+  /// Resume support: record trails from a previous (possibly interrupted)
+  /// run of the *same* configuration. When the search re-requests a
+  /// model whose id AND genome match a preloaded record, the stored result
+  /// is reused instead of retraining — deterministic seeding guarantees
+  /// the replay asks for the same genomes in the same order.
+  void preload_records(std::vector<nas::EvaluationRecord> records);
+
+  /// How many evaluations were satisfied from preloaded records.
+  std::size_t resumed_count() const { return resumed_; }
+
+  std::vector<nas::EvaluationRecord> evaluate_generation(
+      std::span<const nas::Genome> genomes, int generation) override;
+
+  /// Generation schedules observed so far (for the scalability analyses).
+  const std::vector<sched::GenerationSchedule>& schedules() const {
+    return schedules_;
+  }
+
+ private:
+  const TrainingLoop* loop_;
+  sched::ResourceManager* cluster_;
+  nas::SearchSpaceConfig space_;
+  std::uint64_t seed_;
+  lineage::LineageTracker* lineage_;
+  int next_model_id_ = 0;
+  std::vector<sched::GenerationSchedule> schedules_;
+  std::map<int, nas::EvaluationRecord> resume_pool_;
+  std::size_t resumed_ = 0;
+};
+
+}  // namespace a4nn::orchestrator

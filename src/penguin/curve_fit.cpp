@@ -1,0 +1,145 @@
+#include "penguin/curve_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace a4nn::penguin {
+
+bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n) {
+  if (a.size() != n * n || b.size() != n)
+    throw std::invalid_argument("solve_dense: dimension mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col]))
+        pivot = row;
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j)
+        a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t j = row + 1; j < n; ++j) acc -= a[row * n + j] * b[j];
+    b[row] = acc / a[row * n + row];
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<double> residual_weights(std::span<const double> xs,
+                                     const FitOptions& options) {
+  std::vector<double> w(xs.size(), 1.0);
+  if (options.epoch_weight_power <= 0.0 || xs.empty()) return w;
+  double x_max = xs[0];
+  for (double x : xs) x_max = std::max(x_max, x);
+  if (x_max <= 0.0) return w;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    w[i] = std::pow(xs[i] / x_max, options.epoch_weight_power);
+  return w;
+}
+
+double sse_of(const ParametricFunction& f, std::span<const double> params,
+              std::span<const double> xs, std::span<const double> ys,
+              std::span<const double> weights) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = f.eval(params, xs[i]) - ys[i];
+    acc += weights[i] * r * r;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::optional<FitResult> fit_curve(const ParametricFunction& f,
+                                   std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   const FitOptions& options) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_curve: xs/ys size mismatch");
+  const std::size_t np = f.param_count();
+  if (xs.size() < np) return std::nullopt;  // under-determined
+
+  auto guess = f.initial_guess(xs, ys);
+  if (!guess || !f.valid_params(*guess)) return std::nullopt;
+
+  const std::vector<double> weights = residual_weights(xs, options);
+  std::vector<double> params = *guess;
+  double sse = sse_of(f, params, xs, ys, weights);
+  if (!std::isfinite(sse)) return std::nullopt;
+  double lambda = options.initial_lambda;
+
+  std::vector<double> jtj(np * np), jtr(np), grad(np);
+  std::vector<double> lhs, rhs, candidate(np);
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Assemble normal equations J^T J and J^T r.
+    std::fill(jtj.begin(), jtj.end(), 0.0);
+    std::fill(jtr.begin(), jtr.end(), 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      f.gradient(params, xs[i], grad);
+      const double r = f.eval(params, xs[i]) - ys[i];
+      const double w = weights[i];
+      for (std::size_t a = 0; a < np; ++a) {
+        jtr[a] += w * grad[a] * r;
+        for (std::size_t b = 0; b < np; ++b)
+          jtj[a * np + b] += w * grad[a] * grad[b];
+      }
+    }
+
+    bool improved = false;
+    // Try increasing damping until a step improves the SSE.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      lhs = jtj;
+      for (std::size_t a = 0; a < np; ++a)
+        lhs[a * np + a] += lambda * (jtj[a * np + a] + 1e-12);
+      rhs = jtr;
+      for (double& v : rhs) v = -v;
+      if (!solve_dense(lhs, rhs, np)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      for (std::size_t a = 0; a < np; ++a) candidate[a] = params[a] + rhs[a];
+      if (!f.valid_params(candidate)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      const double new_sse = sse_of(f, candidate, xs, ys, weights);
+      if (std::isfinite(new_sse) && new_sse < sse) {
+        const double rel = (sse - new_sse) / std::max(sse, 1e-12);
+        params = candidate;
+        sse = new_sse;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        improved = true;
+        if (rel < options.tolerance) iter = options.max_iterations;  // done
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!improved) break;  // stuck: accept current parameters
+  }
+
+  if (!f.valid_params(params)) return std::nullopt;
+  FitResult result;
+  result.params = std::move(params);
+  result.sse = sse;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,46 @@
+// Nonlinear least-squares curve fitting (Levenberg-Marquardt) for the
+// parametric fitness families. Small dense problems: 3 parameters, tens of
+// data points, so the normal equations are solved directly.
+#pragma once
+
+#include <optional>
+
+#include "penguin/parametric.hpp"
+
+namespace a4nn::penguin {
+
+struct FitOptions {
+  std::size_t max_iterations = 100;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.3;
+  /// Converged when the relative SSE improvement drops below this.
+  double tolerance = 1e-10;
+  /// Weight residual i by (x_i / x_max)^epoch_weight_power. Learning
+  /// curves are heteroscedastic — early epochs are noisy and far from the
+  /// plateau — so up-weighting later epochs sharpens the plateau estimate
+  /// the engine extrapolates. 0 disables weighting.
+  double epoch_weight_power = 1.0;
+};
+
+struct FitResult {
+  std::vector<double> params;
+  double sse = 0.0;         // final sum of squared residuals
+  std::size_t iterations = 0;
+};
+
+/// Fit `f` to (xs, ys) starting from the family's initial_guess. Returns
+/// nullopt when no valid guess exists or the optimization leaves the
+/// family's valid domain — the prediction analyzer treats that as
+/// "no prediction this epoch".
+std::optional<FitResult> fit_curve(const ParametricFunction& f,
+                                   std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   const FitOptions& options = {});
+
+/// Solve A x = b for small dense symmetric systems (Gaussian elimination
+/// with partial pivoting). Returns false if singular. Exposed for tests.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n);
+
+}  // namespace a4nn::penguin

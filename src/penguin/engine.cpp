@@ -1,0 +1,106 @@
+#include "penguin/engine.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace a4nn::penguin {
+
+util::Json EngineConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j["function"] = function ? function->name() : "none";
+  if (!ensemble.empty()) {
+    util::Json members = util::Json::array();
+    for (const auto& f : ensemble) members.push_back(f ? f->name() : "none");
+    j["ensemble"] = std::move(members);
+  }
+  j["c_min"] = c_min;
+  j["e_pred"] = e_pred;
+  j["window"] = window;
+  j["tolerance"] = tolerance;
+  j["fitness_lo"] = fitness_lo;
+  j["fitness_hi"] = fitness_hi;
+  return j;
+}
+
+EngineConfig default_engine_config() {
+  EngineConfig config;
+  config.function = make_pow_exp();
+  return config;
+}
+
+PredictionEngine::PredictionEngine(EngineConfig config)
+    : config_(std::move(config)) {
+  if (!config_.function)
+    throw std::invalid_argument("PredictionEngine: no parametric function");
+  if (config_.c_min < config_.function->param_count())
+    throw std::invalid_argument(
+        "PredictionEngine: C_min below the function's parameter count");
+  if (config_.window == 0)
+    throw std::invalid_argument("PredictionEngine: window must be >= 1");
+  if (config_.tolerance < 0.0)
+    throw std::invalid_argument("PredictionEngine: tolerance must be >= 0");
+}
+
+std::optional<FitResult> PredictionEngine::fit(
+    std::span<const double> fitness_history) const {
+  if (fitness_history.size() < config_.c_min) return std::nullopt;
+  std::vector<double> xs(fitness_history.size());
+  std::iota(xs.begin(), xs.end(), 1.0);  // epochs are 1-based
+  return fit_curve(*config_.function, xs, fitness_history, config_.fit);
+}
+
+std::optional<double> PredictionEngine::predict(
+    std::span<const double> fitness_history) const {
+  if (!config_.ensemble.empty()) {
+    if (fitness_history.size() < config_.c_min) return std::nullopt;
+    std::vector<double> xs(fitness_history.size());
+    std::iota(xs.begin(), xs.end(), 1.0);
+    const auto ens = ensemble_predict(config_.ensemble, xs, fitness_history,
+                                      config_.e_pred);
+    if (!ens || !std::isfinite(ens->prediction)) return std::nullopt;
+    return ens->prediction;
+  }
+  const auto result = fit(fitness_history);
+  if (!result) return std::nullopt;
+  const double prediction =
+      config_.function->eval(result->params, config_.e_pred);
+  if (!std::isfinite(prediction)) return std::nullopt;
+  return prediction;
+}
+
+bool PredictionEngine::converged(
+    std::span<const double> prediction_history) const {
+  if (prediction_history.size() < config_.window) return false;
+  const auto recent =
+      prediction_history.subspan(prediction_history.size() - config_.window);
+  // Validity bounds: accuracy can be neither negative nor above 100%; an
+  // out-of-bounds prediction means the fitted curve is not trustworthy yet.
+  for (double p : recent) {
+    if (!(p >= config_.fitness_lo && p <= config_.fitness_hi)) return false;
+  }
+  return util::variance(recent) <= config_.tolerance;
+}
+
+SimulatedTermination simulate_early_termination(
+    std::span<const double> fitness_curve, const PredictionEngine& engine) {
+  SimulatedTermination out;
+  std::vector<double> history;
+  for (std::size_t e = 0; e < fitness_curve.size(); ++e) {
+    history.push_back(fitness_curve[e]);
+    out.epochs_trained = e + 1;
+    const std::optional<double> p = engine.predict(history);
+    if (p) out.prediction_history.push_back(*p);
+    if (engine.converged(out.prediction_history)) {
+      out.early_terminated = out.epochs_trained < fitness_curve.size();
+      out.reported_fitness = out.prediction_history.back();
+      return out;
+    }
+  }
+  out.reported_fitness = history.empty() ? 0.0 : history.back();
+  return out;
+}
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,79 @@
+// The parametric prediction engine (PENGUIN-style).
+//
+// Self-contained and externally controllable: the NAS never calls it
+// directly — the workflow orchestrator feeds it the fitness history after
+// every training epoch (Algorithm 1 in the paper) and asks two questions:
+//   predictor(e, H): what fitness will this NN reach at epoch e_pred?
+//   analyzer(P):     have the recent predictions converged to a stable,
+//                    in-bounds value?
+// When the analyzer reports convergence, the orchestrator terminates the
+// NN's training early and hands the converged prediction to the NAS as the
+// network's final fitness.
+#pragma once
+
+#include <optional>
+
+#include "penguin/curve_fit.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::penguin {
+
+/// Table 1 of the paper. Defaults match the paper's configuration.
+struct EngineConfig {
+  FunctionPtr function;          // F: parametric fitness model (pow_exp)
+  /// If non-empty, predictions come from an inverse-SSE-weighted ensemble
+  /// over these families instead of the single `function` (the paper's
+  /// "which parametric functions predict best?" extension).
+  std::vector<FunctionPtr> ensemble;
+  std::size_t c_min = 3;         // min epochs of history before predicting
+  double e_pred = 25.0;          // epoch for which fitness is predicted
+  std::size_t window = 3;        // N: predictions considered for convergence
+  double tolerance = 0.5;        // r: allowed variance across the window
+  double fitness_lo = 0.0;       // valid fitness bounds (accuracy in %)
+  double fitness_hi = 100.0;
+  FitOptions fit;
+
+  /// Serialized into every record trail so a search is reproducible.
+  util::Json to_json() const;
+};
+
+/// Default-configured engine settings (paper Table 1).
+EngineConfig default_engine_config();
+
+class PredictionEngine {
+ public:
+  explicit PredictionEngine(EngineConfig config);
+
+  /// Parametric modeling step: fit F to the fitness history (epoch i ->
+  /// history[i-1], 1-based epochs) and extrapolate to e_pred. Returns
+  /// nullopt when there are fewer than C_min points or the fit fails.
+  std::optional<double> predict(std::span<const double> fitness_history) const;
+
+  /// Prediction-analyzer step: true when the last N predictions are all
+  /// within the valid fitness bounds and their variance is <= r.
+  bool converged(std::span<const double> prediction_history) const;
+
+  /// Fitted parameters for the current history (for the analyzer/figures).
+  std::optional<FitResult> fit(std::span<const double> fitness_history) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Offline replay of Algorithm 1 over a fully recorded fitness curve:
+/// "had this engine been plugged in, when would training have stopped and
+/// what fitness would it have reported?" Used by the ablation benches to
+/// compare parametric families and convergence policies on identical
+/// learning curves without retraining anything.
+struct SimulatedTermination {
+  std::size_t epochs_trained = 0;   // e_t, or the full curve length
+  bool early_terminated = false;
+  double reported_fitness = 0.0;    // P.back() if converged, else last h_e
+  std::vector<double> prediction_history;
+};
+SimulatedTermination simulate_early_termination(
+    std::span<const double> fitness_curve, const PredictionEngine& engine);
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,33 @@
+#include <cmath>
+
+#include "penguin/curve_fit.hpp"
+
+namespace a4nn::penguin {
+
+std::optional<EnsembleFit> ensemble_predict(
+    const std::vector<FunctionPtr>& families, std::span<const double> xs,
+    std::span<const double> ys, double x_pred) {
+  EnsembleFit out;
+  double weight_sum = 0.0;
+  double weighted_prediction = 0.0;
+  for (const auto& family : families) {
+    if (!family) continue;
+    const auto fit = fit_curve(*family, xs, ys);
+    if (!fit) continue;
+    const double prediction = family->eval(fit->params, x_pred);
+    if (!std::isfinite(prediction)) continue;
+    // Inverse-SSE weighting: families that explain the observed curve
+    // better dominate the extrapolation.
+    const double weight = 1.0 / (fit->sse + 1e-6);
+    out.members.emplace_back(family->name(), prediction, weight);
+    weighted_prediction += weight * prediction;
+    weight_sum += weight;
+  }
+  if (out.members.empty() || weight_sum <= 0.0) return std::nullopt;
+  out.prediction = weighted_prediction / weight_sum;
+  // Normalize reported weights for interpretability.
+  for (auto& [name, pred, weight] : out.members) weight /= weight_sum;
+  return out;
+}
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,156 @@
+// Extended parametric family pool (Domhan et al.'s learning-curve zoo),
+// feeding the paper's open question "which parametric functions are best
+// able to predict neural architecture fitness?". All are concave,
+// saturating families with three parameters so they drop into the same
+// Levenberg-Marquardt fitter and engine configuration.
+#include <cmath>
+#include <stdexcept>
+
+#include "penguin/parametric.hpp"
+#include "util/stats.hpp"
+
+namespace a4nn::penguin {
+
+namespace {
+
+/// Weibull CDF scaled to a plateau: F(x) = a * (1 - exp(-(x/b)^c)),
+/// a > 0, b > 0, c > 0.
+class Weibull final : public ParametricFunction {
+ public:
+  std::string name() const override { return "weibull"; }
+  std::size_t param_count() const override { return 3; }
+
+  double eval(std::span<const double> p, double x) const override {
+    return p[0] * (1.0 - std::exp(-std::pow(x / p[1], p[2])));
+  }
+
+  void gradient(std::span<const double> p, double x,
+                std::span<double> out) const override {
+    const double z = std::pow(x / p[1], p[2]);
+    const double e = std::exp(-z);
+    out[0] = 1.0 - e;
+    out[1] = -p[0] * e * z * p[2] / p[1];
+    out[2] = p[0] * e * z * std::log(x / p[1]);
+  }
+
+  std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const override {
+    const double a0 = util::max_of(ys) + 1.0;
+    const double b0 = util::median(xs);
+    if (b0 <= 0.0) return std::nullopt;
+    return std::vector<double>{a0, b0, 1.0};
+  }
+
+  bool valid_params(std::span<const double> p) const override {
+    return p[0] > 0.0 && p[1] > 0.0 && p[2] > 0.0 && p[2] < 50.0;
+  }
+};
+
+/// Iterated log: F(x) = a - b / ln(x + c), c > 1 so the log is positive
+/// from epoch 1 on.
+class IlogLinear final : public ParametricFunction {
+ public:
+  std::string name() const override { return "ilog"; }
+  std::size_t param_count() const override { return 3; }
+
+  double eval(std::span<const double> p, double x) const override {
+    return p[0] - p[1] / std::log(x + p[2]);
+  }
+
+  void gradient(std::span<const double> p, double x,
+                std::span<double> out) const override {
+    const double l = std::log(x + p[2]);
+    out[0] = 1.0;
+    out[1] = -1.0 / l;
+    out[2] = p[1] / (l * l * (x + p[2]));
+  }
+
+  std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const override {
+    (void)xs;
+    const double a0 = util::max_of(ys) + 1.0;
+    const double gap = a0 - ys[0];
+    if (gap <= 0.0) return std::nullopt;
+    return std::vector<double>{a0, gap * std::log(2.0 + 1.5), 1.5};
+  }
+
+  bool valid_params(std::span<const double> p) const override {
+    return std::isfinite(p[0]) && p[1] > 0.0 && p[2] > 1.0;
+  }
+};
+
+/// Janoschek growth curve: F(x) = a - (a - b) * exp(-c * x), a plateau,
+/// b starting level, c rate. (Equivalent to exp3 up to parametrization.)
+class Janoschek final : public ParametricFunction {
+ public:
+  std::string name() const override { return "janoschek"; }
+  std::size_t param_count() const override { return 3; }
+
+  double eval(std::span<const double> p, double x) const override {
+    return p[0] - (p[0] - p[1]) * std::exp(-p[2] * x);
+  }
+
+  void gradient(std::span<const double> p, double x,
+                std::span<double> out) const override {
+    const double e = std::exp(-p[2] * x);
+    out[0] = 1.0 - e;
+    out[1] = e;
+    out[2] = (p[0] - p[1]) * x * e;
+  }
+
+  std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const override {
+    const double a0 = util::max_of(ys) + 1.0;
+    const double b0 = ys[0];
+    const double span_x = util::max_of(xs) - util::min_of(xs);
+    if (span_x <= 0.0 || a0 <= b0) return std::nullopt;
+    return std::vector<double>{a0, b0, 2.0 / span_x};
+  }
+
+  bool valid_params(std::span<const double> p) const override {
+    return std::isfinite(p[0]) && std::isfinite(p[1]) && p[2] > 0.0 &&
+           p[0] > p[1];
+  }
+};
+
+/// Morgan-Mercer-Flodin: F(x) = a - a*b / (b + x^c), b > 0, c > 0.
+/// Starts at 0, saturates at a.
+class Mmf final : public ParametricFunction {
+ public:
+  std::string name() const override { return "mmf"; }
+  std::size_t param_count() const override { return 3; }
+
+  double eval(std::span<const double> p, double x) const override {
+    const double xc = std::pow(x, p[2]);
+    return p[0] - p[0] * p[1] / (p[1] + xc);
+  }
+
+  void gradient(std::span<const double> p, double x,
+                std::span<double> out) const override {
+    const double xc = std::pow(x, p[2]);
+    const double denom = p[1] + xc;
+    out[0] = 1.0 - p[1] / denom;
+    out[1] = -p[0] * xc / (denom * denom);
+    out[2] = p[0] * p[1] * xc * std::log(x) / (denom * denom);
+  }
+
+  std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const override {
+    (void)xs;
+    const double a0 = util::max_of(ys) + 1.0;
+    return std::vector<double>{a0, 2.0, 1.0};
+  }
+
+  bool valid_params(std::span<const double> p) const override {
+    return p[0] > 0.0 && p[1] > 0.0 && p[2] > 0.0 && p[2] < 50.0;
+  }
+};
+
+}  // namespace
+
+FunctionPtr make_weibull() { return std::make_shared<Weibull>(); }
+FunctionPtr make_ilog() { return std::make_shared<IlogLinear>(); }
+FunctionPtr make_janoschek() { return std::make_shared<Janoschek>(); }
+FunctionPtr make_mmf() { return std::make_shared<Mmf>(); }
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,92 @@
+// Parametric fitness-curve families for the prediction engine.
+//
+// The paper's engine models an NN's fitness (validation accuracy) learning
+// curve with a concave saturating parametric function — the default is
+// F(x) = a - b^(c - x) — fits it to the partial learning curve by least
+// squares, and extrapolates the fitness at a future epoch e_pred. Several
+// families are provided so the "which parametric functions best predict
+// fitness?" question from the paper's conclusions is explorable
+// (bench_ablation_functions).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace a4nn::penguin {
+
+class ParametricFunction {
+ public:
+  virtual ~ParametricFunction() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t param_count() const = 0;
+
+  /// F(params, x).
+  virtual double eval(std::span<const double> params, double x) const = 0;
+
+  /// dF/dparam_i at x, written into `out` (size param_count()).
+  virtual void gradient(std::span<const double> params, double x,
+                        std::span<double> out) const = 0;
+
+  /// Heuristic starting point for the fit given the observed curve.
+  /// Returns nullopt if the data admits no sensible guess yet (e.g. a
+  /// non-increasing curve for a saturating family).
+  virtual std::optional<std::vector<double>> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const = 0;
+
+  /// True if the parameter vector is inside the family's valid domain.
+  virtual bool valid_params(std::span<const double> params) const = 0;
+};
+
+using FunctionPtr = std::shared_ptr<const ParametricFunction>;
+
+/// The paper's default: F(x) = a - b^(c - x), b > 1. Concave, increasing,
+/// saturating at `a`.
+FunctionPtr make_pow_exp();
+
+/// Inverse power law: F(x) = a - b * x^(-c), c > 0.
+FunctionPtr make_inverse_power();
+
+/// Logistic: F(x) = a / (1 + exp(-b * (x - c))), b > 0.
+FunctionPtr make_logistic();
+
+/// Vapor-pressure style (Domhan et al.): F(x) = exp(a + b / x + c * ln x).
+FunctionPtr make_vapor_pressure();
+
+/// Scaled Weibull CDF: F(x) = a * (1 - exp(-(x/b)^c)).
+FunctionPtr make_weibull();
+
+/// Iterated log: F(x) = a - b / ln(x + c).
+FunctionPtr make_ilog();
+
+/// Janoschek growth: F(x) = a - (a - b) * exp(-c x).
+FunctionPtr make_janoschek();
+
+/// Morgan-Mercer-Flodin: F(x) = a - a b / (b + x^c).
+FunctionPtr make_mmf();
+
+/// Registry lookup by name ("pow_exp", "inverse_power", "logistic",
+/// "vapor_pressure", "weibull", "ilog", "janoschek", "mmf"); throws on
+/// unknown names.
+FunctionPtr make_function(const std::string& name);
+std::vector<std::string> function_names();
+
+/// Inverse-SSE-weighted ensemble over several families: each member is
+/// fitted independently and the extrapolated predictions are averaged with
+/// weights 1/(sse + eps) — Domhan et al.'s observation that ensembles of
+/// learning-curve models beat any single family. Returns nullopt when no
+/// member admits a valid fit.
+struct EnsembleFit {
+  double prediction = 0.0;
+  /// (family name, member prediction, member weight) per admitted member.
+  std::vector<std::tuple<std::string, double, double>> members;
+};
+std::optional<EnsembleFit> ensemble_predict(
+    const std::vector<FunctionPtr>& families, std::span<const double> xs,
+    std::span<const double> ys, double x_pred);
+
+}  // namespace a4nn::penguin

@@ -1,0 +1,174 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace a4nn::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> out) {
+  if (x.size() != out.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] += alpha * x[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("add: shape mismatch");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("mul: shape mismatch");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void scale(Tensor& t, float alpha) {
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] *= alpha;
+}
+
+double sum(const Tensor& t) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) acc += t[i];
+  return acc;
+}
+
+std::size_t argmax(std::span<const float> xs) {
+  if (xs.empty()) throw std::invalid_argument("argmax: empty input");
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c) {
+  std::memset(c, 0, m * n * sizeof(float));
+  gemm_accumulate(m, k, n, a, b, c);
+}
+
+void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                     const float* a, const float* b, float* c) {
+  // i-k-j ordering: the inner loop streams through contiguous rows of B and
+  // C, which the compiler auto-vectorizes.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a_t,
+               const float* b, float* c) {
+  // C(m x n) = A^T * B with A stored (k x m): equivalent to accumulating
+  // outer products of A rows and B rows.
+  std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a_t + kk * m;
+    const float* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b_t, float* c) {
+  // C(m x n) = A * B^T with B stored (n x k): dot products of rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b_t + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void im2col(const ConvGeometry& g, std::span<const float> image,
+            std::span<float> columns) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t cols = oh * ow;
+  if (image.size() != g.in_channels * g.in_h * g.in_w)
+    throw std::invalid_argument("im2col: image size mismatch");
+  if (columns.size() != g.patch_size() * cols)
+    throw std::invalid_argument("im2col: column buffer size mismatch");
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = columns.data() + row * cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // Input y for this output row (may fall in the padding band).
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            std::memset(out_row + oy * ow, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* in_row = plane + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            out_row[oy * ow + ox] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w))
+                    ? 0.0f
+                    : in_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, std::span<const float> columns,
+            std::span<float> image_grad) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t cols = oh * ow;
+  if (image_grad.size() != g.in_channels * g.in_h * g.in_w)
+    throw std::invalid_argument("col2im: image size mismatch");
+  if (columns.size() != g.patch_size() * cols)
+    throw std::invalid_argument("col2im: column buffer size mismatch");
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image_grad.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row_base = columns.data() + row * cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          float* out_row = plane + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            out_row[static_cast<std::size_t>(ix)] += in_row_base[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace a4nn::tensor

@@ -1,0 +1,73 @@
+// Kernels shared by the NN layers: SAXPY-style elementwise ops, GEMM, and
+// im2col/col2im transforms that turn convolutions into matrix multiplies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace a4nn::tensor {
+
+/// out += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> out);
+
+/// out = a + b elementwise.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Scale in place.
+void scale(Tensor& t, float alpha);
+
+/// Sum of all entries.
+double sum(const Tensor& t);
+
+/// Index of the maximum entry in [begin, begin+len).
+std::size_t argmax(std::span<const float> xs);
+
+/// C(m x n) = A(m x k) * B(k x n), row-major, C overwritten.
+/// Blocked i-k-j loop ordering: streaming access on B and C.
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c);
+
+/// C(m x n) += A(m x k) * B(k x n).
+void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                     const float* a, const float* b, float* c);
+
+/// C(m x n) = A^T(k x m)^T... explicitly: C = A_t^T * B where a_t is stored
+/// (k x m) row-major. Used for weight-gradient computation.
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a_t,
+               const float* b, float* c);
+
+/// C(m x n) = A(m x k) * B_t^T where b_t is stored (n x k) row-major.
+/// Used for input-gradient computation.
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b_t, float* c);
+
+/// Geometry of a 2-d convolution / pooling window.
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix: one per (channel, ky, kx).
+  std::size_t patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// im2col for a single image (C x H x W span) into a
+/// (patch_size x out_h*out_w) column matrix.
+void im2col(const ConvGeometry& g, std::span<const float> image,
+            std::span<float> columns);
+
+/// Adjoint of im2col: scatter-add columns back into the image gradient.
+void col2im(const ConvGeometry& g, std::span<const float> columns,
+            std::span<float> image_grad);
+
+}  // namespace a4nn::tensor

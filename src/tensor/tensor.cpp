@@ -1,0 +1,108 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace a4nn::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << 'x';
+    oss << shape[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_to_string(shape_));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_)
+    x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::he_init(Shape shape, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("he_init: fan_in must be > 0");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor Tensor::xavier_init(Shape shape, std::size_t fan_in,
+                           std::size_t fan_out, util::Rng& rng) {
+  if (fan_in + fan_out == 0)
+    throw std::invalid_argument("xavier_init: fans must be > 0");
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_)
+    x = static_cast<float>(rng.uniform(-a, a));
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size())
+    throw std::out_of_range("Tensor::dim: axis out of range");
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index out of range");
+  return data_[i];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4) throw std::logic_error("Tensor::at4: rank != 4");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  if (rank() != 4) throw std::logic_error("Tensor::at4: rank != 4");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace a4nn::tensor

@@ -1,0 +1,85 @@
+// Dense row-major float tensor: the storage substrate for the NN library.
+//
+// Deliberately simple — contiguous float32 data plus a shape — because the
+// NN layers implement their own kernels (im2col convolution, pooling,
+// matmul) on top of raw spans. The class guards shape bookkeeping,
+// provides checked indexing in debug paths, and supplies the random
+// initializers (He/Xavier) the NAS-generated architectures need.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace a4nn::tensor {
+
+/// Tensor shape. Rank up to 4 is what the NN library uses
+/// (N x C x H x W activations, OC x IC x KH x KW conv weights).
+using Shape = std::vector<std::size_t>;
+
+std::size_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty scalar-less tensor (numel 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit contents; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// He (Kaiming) initialization for layers followed by ReLU:
+  /// N(0, sqrt(2 / fan_in)).
+  static Tensor he_init(Shape shape, std::size_t fan_in, util::Rng& rng);
+  /// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  static Tensor xavier_init(Shape shape, std::size_t fan_in,
+                            std::size_t fan_out, util::Rng& rng);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Checked flat access.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// Row-major 4-d indexing helpers for the common activation layout.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Reinterpret the same data with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  /// Set all entries to 0 (gradient buffers between steps).
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace a4nn::tensor

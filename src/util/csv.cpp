@@ -1,0 +1,147 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/fsutil.hpp"
+
+namespace a4nn::util {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_cell(std::string& out, const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_row(std::string& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    append_cell(out, cells[i]);
+  }
+  out += '\n';
+}
+
+std::string format_double(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", d);
+  return buf;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("CsvWriter: header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> strs;
+  strs.reserve(cells.size());
+  for (double d : cells) strs.push_back(format_double(d));
+  add_row(std::move(strs));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  append_row(out, header_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void CsvWriter::save(const std::filesystem::path& path) const {
+  write_file(path, to_string());
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column '" + name + "'");
+}
+
+std::vector<double> CsvTable::numeric_column(const std::string& name) const {
+  const std::size_t col = column(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    double d = 0.0;
+    const std::string& cell = row.at(col);
+    auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), d);
+    if (ec != std::errc() || ptr != cell.data() + cell.size())
+      throw std::runtime_error("CsvTable: non-numeric cell '" + cell + "'");
+    out.push_back(d);
+  }
+  return out;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&] {
+    end_cell();
+    if (table.header.empty()) {
+      table.header = std::move(row);
+    } else {
+      table.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_data = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_quotes = true; row_has_data = true; break;
+      case ',': end_cell(); row_has_data = true; break;
+      case '\r': break;
+      case '\n': end_row(); break;
+      default: cell += c; row_has_data = true;
+    }
+  }
+  if (row_has_data || !cell.empty() || !row.empty()) end_row();
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quote");
+  return table;
+}
+
+}  // namespace a4nn::util

@@ -1,0 +1,42 @@
+// CSV emit/parse for metric exports. Every bench binary writes its series
+// to CSV next to its stdout table so figures can be re-plotted externally.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace a4nn::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience for purely numeric rows (distinct name: a braced list of
+  /// string literals must not be ambiguous with this overload).
+  void add_numeric_row(const std::vector<double>& cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::string to_string() const;
+  void save(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws if absent.
+  std::size_t column(const std::string& name) const;
+  /// Column values parsed as doubles.
+  std::vector<double> numeric_column(const std::string& name) const;
+};
+
+/// Parse CSV text with RFC-4180 quoting. First row is the header.
+CsvTable parse_csv(const std::string& text);
+
+}  // namespace a4nn::util

@@ -1,0 +1,61 @@
+#include "util/fsutil.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unistd.h>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace a4nn::util {
+
+namespace fs = std::filesystem;
+
+void ensure_dir(const fs::path& dir) { fs::create_directories(dir); }
+
+void write_file(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) ensure_dir(path.parent_path());
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file: cannot open " + tmp.string());
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) throw std::runtime_error("write_file: write failed " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path.string());
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+std::vector<fs::path> list_files(const fs::path& dir,
+                                 const std::string& extension) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (!extension.empty() && entry.path().extension() != extension) continue;
+    out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+fs::path make_temp_dir(const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path base = fs::temp_directory_path();
+  for (;;) {
+    fs::path candidate =
+        base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) return candidate;
+  }
+}
+
+}  // namespace a4nn::util

@@ -1,0 +1,30 @@
+// Thin filesystem helpers for the data commons (directory trees of JSON
+// record trails and model snapshots).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace a4nn::util {
+
+/// Create `dir` and all parents; no-op if it already exists.
+void ensure_dir(const std::filesystem::path& dir);
+
+/// Write `content` atomically-ish (tmp file + rename) so a crashed run
+/// never leaves a truncated record trail in the commons.
+void write_file(const std::filesystem::path& path, const std::string& content);
+
+/// Read an entire file; throws std::runtime_error if missing.
+std::string read_file(const std::filesystem::path& path);
+
+/// Sorted list of regular files directly inside `dir` matching `extension`
+/// (e.g. ".json"); empty extension matches everything.
+std::vector<std::filesystem::path> list_files(
+    const std::filesystem::path& dir, const std::string& extension = "");
+
+/// A unique, empty scratch directory under the system temp dir. The caller
+/// owns cleanup (tests remove it; benches leave artifacts for inspection).
+std::filesystem::path make_temp_dir(const std::string& prefix);
+
+}  // namespace a4nn::util

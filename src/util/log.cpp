@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace a4nn::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("A4NN_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = duration_cast<seconds>(now.time_since_epoch()).count();
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(secs), static_cast<long long>(ms),
+               level_name(level), message.c_str());
+}
+
+}  // namespace a4nn::util

@@ -1,0 +1,56 @@
+// Leveled, thread-safe logging. The orchestrator and scheduler log from
+// worker threads; a single mutex serializes lines so interleaved output
+// stays readable. Verbosity is process-global and settable from the CLI of
+// every example/bench via A4NN_LOG_LEVEL or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace a4nn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+/// Reads A4NN_LOG_LEVEL (debug|info|warn|error|off) if present.
+void init_log_level_from_env();
+
+/// Emit one line at `level` with a timestamp prefix. No-op if below the
+/// current threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace a4nn::util

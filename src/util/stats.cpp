@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace a4nn::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("linear_fit: need >= 2 paired points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+std::string Histogram::render(int max_width) const {
+  std::string out;
+  const std::size_t peak =
+      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%6.2f, %6.2f) %5zu ",
+                  lo + width * static_cast<double>(i),
+                  lo + width * static_cast<double>(i + 1), counts[i]);
+    out += label;
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(counts[i]) /
+                                     static_cast<double>(peak) * max_width);
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("histogram: hi must be > lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    double idx = (x - lo) / width;
+    std::size_t i =
+        idx < 0.0 ? 0
+                  : std::min(bins - 1, static_cast<std::size_t>(idx));
+    ++h.counts[i];
+  }
+  return h;
+}
+
+}  // namespace a4nn::util

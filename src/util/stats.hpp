@@ -1,0 +1,48 @@
+// Descriptive statistics and small numerical helpers shared by the
+// prediction analyzer, the analytics module, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace a4nn::util {
+
+double mean(std::span<const double> xs);
+/// Population variance (divide by n); matches the paper's "variance of
+/// prediction to tolerate in convergence" threshold semantics.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+/// Pearson correlation coefficient; returns 0 for degenerate inputs.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  double bin_center(std::size_t i) const;
+  /// Render as an ASCII bar chart (used by the figure benches).
+  std::string render(int max_width = 50) const;
+};
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins);
+
+}  // namespace a4nn::util

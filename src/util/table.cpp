@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace a4nn::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("AsciiTable: header must be non-empty");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& row) {
+    out += '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(out, header_);
+  out += '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+}  // namespace a4nn::util

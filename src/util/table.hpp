@@ -1,0 +1,28 @@
+// ASCII table renderer used by the bench harnesses to print paper-style
+// result tables (Figures 6-9, Table 3) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace a4nn::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content, `|` separators, and a
+  /// header rule.
+  std::string render() const;
+
+  /// Helper: fixed-precision double formatting for cells.
+  static std::string num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace a4nn::util

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer used to measure real elapsed time (the
+// prediction-engine overhead microbenchmark and the scheduler's measured
+// wall times both use it).
+#pragma once
+
+#include <chrono>
+
+namespace a4nn::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace a4nn::util

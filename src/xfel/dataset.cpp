@@ -1,0 +1,61 @@
+#include "xfel/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace a4nn::xfel {
+
+XfelDataset generate_xfel_dataset(const XfelDatasetConfig& config) {
+  if (config.images_per_class == 0)
+    throw std::invalid_argument("generate_xfel_dataset: empty dataset");
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0)
+    throw std::invalid_argument(
+        "generate_xfel_dataset: train fraction must be in (0, 1)");
+
+  util::Rng rng(config.seed);
+  const auto conformations =
+      make_conformations(config.protein, config.conformations);
+  DiffractionSimulator sim(config.detector, config.intensity);
+
+  struct Sample {
+    std::vector<float> image;
+    std::int64_t label;
+    Mat3 orientation;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(conformations.size() * config.images_per_class);
+  for (std::size_t i = 0; i < config.images_per_class; ++i) {
+    for (std::size_t label = 0; label < conformations.size(); ++label) {
+      Shot shot = sim.simulate_shot(conformations[label], rng);
+      samples.push_back({std::move(shot.image),
+                         static_cast<std::int64_t>(label), shot.orientation});
+    }
+  }
+  // Shuffle before the split so both halves are class-balanced in
+  // expectation (the generation order interleaves classes already, but a
+  // shuffle removes any pairing structure).
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  const std::size_t n = config.detector.pixels;
+  XfelDataset out;
+  out.intensity = config.intensity;
+  out.train = nn::Dataset(1, n, n);
+  out.validation = nn::Dataset(1, n, n);
+  const std::size_t train_count = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(samples.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Sample& s = samples[order[i]];
+    if (i < train_count) {
+      out.train.add_sample(s.image, s.label);
+      out.train_orientations.push_back(s.orientation);
+    } else {
+      out.validation.add_sample(s.image, s.label);
+      out.validation_orientations.push_back(s.orientation);
+    }
+  }
+  return out;
+}
+
+}  // namespace a4nn::xfel

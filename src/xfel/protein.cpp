@@ -1,0 +1,149 @@
+#include "xfel/protein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace a4nn::xfel {
+
+Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+Vec3 operator*(double s, const Vec3& v) { return {s * v.x, s * v.y, s * v.z}; }
+
+double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+Vec3 Mat3::apply(const Vec3& v) const {
+  return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+          m[3] * v.x + m[4] * v.y + m[5] * v.z,
+          m[6] * v.x + m[7] * v.y + m[8] * v.z};
+}
+
+Mat3 Mat3::rotation_about(const Vec3& axis_unit, double angle_rad) {
+  // Rodrigues' rotation formula.
+  const double c = std::cos(angle_rad), s = std::sin(angle_rad);
+  const double t = 1.0 - c;
+  const double x = axis_unit.x, y = axis_unit.y, z = axis_unit.z;
+  Mat3 r;
+  r.m = {t * x * x + c,     t * x * y - s * z, t * x * z + s * y,
+         t * x * y + s * z, t * y * y + c,     t * y * z - s * x,
+         t * x * z - s * y, t * y * z + s * x, t * z * z + c};
+  return r;
+}
+
+Mat3 Mat3::random_rotation(util::Rng& rng) {
+  // Shoemake's method: uniform quaternion from three uniforms.
+  const double u1 = rng.uniform(), u2 = rng.uniform(), u3 = rng.uniform();
+  const double sq1 = std::sqrt(1.0 - u1), sq2 = std::sqrt(u1);
+  const double qx = sq1 * std::sin(2.0 * M_PI * u2);
+  const double qy = sq1 * std::cos(2.0 * M_PI * u2);
+  const double qz = sq2 * std::sin(2.0 * M_PI * u3);
+  const double qw = sq2 * std::cos(2.0 * M_PI * u3);
+  Mat3 r;
+  r.m = {1 - 2 * (qy * qy + qz * qz), 2 * (qx * qy - qz * qw),
+         2 * (qx * qz + qy * qw),
+         2 * (qx * qy + qz * qw),     1 - 2 * (qx * qx + qz * qz),
+         2 * (qy * qz - qx * qw),
+         2 * (qx * qz - qy * qw),     2 * (qy * qz + qx * qw),
+         1 - 2 * (qx * qx + qy * qy)};
+  return r;
+}
+
+double rotation_angle_between(const Mat3& a, const Mat3& b) {
+  // trace(a^T b) = sum_ij a_ij * b_ij for row-major storage.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) trace += a.m[i] * b.m[i];
+  const double c = std::clamp((trace - 1.0) / 2.0, -1.0, 1.0);
+  return std::acos(c);
+}
+
+double diffraction_orientation_error(const Mat3& a, const Mat3& b) {
+  // Friedel mate of `a`: rotate the sample by pi about the beam axis (z).
+  Mat3 mate;
+  mate.m = {-a.m[0], -a.m[1], -a.m[2],
+            -a.m[3], -a.m[4], -a.m[5],
+            a.m[6],  a.m[7],  a.m[8]};
+  return std::min(rotation_angle_between(a, b),
+                  rotation_angle_between(mate, b));
+}
+
+double Conformation::radius_of_gyration() const {
+  if (atoms.empty()) return 0.0;
+  Vec3 center{};
+  for (const auto& a : atoms) center = center + a;
+  center = (1.0 / static_cast<double>(atoms.size())) * center;
+  double acc = 0.0;
+  for (const auto& a : atoms) {
+    const Vec3 d = a - center;
+    acc += dot(d, d);
+  }
+  return std::sqrt(acc / static_cast<double>(atoms.size()));
+}
+
+std::pair<Conformation, Conformation> make_conformation_pair(
+    const ProteinConfig& config) {
+  auto all = make_conformations(config, 2);
+  return {std::move(all[0]), std::move(all[1])};
+}
+
+std::vector<Conformation> make_conformations(const ProteinConfig& config,
+                                             std::size_t count) {
+  if (config.core_atoms == 0 || config.domain_atoms == 0)
+    throw std::invalid_argument("make_conformations: need atoms");
+  if (count < 2)
+    throw std::invalid_argument("make_conformations: need >= 2 conformations");
+  util::Rng rng(config.seed);
+
+  auto sample_ball = [&rng](double radius) {
+    // Rejection sample inside a ball for a roughly globular cloud.
+    for (;;) {
+      Vec3 v{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+             rng.uniform(-1.0, 1.0)};
+      if (dot(v, v) <= 1.0) return radius * v;
+    }
+  };
+
+  std::vector<Vec3> core;
+  core.reserve(config.core_atoms);
+  for (std::size_t i = 0; i < config.core_atoms; ++i)
+    core.push_back(sample_ball(config.core_radius));
+
+  // Domain sits offset along +x from the core; the hinge runs through the
+  // junction point along z.
+  const Vec3 hinge_point{config.core_radius, 0.0, 0.0};
+  const Vec3 hinge_axis{0.0, 0.0, 1.0};
+  std::vector<Vec3> domain;
+  domain.reserve(config.domain_atoms);
+  for (std::size_t i = 0; i < config.domain_atoms; ++i) {
+    Vec3 local = sample_ball(config.domain_radius);
+    domain.push_back(local + Vec3{config.domain_offset + config.core_radius,
+                                  0.0, 0.0});
+  }
+
+  std::vector<Conformation> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    Conformation conf;
+    conf.name = "conf" + std::string(1, static_cast<char>('A' + k));
+    conf.atoms = core;
+    const double angle = config.conformation_angle * static_cast<double>(k) /
+                         static_cast<double>(count - 1);
+    const Mat3 swing = Mat3::rotation_about(hinge_axis, angle);
+    for (const auto& atom : domain) {
+      const Vec3 relative = atom - hinge_point;
+      conf.atoms.push_back(swing.apply(relative) + hinge_point);
+    }
+    out.push_back(std::move(conf));
+  }
+  return out;
+}
+
+}  // namespace a4nn::xfel

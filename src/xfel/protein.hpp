@@ -1,0 +1,87 @@
+// Synthetic protein conformations.
+//
+// The paper images two conformations of the eEF2 protein (PDB 1n0u / 1n0v)
+// that differ by a domain rotation around a single-bond axis. Without the
+// PDB-derived atom lists we build the closest synthetic equivalent: a
+// shared random "core" atom cloud plus a mobile "domain" cloud that is
+// rigidly rotated by a conformation-specific angle. Classification
+// difficulty then comes from the same source as in the paper — the two
+// classes share most of their scattering mass and differ in the spatial
+// arrangement of one subdomain.
+#pragma once
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace a4nn::xfel {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+Vec3 operator+(const Vec3& a, const Vec3& b);
+Vec3 operator-(const Vec3& a, const Vec3& b);
+Vec3 operator*(double s, const Vec3& v);
+double dot(const Vec3& a, const Vec3& b);
+
+/// Row-major 3x3 rotation matrix.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  Vec3 apply(const Vec3& v) const;
+  static Mat3 rotation_about(const Vec3& axis_unit, double angle_rad);
+  /// Uniform random rotation from a random unit quaternion.
+  static Mat3 random_rotation(util::Rng& rng);
+};
+
+/// Geodesic distance on SO(3) between two rotations, in radians:
+/// the angle of R_a^T R_b, in [0, pi]. Used to validate orientation
+/// recovery against the simulator's ground-truth beam orientations.
+double rotation_angle_between(const Mat3& a, const Mat3& b);
+
+/// Orientation distance modulo the diffraction ambiguity: in the
+/// small-curvature limit, Friedel symmetry (I(q) = I(-q)) makes the
+/// pattern of orientation R indistinguishable from that of Rz(pi) * R,
+/// so orientation recovery is only defined up to that 2-fold symmetry.
+double diffraction_orientation_error(const Mat3& a, const Mat3& b);
+
+/// One protein conformation: atom positions in Angstrom-like units.
+struct Conformation {
+  std::string name;
+  std::vector<Vec3> atoms;
+
+  /// Radius of gyration — used by tests to check the two conformations
+  /// have comparable size but different shape.
+  double radius_of_gyration() const;
+};
+
+struct ProteinConfig {
+  std::size_t core_atoms = 48;     // shared scattering mass
+  std::size_t domain_atoms = 24;   // mobile subdomain
+  double core_radius = 12.0;       // cloud extent
+  double domain_offset = 14.0;     // subdomain distance from the core
+  double domain_radius = 6.0;
+  /// Domain rotation (radians) of conformation B relative to A about the
+  /// hinge axis; the structural difference the classifier must detect.
+  double conformation_angle = 2.6;
+  std::uint64_t seed = 7;
+};
+
+/// Build the two conformations ("confA" mimicking 1n0u, "confB" mimicking
+/// 1n0v). Both share core and domain atoms; B's domain is rotated about a
+/// hinge axis through the core boundary.
+std::pair<Conformation, Conformation> make_conformation_pair(
+    const ProteinConfig& config);
+
+/// Generalization: `count` conformations of the same protein, the k-th
+/// with its domain swung by k * conformation_angle / (count - 1) — a
+/// multi-class variant of the use case (the paper's XFEL study
+/// distinguishes two conformations; real campaigns have more).
+std::vector<Conformation> make_conformations(const ProteinConfig& config,
+                                             std::size_t count);
+
+}  // namespace a4nn::xfel

@@ -1,0 +1,88 @@
+#include "xfel/shapes_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace a4nn::xfel {
+
+std::vector<float> render_shape(ShapeClass shape, std::size_t px,
+                                double jitter, double noise_sigma,
+                                util::Rng& rng) {
+  std::vector<float> img(px * px, 0.0f);
+  const double half = static_cast<double>(px) / 2.0;
+  const double cx = half + rng.uniform(-jitter, jitter);
+  const double cy = half + rng.uniform(-jitter, jitter);
+  const double r_outer = half * rng.uniform(0.5, 0.7);
+  const double r_inner = r_outer * 0.55;
+  const double bar_halfwidth = half * 0.18;
+  const double angle = rng.uniform(0.0, M_PI);
+  const double ca = std::cos(angle), sa = std::sin(angle);
+
+  for (std::size_t y = 0; y < px; ++y) {
+    for (std::size_t x = 0; x < px; ++x) {
+      const double dx = static_cast<double>(x) + 0.5 - cx;
+      const double dy = static_cast<double>(y) + 0.5 - cy;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      bool lit = false;
+      switch (shape) {
+        case ShapeClass::kDisc: lit = r <= r_outer; break;
+        case ShapeClass::kRing: lit = r <= r_outer && r >= r_inner; break;
+        case ShapeClass::kBar: {
+          // A rotated bar through the center.
+          const double along = dx * ca + dy * sa;
+          const double across = -dx * sa + dy * ca;
+          lit = std::fabs(across) <= bar_halfwidth &&
+                std::fabs(along) <= r_outer * 1.3;
+          break;
+        }
+      }
+      double v = (lit ? 1.0 : 0.0) + rng.normal(0.0, noise_sigma);
+      img[y * px + x] = static_cast<float>(std::clamp(v, 0.0, 1.5));
+    }
+  }
+  return img;
+}
+
+ShapesDataset generate_shapes_dataset(const ShapesDatasetConfig& config) {
+  if (config.classes < 2 || config.classes > 3)
+    throw std::invalid_argument("generate_shapes_dataset: classes must be 2 or 3");
+  if (config.images_per_class == 0)
+    throw std::invalid_argument("generate_shapes_dataset: empty dataset");
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0)
+    throw std::invalid_argument(
+        "generate_shapes_dataset: train fraction must be in (0, 1)");
+
+  util::Rng rng(config.seed);
+  struct Sample {
+    std::vector<float> image;
+    std::int64_t label;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(config.classes * config.images_per_class);
+  for (std::size_t i = 0; i < config.images_per_class; ++i) {
+    for (std::size_t c = 0; c < config.classes; ++c) {
+      samples.push_back(
+          {render_shape(static_cast<ShapeClass>(c), config.image_px,
+                        config.jitter, config.noise_sigma, rng),
+           static_cast<std::int64_t>(c)});
+    }
+  }
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  ShapesDataset out;
+  out.train = nn::Dataset(1, config.image_px, config.image_px);
+  out.validation = nn::Dataset(1, config.image_px, config.image_px);
+  const std::size_t train_count = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(samples.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Sample& s = samples[order[i]];
+    (i < train_count ? out.train : out.validation).add_sample(s.image, s.label);
+  }
+  return out;
+}
+
+}  // namespace a4nn::xfel

@@ -1,0 +1,37 @@
+// A second, non-XFEL dataset for the paper's generality claim ("can be
+// generalized to other datasets ... changing the input dataset is a
+// straightforward operation"): synthetic grayscale geometric shapes
+// (filled disc vs ring vs bar) with additive noise. Swapping the A4NN
+// workflow onto this data requires only a different nn::Dataset — no
+// change to the NAS, engine, orchestrator, or scheduler.
+#pragma once
+
+#include "nn/dataset.hpp"
+
+namespace a4nn::xfel {
+
+enum class ShapeClass { kDisc = 0, kRing = 1, kBar = 2 };
+
+struct ShapesDatasetConfig {
+  std::size_t image_px = 16;
+  std::size_t images_per_class = 100;
+  std::size_t classes = 3;       // 2 or 3 (disc/ring or disc/ring/bar)
+  double noise_sigma = 0.1;      // additive Gaussian pixel noise
+  double jitter = 2.0;           // center jitter (pixels)
+  double train_fraction = 0.8;
+  std::uint64_t seed = 77;
+};
+
+struct ShapesDataset {
+  nn::Dataset train;
+  nn::Dataset validation;
+};
+
+/// Render one noisy shape image (row-major, [0, 1]-ish). Exposed for tests.
+std::vector<float> render_shape(ShapeClass shape, std::size_t px,
+                                double jitter, double noise_sigma,
+                                util::Rng& rng);
+
+ShapesDataset generate_shapes_dataset(const ShapesDatasetConfig& config);
+
+}  // namespace a4nn::xfel

@@ -1,0 +1,293 @@
+#include "xpsi/xpsi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace a4nn::xpsi {
+
+XpsiClassifier::XpsiClassifier(XpsiConfig config) : config_(std::move(config)) {
+  if (config_.latent_dim == 0 || config_.hidden_dim == 0)
+    throw std::invalid_argument("XpsiClassifier: zero-sized layers");
+  if (config_.k_neighbors == 0)
+    throw std::invalid_argument("XpsiClassifier: k must be >= 1");
+}
+
+std::int64_t knn_predict(const std::vector<std::vector<float>>& train_points,
+                         std::span<const std::int64_t> train_labels,
+                         std::span<const float> query, std::size_t k) {
+  if (train_points.size() != train_labels.size() || train_points.empty())
+    throw std::invalid_argument("knn_predict: bad training set");
+  k = std::min(k, train_points.size());
+
+  std::vector<std::pair<double, std::int64_t>> dist;
+  dist.reserve(train_points.size());
+  for (std::size_t i = 0; i < train_points.size(); ++i) {
+    const auto& p = train_points[i];
+    if (p.size() != query.size())
+      throw std::invalid_argument("knn_predict: dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      const double diff = static_cast<double>(p[d]) - query[d];
+      acc += diff * diff;
+    }
+    dist.emplace_back(acc, train_labels[i]);
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  // Majority vote over the k nearest; ties resolved to the smaller label
+  // (deterministic).
+  std::vector<std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto label = static_cast<std::size_t>(dist[i].second);
+    if (label >= votes.size()) votes.resize(label + 1, 0);
+    ++votes[label];
+  }
+  return static_cast<std::int64_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+XpsiResult XpsiClassifier::fit_and_evaluate(const nn::Dataset& train,
+                                            const nn::Dataset& validation) {
+  util::Timer wall;
+  util::Rng rng(config_.seed);
+  const std::size_t input_dim = train.image_numel();
+
+  encoder_ = std::make_unique<nn::Sequential>();
+  if (config_.convolutional) {
+    // XPSI-style conv feature extractor: two strided conv+relu stages,
+    // then a linear bottleneck.
+    const std::size_t c = config_.conv_channels;
+    encoder_->append(std::make_unique<nn::Conv2d>(train.channels(), c, 3,
+                                                  /*stride=*/2, 1, rng));
+    encoder_->append(std::make_unique<nn::ReLU>());
+    encoder_->append(std::make_unique<nn::Conv2d>(c, 2 * c, 3, 2, 1, rng));
+    encoder_->append(std::make_unique<nn::ReLU>());
+    encoder_->append(std::make_unique<nn::Flatten>());
+    const std::size_t conv_out =
+        encoder_->output_shape(train.image_shape())[0];
+    encoder_->append(
+        std::make_unique<nn::Linear>(conv_out, config_.latent_dim, rng));
+  } else {
+    encoder_->append(std::make_unique<nn::Flatten>());
+    encoder_->append(
+        std::make_unique<nn::Linear>(input_dim, config_.hidden_dim, rng));
+    encoder_->append(std::make_unique<nn::ReLU>());
+    encoder_->append(std::make_unique<nn::Linear>(config_.hidden_dim,
+                                                  config_.latent_dim, rng));
+  }
+  decoder_ = std::make_unique<nn::Sequential>();
+  decoder_->append(
+      std::make_unique<nn::Linear>(config_.latent_dim, config_.hidden_dim, rng));
+  decoder_->append(std::make_unique<nn::ReLU>());
+  decoder_->append(
+      std::make_unique<nn::Linear>(config_.hidden_dim, input_dim, rng));
+
+  nn::Adam opt(config_.learning_rate);
+  auto enc_slots = encoder_->params();
+  auto dec_slots = decoder_->params();
+  std::vector<nn::ParamSlot> all_slots = enc_slots;
+  all_slots.insert(all_slots.end(), dec_slots.begin(), dec_slots.end());
+
+  XpsiResult result;
+  for (std::size_t epoch = 0; epoch < config_.autoencoder_epochs; ++epoch) {
+    nn::BatchIterator it(train.size(), config_.batch_size, rng);
+    double mse_sum = 0.0;
+    std::size_t seen = 0;
+    for (auto idx = it.next(); !idx.empty(); idx = it.next()) {
+      const auto batch = train.gather(idx);
+      encoder_->zero_grad();
+      decoder_->zero_grad();
+      const nn::Tensor latent = encoder_->forward(batch.images, true);
+      const nn::Tensor recon = decoder_->forward(latent, true);
+      // MSE loss against the flattened input.
+      const nn::Tensor target =
+          batch.images.reshaped({idx.size(), input_dim});
+      nn::Tensor grad(recon.shape());
+      double mse = 0.0;
+      const double scale =
+          2.0 / static_cast<double>(recon.numel());
+      for (std::size_t i = 0; i < recon.numel(); ++i) {
+        const double diff = recon[i] - target[i];
+        mse += diff * diff;
+        grad[i] = static_cast<float>(scale * diff);
+      }
+      mse /= static_cast<double>(recon.numel());
+      encoder_->backward(decoder_->backward(grad));
+      opt.step(all_slots);
+      mse_sum += mse * static_cast<double>(idx.size());
+      seen += idx.size();
+    }
+    result.mse_history.push_back(mse_sum / static_cast<double>(seen));
+  }
+  result.reconstruction_mse = result.mse_history.back();
+
+  // Embed both splits and run kNN on the features.
+  auto train_latents = embed(train);
+  auto val_latents = embed(validation);
+  if (config_.radial_features) {
+    auto append_radial = [&](std::vector<std::vector<float>>& rows,
+                             const nn::Dataset& ds) {
+      for (std::size_t i = 0; i < ds.size(); ++i) {
+        const auto prof =
+            radial_profile(ds.image(i), ds.height(), ds.width());
+        rows[i].insert(rows[i].end(), prof.begin(), prof.end());
+      }
+    };
+    append_radial(train_latents, train);
+    append_radial(val_latents, validation);
+  }
+  if (config_.standardize_latents) {
+    // Per-dimension standardization fitted on the training features only.
+    const std::size_t dim = train_latents.front().size();
+    std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+    for (const auto& row : train_latents) {
+      for (std::size_t d = 0; d < dim; ++d) mean[d] += row[d];
+    }
+    for (auto& m : mean) m /= static_cast<double>(train_latents.size());
+    for (const auto& row : train_latents) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = row[d] - mean[d];
+        var[d] += diff * diff;
+      }
+    }
+    for (auto& v : var) v /= static_cast<double>(train_latents.size());
+    auto standardize = [&](std::vector<std::vector<float>>& rows) {
+      for (auto& row : rows) {
+        for (std::size_t d = 0; d < dim; ++d) {
+          row[d] = static_cast<float>((row[d] - mean[d]) /
+                                      std::sqrt(var[d] + 1e-8));
+        }
+      }
+    };
+    standardize(train_latents);
+    standardize(val_latents);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < val_latents.size(); ++i) {
+    const std::int64_t predicted =
+        knn_predict(train_latents, train.labels(), val_latents[i],
+                    config_.k_neighbors);
+    if (predicted == validation.label(i)) ++correct;
+  }
+  result.validation_accuracy = 100.0 * static_cast<double>(correct) /
+                               static_cast<double>(validation.size());
+
+  // Virtual single-GPU cost: autoencoder epochs at the shared cost model
+  // (forward+backward over the virtual train set) plus one embedding pass.
+  const tensor::Shape img_shape = train.image_shape();
+  const std::uint64_t enc_flops = encoder_->flops(img_shape);
+  const std::uint64_t dec_flops =
+      decoder_->flops({config_.latent_dim});
+  result.autoencoder_flops = enc_flops + dec_flops;
+  result.virtual_seconds =
+      static_cast<double>(config_.autoencoder_epochs) *
+      config_.cost.epoch_seconds(result.autoencoder_flops);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+XpsiClassifier::OrientationRecovery
+XpsiClassifier::evaluate_orientation_recovery(
+    const nn::Dataset& train, std::span<const xfel::Mat3> train_orientations,
+    const nn::Dataset& validation,
+    std::span<const xfel::Mat3> validation_orientations) {
+  if (train.size() != train_orientations.size() ||
+      validation.size() != validation_orientations.size())
+    throw std::invalid_argument(
+        "evaluate_orientation_recovery: orientation metadata mismatch");
+  const auto train_latents = embed(train);
+  const auto val_latents = embed(validation);
+
+  const double rad2deg = 180.0 / M_PI;
+  std::vector<double> errors;
+  errors.reserve(validation.size());
+  double chance = 0.0;
+  util::Rng rng(config_.seed ^ 0xBEEF);
+  for (std::size_t v = 0; v < val_latents.size(); ++v) {
+    // Nearest training shot in latent space (restricted to the same
+    // conformation class — XPSI predicts orientation after classifying).
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    for (std::size_t t = 0; t < train_latents.size(); ++t) {
+      if (train.label(t) != validation.label(v)) continue;
+      double acc = 0.0;
+      for (std::size_t d = 0; d < val_latents[v].size(); ++d) {
+        const double diff =
+            static_cast<double>(train_latents[t][d]) - val_latents[v][d];
+        acc += diff * diff;
+      }
+      if (acc < best_dist) {
+        best_dist = acc;
+        best = t;
+      }
+    }
+    errors.push_back(rad2deg *
+                     xfel::diffraction_orientation_error(train_orientations[best],
+                                                  validation_orientations[v]));
+    // Chance baseline: a uniformly random training orientation.
+    const std::size_t random_pick = rng.uniform_index(train.size());
+    chance += rad2deg * xfel::diffraction_orientation_error(
+                            train_orientations[random_pick],
+                            validation_orientations[v]);
+  }
+  OrientationRecovery out;
+  out.mean_error_deg = util::mean(errors);
+  out.median_error_deg = util::median(errors);
+  out.chance_error_deg = chance / static_cast<double>(errors.size());
+  return out;
+}
+
+std::vector<float> XpsiClassifier::radial_profile(std::span<const float> image,
+                                                  std::size_t height,
+                                                  std::size_t width) {
+  if (image.size() != height * width)
+    throw std::invalid_argument("radial_profile: image size mismatch");
+  const std::size_t bins = std::max<std::size_t>(2, std::min(height, width) / 2);
+  std::vector<float> profile(bins, 0.0f);
+  std::vector<std::size_t> counts(bins, 0);
+  const double cy = (static_cast<double>(height) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(width) - 1.0) / 2.0;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      const std::size_t r = std::min<std::size_t>(
+          bins - 1, static_cast<std::size_t>(std::sqrt(dy * dy + dx * dx)));
+      profile[r] += image[y * width + x];
+      ++counts[r];
+    }
+  }
+  for (std::size_t r = 0; r < bins; ++r) {
+    if (counts[r] > 0) profile[r] /= static_cast<float>(counts[r]);
+  }
+  return profile;
+}
+
+std::vector<std::vector<float>> XpsiClassifier::embed(const nn::Dataset& data) {
+  if (!encoder_)
+    throw std::logic_error("XpsiClassifier::embed: call fit_and_evaluate first");
+  std::vector<std::vector<float>> out;
+  out.reserve(data.size());
+  util::Rng noshuffle(0);
+  nn::BatchIterator it(data.size(), 64, noshuffle, /*shuffle=*/false);
+  for (auto idx = it.next(); !idx.empty(); idx = it.next()) {
+    const auto batch = data.gather(idx);
+    const nn::Tensor latent = encoder_->forward(batch.images, false);
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      std::vector<float> row(config_.latent_dim);
+      for (std::size_t d = 0; d < config_.latent_dim; ++d)
+        row[d] = latent[b * config_.latent_dim + d];
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace a4nn::xpsi

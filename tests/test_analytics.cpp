@@ -1,0 +1,240 @@
+// Analyzer: Pareto selection, savings/termination statistics, queries, and
+// architecture rendering on synthetic record sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analytics/analyzer.hpp"
+#include "analytics/dot_export.hpp"
+
+namespace a4nn::analytics {
+namespace {
+
+nas::EvaluationRecord make_record(int id, double fitness, std::uint64_t flops,
+                                  std::size_t epochs, bool early,
+                                  int generation = 0) {
+  nas::EvaluationRecord r;
+  r.model_id = id;
+  r.generation = generation;
+  r.fitness = fitness;
+  r.measured_fitness = fitness;
+  r.flops = flops;
+  r.epochs_trained = epochs;
+  r.max_epochs = 25;
+  r.early_terminated = early;
+  for (std::size_t e = 1; e <= epochs; ++e) {
+    // Concave saturating synthetic curve toward `fitness`.
+    r.fitness_history.push_back(
+        fitness * (1.0 - std::exp(-0.4 * static_cast<double>(e))));
+  }
+  return r;
+}
+
+TEST(Analytics, ParetoIndices) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 99.0, 5000, 25, false),
+      make_record(1, 95.0, 1000, 25, false),   // cheaper, less accurate
+      make_record(2, 90.0, 6000, 25, false),   // dominated by 0
+      make_record(3, 99.0, 4000, 25, false)};  // dominates 0 on flops
+  const auto pareto = pareto_indices(records);
+  const std::set<std::size_t> s(pareto.begin(), pareto.end());
+  EXPECT_TRUE(s.count(1));
+  EXPECT_TRUE(s.count(3));
+  EXPECT_FALSE(s.count(2));
+  EXPECT_FALSE(s.count(0));  // dominated by 3
+}
+
+TEST(Analytics, EpochSavings) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 95, 100, 10, true), make_record(1, 96, 100, 25, false),
+      make_record(2, 97, 100, 15, true)};
+  const EpochSavings s = epoch_savings(records);
+  EXPECT_EQ(s.epochs_trained, 50u);
+  EXPECT_EQ(s.epochs_budget, 75u);
+  EXPECT_NEAR(s.saved_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.early_terminated, 2u);
+  EXPECT_NEAR(s.early_terminated_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Analytics, EpochSavingsEmptyIsZero) {
+  const EpochSavings s = epoch_savings(std::vector<nas::EvaluationRecord>{});
+  EXPECT_DOUBLE_EQ(s.saved_fraction, 0.0);
+  EXPECT_EQ(s.epochs_trained, 0u);
+}
+
+TEST(Analytics, TerminationStats) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 95, 100, 10, true), make_record(1, 96, 100, 25, false),
+      make_record(2, 97, 100, 14, true), make_record(3, 98, 100, 12, true)};
+  const TerminationStats t = termination_stats(records);
+  EXPECT_EQ(t.termination_epochs.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.mean_e_t, 12.0);
+  EXPECT_DOUBLE_EQ(t.early_fraction, 0.75);
+  EXPECT_EQ(t.histogram.counts.size(), 25u);
+  EXPECT_EQ(t.histogram.total(), 3u);
+}
+
+TEST(Analytics, FitnessSummary) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 90, 2000, 25, false), make_record(1, 99, 1000, 25, false),
+      make_record(2, 80, 3000, 25, false)};
+  const FitnessSummary s = fitness_summary(records);
+  EXPECT_DOUBLE_EQ(s.best, 99.0);
+  EXPECT_DOUBLE_EQ(s.worst, 80.0);
+  EXPECT_NEAR(s.mean, 89.666, 0.01);
+  EXPECT_DOUBLE_EQ(s.best_pareto, 99.0);
+  EXPECT_DOUBLE_EQ(s.best_pareto_flops, 1000.0);
+}
+
+TEST(Analytics, FlopsFitnessCorrelation) {
+  std::vector<nas::EvaluationRecord> pos{
+      make_record(0, 90, 1000, 25, false), make_record(1, 95, 2000, 25, false),
+      make_record(2, 99, 3000, 25, false)};
+  EXPECT_GT(flops_fitness_correlation(pos), 0.9);
+}
+
+TEST(Analytics, CurveShapeDetectsConcavity) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 95, 100, 20, false), make_record(1, 90, 100, 20, false)};
+  const CurveShape shape = curve_shape(records);
+  EXPECT_DOUBLE_EQ(shape.increasing_fraction, 1.0);
+  // Saturating curves: early gain dwarfs late gain.
+  EXPECT_GT(shape.mean_first_half_gain, shape.mean_second_half_gain * 2.0);
+}
+
+TEST(Analytics, FindRecordsComposesFilters) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 95, 1000, 10, true, 0),
+      make_record(1, 85, 500, 25, false, 1),
+      make_record(2, 99, 2000, 12, true, 1)};
+  RecordQuery q;
+  q.min_fitness = 90.0;
+  EXPECT_EQ(find_records(records, q), (std::vector<std::size_t>{0, 2}));
+  q.max_flops = 1500.0;
+  EXPECT_EQ(find_records(records, q), (std::vector<std::size_t>{0}));
+  RecordQuery early;
+  early.early_terminated_only = true;
+  early.generation = 1;
+  EXPECT_EQ(find_records(records, early), (std::vector<std::size_t>{2}));
+}
+
+TEST(Analytics, RenderArchitectureShowsStructure) {
+  nas::Genome g;
+  for (int p = 0; p < 3; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = 4;
+    spec.bits = {true, false, true, false, false, false};  // 0->1, 1->2
+    spec.skip = p == 1;
+    g.phases.push_back(spec);
+  }
+  nas::SearchSpaceConfig space;
+  const std::string art = render_architecture(g, space);
+  EXPECT_NE(art.find("stem"), std::string::npos);
+  EXPECT_NE(art.find("phase 1"), std::string::npos);
+  EXPECT_NE(art.find("phase 3"), std::string::npos);
+  EXPECT_NE(art.find("(+input skip)"), std::string::npos);
+  EXPECT_NE(art.find("node 1: conv3x3+bn+relu <- node 0"), std::string::npos);
+  EXPECT_NE(art.find("node 3: (pruned)"), std::string::npos);
+  EXPECT_NE(art.find("global-avg-pool"), std::string::npos);
+}
+
+TEST(Analytics, RenderRepairsEmptyPhase) {
+  nas::Genome g;
+  for (int p = 0; p < 3; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = 4;
+    spec.bits.assign(6, false);
+    g.phases.push_back(spec);
+  }
+  nas::SearchSpaceConfig space;
+  const std::string art = render_architecture(g, space);
+  // Node 0 repaired to active, reading the phase input.
+  EXPECT_NE(art.find("node 0: conv3x3+bn+relu <- phase input"),
+            std::string::npos);
+}
+
+TEST(Analytics, HypervolumeHandComputed) {
+  // Minimization points (1,3),(2,2),(3,1) vs reference (4,4): staircase
+  // area = 1*1 + 1*2 + 1*3 = 6.
+  const std::vector<nas::Objectives> pts{{1, 3}, {2, 2}, {3, 1}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {4, 4}), 6.0);
+  // Dominated points add nothing.
+  const std::vector<nas::Objectives> with_dominated{
+      {1, 3}, {2, 2}, {3, 1}, {2.5, 2.5}};
+  EXPECT_DOUBLE_EQ(hypervolume(with_dominated, {4, 4}), 6.0);
+  // Points outside the reference box contribute nothing.
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, {4, 4}), 0.0);
+}
+
+TEST(Analytics, HypervolumeSinglePointIsBox) {
+  const std::vector<nas::Objectives> pts{{1, 1}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, {3, 5}), 8.0);
+}
+
+TEST(Analytics, FrontierHypervolumeNormalized) {
+  std::vector<nas::EvaluationRecord> records{
+      make_record(0, 100, 0, 25, false)};  // perfect corner
+  // (acc 100, flops 0) dominates the whole (50..100) x (0..1000) box.
+  EXPECT_NEAR(frontier_hypervolume(records, 50.0, 1000.0), 1.0, 1e-12);
+  std::vector<nas::EvaluationRecord> mid{make_record(0, 75, 500, 25, false)};
+  EXPECT_NEAR(frontier_hypervolume(mid, 50.0, 1000.0), 0.25, 1e-12);
+  // A better frontier has larger hypervolume.
+  std::vector<nas::EvaluationRecord> better{
+      make_record(0, 75, 500, 25, false), make_record(1, 95, 800, 25, false)};
+  EXPECT_GT(frontier_hypervolume(better, 50.0, 1000.0),
+            frontier_hypervolume(mid, 50.0, 1000.0));
+}
+
+TEST(DotExport, RendersWellFormedDigraph) {
+  nas::Genome g;
+  for (int p = 0; p < 3; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = 4;
+    spec.bits = {true, false, true, false, false, false};
+    spec.skip = p == 0;
+    g.phases.push_back(spec);
+  }
+  nas::SearchSpaceConfig space;
+  const std::string dot = to_dot(g, space);
+  EXPECT_EQ(dot.rfind("digraph a4nn_model {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  std::size_t open = 0, close = 0;
+  for (char c : dot) {
+    if (c == '{') ++open;
+    if (c == '}') ++close;
+  }
+  EXPECT_EQ(open, close);
+  // One cluster per phase, skip edge highlighted, pruned node greyed.
+  EXPECT_NE(dot.find("cluster_phase0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_phase2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"skip\""), std::string::npos);
+  EXPECT_NE(dot.find("#cccccc"), std::string::npos);
+  // Stem feeds phase 0, head feeds output.
+  EXPECT_NE(dot.find("stem -> p0_n0"), std::string::npos);
+  EXPECT_NE(dot.find("head -> output"), std::string::npos);
+}
+
+TEST(DotExport, StyleAndRankdirApply) {
+  nas::Genome g;
+  for (int p = 0; p < 3; ++p) {
+    nn::PhaseSpec spec;
+    spec.nodes = 4;
+    spec.bits.assign(6, true);
+    g.phases.push_back(spec);
+  }
+  nas::SearchSpaceConfig space;
+  DotStyle style;
+  style.node_color = "#123456";
+  style.rankdir_lr = true;
+  const std::string dot = to_dot(g, space, style);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("#123456"), std::string::npos);
+  // Fully connected phases have no pruned nodes.
+  EXPECT_EQ(dot.find("#cccccc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace a4nn::analytics

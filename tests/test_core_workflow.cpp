@@ -1,0 +1,172 @@
+// End-to-end A4NN workflow vs the standalone baseline on a shared tiny
+// dataset: the paper's central comparison, in miniature.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/a4nn.hpp"
+#include "util/fsutil.hpp"
+
+namespace a4nn::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+WorkflowConfig tiny_config() {
+  WorkflowConfig cfg;
+  cfg.dataset.images_per_class = 40;
+  cfg.dataset.detector.pixels = 8;
+  cfg.dataset.intensity = xfel::BeamIntensity::kHigh;
+  cfg.nas.population_size = 4;
+  cfg.nas.offspring_per_generation = 4;
+  cfg.nas.generations = 2;
+  cfg.nas.max_epochs = 10;
+  cfg.nas.space.input_shape = {1, 8, 8};
+  cfg.nas.space.stem_channels = 4;
+  cfg.trainer.max_epochs = 10;
+  cfg.trainer.engine.e_pred = 10.0;
+  return cfg;
+}
+
+TEST(Workflow, RunsAndAccountsEverything) {
+  WorkflowConfig cfg = tiny_config();
+  cfg.cluster.num_gpus = 2;
+  A4nnWorkflow workflow(cfg);
+  const WorkflowResult result = workflow.run();
+  EXPECT_EQ(result.search.history.size(), 8u);
+  EXPECT_EQ(result.schedules.size(), 2u);  // one per generation
+  EXPECT_GT(result.virtual_wall_seconds, 0.0);
+  EXPECT_GT(result.measured_wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.virtual_wall_seconds,
+                   result.schedules.back().makespan_end);
+  EXPECT_FALSE(result.commons_root.has_value());
+  for (const auto& r : result.search.history) {
+    EXPECT_LE(r.epochs_trained, 10u);
+    EXPECT_GE(r.device_id, 0);
+    EXPECT_LT(r.device_id, 2);
+  }
+}
+
+TEST(Workflow, StandaloneVariantDisablesEngineAndMultiGpu) {
+  WorkflowConfig cfg = tiny_config();
+  cfg.cluster.num_gpus = 4;
+  const WorkflowConfig standalone = standalone_variant(cfg);
+  EXPECT_FALSE(standalone.trainer.use_prediction_engine);
+  EXPECT_EQ(standalone.cluster.num_gpus, 1u);
+
+  A4nnWorkflow workflow(standalone);
+  const WorkflowResult result = workflow.run();
+  // Without the engine every model trains the full budget.
+  for (const auto& r : result.search.history) {
+    EXPECT_EQ(r.epochs_trained, 10u);
+    EXPECT_FALSE(r.early_terminated);
+    EXPECT_TRUE(r.prediction_history.empty());
+  }
+}
+
+TEST(Workflow, SharedDatasetMakesComparisonFair) {
+  WorkflowConfig cfg = tiny_config();
+  A4nnWorkflow a4nn(cfg);
+  // The baseline reuses the generated dataset instead of regenerating.
+  A4nnWorkflow baseline(standalone_variant(cfg), a4nn.dataset());
+  const WorkflowResult ra = a4nn.run();
+  const WorkflowResult rb = baseline.run();
+  // Same search trajectory (same NAS seed) -> same genomes evaluated.
+  ASSERT_EQ(ra.search.history.size(), rb.search.history.size());
+  EXPECT_EQ(ra.search.history[0].genome.key(),
+            rb.search.history[0].genome.key());
+  // A4NN can only train fewer or equal epochs.
+  EXPECT_LE(ra.search.total_epochs_trained(), rb.search.total_epochs_trained());
+}
+
+TEST(Workflow, LineageCommonsWrittenWhenConfigured) {
+  WorkflowConfig cfg = tiny_config();
+  const fs::path root = util::make_temp_dir("a4nn-wf-commons");
+  cfg.lineage = lineage::TrackerConfig{root, 0};
+  A4nnWorkflow workflow(cfg);
+  const WorkflowResult result = workflow.run();
+  ASSERT_TRUE(result.commons_root.has_value());
+
+  lineage::DataCommons commons(*result.commons_root);
+  EXPECT_EQ(commons.load_records().size(), result.search.history.size());
+  const util::Json search_cfg = commons.search_config();
+  EXPECT_EQ(search_cfg.at("dataset").at("intensity").as_string(), "high");
+  EXPECT_DOUBLE_EQ(search_cfg.at("dataset").at("fluence").as_number(), 1e16);
+  fs::remove_all(root);
+}
+
+TEST(Workflow, ResumeFromCommonsSkipsCompletedTrainings) {
+  WorkflowConfig cfg = tiny_config();
+  const fs::path root = util::make_temp_dir("a4nn-resume");
+  cfg.lineage = lineage::TrackerConfig{root, 0};
+
+  // Full run writes every record trail.
+  A4nnWorkflow original(cfg);
+  const WorkflowResult full = original.run();
+  EXPECT_EQ(full.resumed_evaluations, 0u);
+
+  // Simulate an interrupted run: drop the trails of the last generation.
+  std::size_t removed = 0;
+  for (const auto& r : full.search.history) {
+    if (r.generation == 1) {
+      fs::remove(root / "models" / lineage::model_dir_name(r.model_id) /
+                 "record.json");
+      ++removed;
+    }
+  }
+  ASSERT_GT(removed, 0u);
+
+  // Resume retrains only the missing networks and reproduces the search.
+  WorkflowConfig resume_cfg = cfg;
+  resume_cfg.resume_from_commons = true;
+  A4nnWorkflow resumed(resume_cfg, original.dataset());
+  const WorkflowResult replay = resumed.run();
+  EXPECT_EQ(replay.resumed_evaluations,
+            full.search.history.size() - removed);
+  ASSERT_EQ(replay.search.history.size(), full.search.history.size());
+  for (std::size_t i = 0; i < full.search.history.size(); ++i) {
+    EXPECT_EQ(replay.search.history[i].genome.key(),
+              full.search.history[i].genome.key());
+    EXPECT_EQ(replay.search.history[i].fitness_history,
+              full.search.history[i].fitness_history);
+  }
+  fs::remove_all(root);
+}
+
+TEST(Workflow, ResumeIgnoresMismatchedGenomes) {
+  WorkflowConfig cfg = tiny_config();
+  const fs::path root = util::make_temp_dir("a4nn-resume-bad");
+  cfg.lineage = lineage::TrackerConfig{root, 0};
+  A4nnWorkflow original(cfg);
+  const WorkflowResult full = original.run();
+
+  // Poison one record with a different genome: the resume must retrain it
+  // rather than silently reuse a wrong result.
+  lineage::DataCommons commons(root);
+  auto records = commons.load_records();
+  util::Rng rng(4242);
+  records[0].genome = nas::random_genome(3, 4, rng);
+  lineage::LineageTracker tracker({root, 0});
+  tracker.record_evaluation(records[0]);
+
+  WorkflowConfig resume_cfg = cfg;
+  resume_cfg.resume_from_commons = true;
+  A4nnWorkflow resumed(resume_cfg, original.dataset());
+  const WorkflowResult replay = resumed.run();
+  EXPECT_EQ(replay.resumed_evaluations, full.search.history.size() - 1);
+  EXPECT_EQ(replay.search.history[0].genome.key(),
+            full.search.history[0].genome.key());
+  fs::remove_all(root);
+}
+
+TEST(Workflow, ConfigSerializesKeySettings) {
+  const WorkflowConfig cfg = tiny_config();
+  const util::Json j = cfg.to_json();
+  EXPECT_EQ(j.at("nas").at("population_size").as_int(), 4);
+  EXPECT_EQ(j.at("trainer").at("engine").at("function").as_string(),
+            "pow_exp");
+  EXPECT_EQ(j.at("cluster").at("num_gpus").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace a4nn::core

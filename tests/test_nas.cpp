@@ -1,0 +1,426 @@
+// NAS substrate: genome encoding, NSGA-II machinery, variation operators,
+// genome decoding, and the search loop against a fake evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nas/search.hpp"
+
+namespace a4nn::nas {
+namespace {
+
+TEST(Genome, BitsRoundTrip) {
+  util::Rng rng(1);
+  const Genome g = random_genome(3, 4, rng);
+  EXPECT_EQ(g.bit_count(), 3u * 7u);  // 6 connectivity + 1 skip per phase
+  const Genome back = Genome::from_bits(g.to_bits(), 3, 4);
+  EXPECT_EQ(back.key(), g.key());
+  EXPECT_TRUE(back == g);
+}
+
+TEST(Genome, FromBitsValidatesLength) {
+  std::vector<bool> bits(5, false);
+  EXPECT_THROW(Genome::from_bits(bits, 3, 4), std::invalid_argument);
+}
+
+TEST(Genome, JsonRoundTrip) {
+  util::Rng rng(2);
+  const Genome g = random_genome(2, 3, rng);
+  const Genome back =
+      Genome::from_json(util::Json::parse(g.to_json().dump()));
+  EXPECT_EQ(back.key(), g.key());
+}
+
+TEST(Genome, KeysDistinguishArchitectures) {
+  util::Rng rng(3);
+  std::set<std::string> keys;
+  for (int i = 0; i < 200; ++i) keys.insert(random_genome(3, 4, rng).key());
+  EXPECT_GT(keys.size(), 150u);  // 2^21 space: collisions should be rare
+}
+
+TEST(GenomeOps, ExtendedEncodingRoundTrips) {
+  util::Rng rng(41);
+  const Genome g = random_genome(3, 4, rng, /*with_node_ops=*/true);
+  EXPECT_TRUE(g.has_node_ops());
+  // 6 connectivity + 1 skip + 2*4 op bits per phase.
+  EXPECT_EQ(g.bit_count(), 3u * (6u + 1u + 8u));
+  const Genome back = Genome::from_bits(g.to_bits(), 3, 4, true);
+  EXPECT_EQ(back.key(), g.key());
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_EQ(back.phases[p].node_ops, g.phases[p].node_ops);
+  const Genome json_back =
+      Genome::from_json(util::Json::parse(g.to_json().dump()));
+  EXPECT_EQ(json_back.key(), g.key());
+}
+
+TEST(GenomeOps, KeyDistinguishesOpChoices) {
+  util::Rng rng(42);
+  Genome a = random_genome(2, 3, rng, true);
+  Genome b = a;
+  b.phases[0].node_ops[0] =
+      static_cast<nn::NodeOp>((static_cast<int>(a.phases[0].node_ops[0]) + 1) %
+                              static_cast<int>(nn::kNodeOpCount));
+  EXPECT_NE(a.key(), b.key());
+  // Connectivity-identical genomes with/without ops also differ.
+  Genome no_ops = a;
+  for (auto& phase : no_ops.phases) phase.node_ops.clear();
+  EXPECT_NE(a.key(), no_ops.key());
+}
+
+TEST(GenomeOps, OperatorsPreserveOpEncoding) {
+  util::Rng rng(43);
+  const Genome a = random_genome(3, 4, rng, true);
+  const Genome b = random_genome(3, 4, rng, true);
+  OperatorConfig cfg;
+  cfg.crossover_rate = 1.0;
+  const Genome child = mutate(crossover(a, b, cfg, rng), cfg, rng);
+  EXPECT_TRUE(child.has_node_ops());
+  EXPECT_EQ(child.phases[0].node_ops.size(), 4u);
+}
+
+TEST(GenomeOps, RandomOpsCoverTheOpSet) {
+  util::Rng rng(44);
+  std::set<nn::NodeOp> seen;
+  for (int i = 0; i < 30; ++i) {
+    const Genome g = random_genome(3, 4, rng, true);
+    for (const auto& p : g.phases)
+      seen.insert(p.node_ops.begin(), p.node_ops.end());
+  }
+  EXPECT_EQ(seen.size(), nn::kNodeOpCount);
+}
+
+TEST(GenomeOps, ExtendedGenomeDecodesAndTrainsForward) {
+  util::Rng rng(45);
+  const Genome g = random_genome(3, 4, rng, true);
+  SearchSpaceConfig cfg;
+  cfg.searchable_ops = true;
+  nn::Model model = decode_genome(g, cfg, rng);
+  nn::Tensor x({2, 1, 16, 16});
+  EXPECT_EQ(model.predict(x).shape(), (tensor::Shape{2, 2}));
+}
+
+TEST(PhaseSpecHelper, EdgeIndexing) {
+  EXPECT_EQ(nn::PhaseSpec::bits_for_nodes(4), 6u);
+  EXPECT_EQ(nn::PhaseSpec::edge_index(0, 1), 0u);
+  EXPECT_EQ(nn::PhaseSpec::edge_index(0, 2), 1u);
+  EXPECT_EQ(nn::PhaseSpec::edge_index(1, 2), 2u);
+  EXPECT_EQ(nn::PhaseSpec::edge_index(2, 3), 5u);
+}
+
+TEST(SearchSpace, DecodeProducesTrainableModel) {
+  util::Rng rng(4);
+  const Genome g = random_genome(3, 4, rng);
+  SearchSpaceConfig cfg;
+  cfg.input_shape = {1, 16, 16};
+  nn::Model model = decode_genome(g, cfg, rng);
+  EXPECT_GT(model.flops_per_image(), 0u);
+  EXPECT_GT(model.parameter_count(), 0u);
+  // Forward pass produces 2 class logits.
+  nn::Tensor x({2, 1, 16, 16});
+  const nn::Tensor logits = model.predict(x);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{2, 2}));
+}
+
+TEST(SearchSpace, MoreEdgesMeanMoreFlops) {
+  SearchSpaceConfig cfg;
+  Genome sparse, dense;
+  for (int p = 0; p < 3; ++p) {
+    nn::PhaseSpec s;
+    s.nodes = 4;
+    s.bits.assign(6, false);
+    sparse.phases.push_back(s);
+    nn::PhaseSpec d;
+    d.nodes = 4;
+    d.bits.assign(6, true);
+    dense.phases.push_back(d);
+  }
+  EXPECT_GT(genome_flops(dense, cfg), genome_flops(sparse, cfg));
+}
+
+TEST(SearchSpace, PhaseCountMismatchRejected) {
+  util::Rng rng(5);
+  const Genome g = random_genome(2, 4, rng);
+  SearchSpaceConfig cfg;  // expects 3 phases
+  EXPECT_THROW(decode_genome(g, cfg, rng), std::invalid_argument);
+}
+
+TEST(Nsga2, Dominates) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // trade-off
+  EXPECT_FALSE(dominates({1.0, 1.0}, {1.0, 1.0}));  // equal
+}
+
+TEST(Nsga2, FastNonDominatedSortLayers) {
+  // Front 0: (0,3), (1,1), (3,0). Front 1: (2,2). Front 2: (4,4).
+  const std::vector<Objectives> pts{{0, 3}, {1, 1}, {3, 0}, {2, 2}, {4, 4}};
+  const auto fronts = fast_non_dominated_sort(pts);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(std::set<std::size_t>(fronts[0].begin(), fronts[0].end()),
+            (std::set<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{4}));
+}
+
+TEST(Nsga2, CrowdingDistanceBoundariesInfinite) {
+  const std::vector<Objectives> pts{{0, 4}, {1, 2}, {2, 1}, {4, 0}};
+  const std::vector<std::size_t> front{0, 1, 2, 3};
+  const auto dist = crowding_distance(pts, front);
+  EXPECT_TRUE(std::isinf(dist[0]));
+  EXPECT_TRUE(std::isinf(dist[3]));
+  EXPECT_GT(dist[1], 0.0);
+  EXPECT_FALSE(std::isinf(dist[1]));
+}
+
+TEST(Nsga2, CrowdingDistanceSmallFronts) {
+  const std::vector<Objectives> pts{{0, 1}, {1, 0}};
+  const std::vector<std::size_t> front{0, 1};
+  for (double d : crowding_distance(pts, front)) EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(Nsga2, EnvironmentalSelectionPrefersBetterFronts) {
+  const std::vector<Objectives> pts{{0, 3}, {1, 1}, {3, 0}, {2, 2}, {4, 4}};
+  const auto chosen = environmental_selection(pts, 3);
+  EXPECT_EQ(std::set<std::size_t>(chosen.begin(), chosen.end()),
+            (std::set<std::size_t>{0, 1, 2}));
+  EXPECT_THROW(environmental_selection(pts, 10), std::invalid_argument);
+}
+
+TEST(Nsga2, EnvironmentalSelectionBreaksTiesByCrowding) {
+  // One big front; picking 3 of 4 must keep both extremes.
+  const std::vector<Objectives> pts{{0, 10}, {1, 5}, {1.1, 4.9}, {10, 0}};
+  const auto chosen = environmental_selection(pts, 3);
+  const std::set<std::size_t> s(chosen.begin(), chosen.end());
+  EXPECT_TRUE(s.count(0));
+  EXPECT_TRUE(s.count(3));
+}
+
+TEST(Nsga2, TournamentWinner) {
+  const std::vector<RankedPoint> ranked{
+      {0, 1.0}, {1, 100.0}, {0, 2.0}};
+  EXPECT_EQ(tournament_winner(ranked, 0, 1), 0u);  // rank beats crowding
+  EXPECT_EQ(tournament_winner(ranked, 0, 2), 2u);  // crowding breaks tie
+}
+
+TEST(Nsga2, ParetoFront) {
+  const std::vector<Objectives> pts{{0, 3}, {1, 1}, {3, 0}, {2, 2}};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(std::set<std::size_t>(front.begin(), front.end()),
+            (std::set<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(pareto_front(std::vector<Objectives>{}).empty());
+}
+
+TEST(Operators, CrossoverPreservesStructure) {
+  util::Rng rng(6);
+  const Genome a = random_genome(3, 4, rng);
+  const Genome b = random_genome(3, 4, rng);
+  OperatorConfig cfg;
+  cfg.crossover_rate = 1.0;
+  const Genome child = crossover(a, b, cfg, rng);
+  EXPECT_EQ(child.phase_count(), 3u);
+  // Every child bit comes from one of the parents.
+  const auto ba = a.to_bits(), bb = b.to_bits(), bc = child.to_bits();
+  for (std::size_t i = 0; i < bc.size(); ++i)
+    EXPECT_TRUE(bc[i] == ba[i] || bc[i] == bb[i]);
+}
+
+TEST(Operators, ZeroRateCrossoverCopiesParentA) {
+  util::Rng rng(7);
+  const Genome a = random_genome(3, 4, rng);
+  const Genome b = random_genome(3, 4, rng);
+  OperatorConfig cfg;
+  cfg.crossover_rate = 0.0;
+  EXPECT_EQ(crossover(a, b, cfg, rng).key(), a.key());
+}
+
+TEST(Operators, MutationFlipsExpectedFraction) {
+  util::Rng rng(8);
+  const Genome g = random_genome(3, 4, rng);
+  OperatorConfig cfg;
+  cfg.mutation_rate = 1.0;  // flip everything
+  const auto orig = g.to_bits();
+  const auto flipped = mutate(g, cfg, rng).to_bits();
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    EXPECT_NE(orig[i], flipped[i]);
+  cfg.mutation_rate = 0.0;
+  EXPECT_EQ(mutate(g, cfg, rng).key(), g.key());
+}
+
+/// Fake evaluator: fitness = number of set bits (more edges = "better"),
+/// flops = same count (so there's a genuine trade-off frontier of one
+/// point... use inverted flops to make it interesting).
+class FakeEvaluator : public Evaluator {
+ public:
+  std::vector<EvaluationRecord> evaluate_generation(
+      std::span<const Genome> genomes, int /*generation*/) override {
+    std::vector<EvaluationRecord> out;
+    for (const auto& g : genomes) {
+      EvaluationRecord r;
+      r.genome = g;
+      std::size_t ones = 0;
+      for (bool b : g.to_bits()) ones += b ? 1 : 0;
+      r.fitness = static_cast<double>(ones);
+      r.measured_fitness = r.fitness;
+      r.flops = 10 + ones * ones;  // quadratic cost: frontier is a curve
+      r.epochs_trained = 25;
+      r.max_epochs = 25;
+      r.fitness_history.assign(25, r.fitness);
+      r.epoch_virtual_seconds.assign(25, 1.0);
+      r.virtual_seconds = 25.0;
+      ++calls;
+      return_count += 1;
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+  int calls = 0;
+  int return_count = 0;
+};
+
+TEST(Search, ConfigTotals) {
+  NsgaNetConfig cfg;
+  EXPECT_EQ(cfg.total_networks(), 100u);  // paper Table 2
+  cfg.generations = 3;
+  cfg.population_size = 8;
+  cfg.offspring_per_generation = 6;
+  EXPECT_EQ(cfg.total_networks(), 20u);
+}
+
+TEST(Search, EvaluatesExactlyTotalNetworksAllDistinct) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 6;
+  cfg.offspring_per_generation = 6;
+  cfg.generations = 4;
+  FakeEvaluator eval;
+  NsgaNetSearch search(cfg, eval);
+  const SearchResult result = search.run();
+  EXPECT_EQ(result.history.size(), cfg.total_networks());
+  std::set<std::string> keys;
+  for (const auto& r : result.history) keys.insert(r.genome.key());
+  EXPECT_EQ(keys.size(), result.history.size());  // dedup guarantee
+  // model_id indexes history.
+  for (std::size_t i = 0; i < result.history.size(); ++i)
+    EXPECT_EQ(result.history[i].model_id, static_cast<int>(i));
+}
+
+TEST(Search, FinalPopulationAndParetoAreValid) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 5;
+  cfg.offspring_per_generation = 5;
+  cfg.generations = 3;
+  FakeEvaluator eval;
+  NsgaNetSearch search(cfg, eval);
+  const SearchResult result = search.run();
+  EXPECT_EQ(result.final_population.size(), cfg.population_size);
+  EXPECT_FALSE(result.pareto.empty());
+  // Pareto members must be mutually non-dominating.
+  for (std::size_t a : result.pareto) {
+    for (std::size_t b : result.pareto) {
+      if (a == b) continue;
+      EXPECT_FALSE(dominates(record_objectives(result.history[a]),
+                             record_objectives(result.history[b])));
+    }
+  }
+}
+
+TEST(Search, ObserverSeesEveryGeneration) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 4;
+  cfg.offspring_per_generation = 4;
+  cfg.generations = 3;
+  FakeEvaluator eval;
+  NsgaNetSearch search(cfg, eval);
+  std::vector<int> generations;
+  std::size_t records_seen = 0;
+  search.set_observer([&](int gen, std::span<const EvaluationRecord> recs) {
+    generations.push_back(gen);
+    records_seen += recs.size();
+  });
+  search.run();
+  EXPECT_EQ(generations, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(records_seen, cfg.total_networks());
+}
+
+TEST(Search, GenerationsStampedOnRecords) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 4;
+  cfg.offspring_per_generation = 2;
+  cfg.generations = 2;
+  FakeEvaluator eval;
+  NsgaNetSearch search(cfg, eval);
+  const SearchResult result = search.run();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(result.history[i].generation, 0);
+  for (std::size_t i = 4; i < 6; ++i)
+    EXPECT_EQ(result.history[i].generation, 1);
+}
+
+TEST(Search, DeterministicForSeed) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 4;
+  cfg.offspring_per_generation = 4;
+  cfg.generations = 3;
+  FakeEvaluator e1, e2;
+  const SearchResult r1 = NsgaNetSearch(cfg, e1).run();
+  const SearchResult r2 = NsgaNetSearch(cfg, e2).run();
+  ASSERT_EQ(r1.history.size(), r2.history.size());
+  for (std::size_t i = 0; i < r1.history.size(); ++i)
+    EXPECT_EQ(r1.history[i].genome.key(), r2.history[i].genome.key());
+}
+
+TEST(Search, ValidatesConfig) {
+  NsgaNetConfig cfg;
+  cfg.population_size = 1;
+  FakeEvaluator eval;
+  EXPECT_THROW(NsgaNetSearch(cfg, eval), std::invalid_argument);
+}
+
+TEST(EvaluationRecord, JsonRoundTrip) {
+  util::Rng rng(9);
+  EvaluationRecord r;
+  r.genome = random_genome(3, 4, rng);
+  r.model_id = 17;
+  r.generation = 2;
+  r.fitness = 98.25;
+  r.measured_fitness = 97.5;
+  r.flops = 123456;
+  r.parameters = 999;
+  r.epochs_trained = 12;
+  r.max_epochs = 25;
+  r.early_terminated = true;
+  r.fitness_history = {50.0, 80.0, 95.0};
+  r.prediction_history = {97.0, 98.0, 98.25};
+  r.epoch_virtual_seconds = {60.0, 60.0, 60.0};
+  r.wall_seconds = 1.5;
+  r.virtual_seconds = 180.0;
+  r.engine_overhead_seconds = 0.001;
+  r.device_id = 3;
+
+  const EvaluationRecord back =
+      EvaluationRecord::from_json(util::Json::parse(r.to_json().dump(2)));
+  EXPECT_EQ(back.genome.key(), r.genome.key());
+  EXPECT_EQ(back.model_id, 17);
+  EXPECT_DOUBLE_EQ(back.fitness, 98.25);
+  EXPECT_EQ(back.flops, 123456u);
+  EXPECT_TRUE(back.early_terminated);
+  EXPECT_EQ(back.fitness_history, r.fitness_history);
+  EXPECT_EQ(back.device_id, 3);
+}
+
+TEST(SearchResult, AggregateAccounting) {
+  SearchResult r;
+  EvaluationRecord a, b;
+  a.epochs_trained = 10;
+  a.virtual_seconds = 100.0;
+  a.wall_seconds = 1.0;
+  b.epochs_trained = 25;
+  b.virtual_seconds = 250.0;
+  b.wall_seconds = 2.0;
+  r.history = {a, b};
+  EXPECT_EQ(r.total_epochs_trained(), 35u);
+  EXPECT_DOUBLE_EQ(r.total_wall_seconds(), 3.0);
+}
+
+}  // namespace
+}  // namespace a4nn::nas

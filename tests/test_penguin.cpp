@@ -1,0 +1,330 @@
+// Prediction engine: parametric families (values, gradients, guesses),
+// Levenberg-Marquardt fitting, and the predictor/analyzer semantics of
+// Algorithm 1 / Table 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "penguin/engine.hpp"
+#include "util/rng.hpp"
+
+namespace a4nn::penguin {
+namespace {
+
+/// Sample the paper's curve family: y = a - b^(c - x).
+std::vector<double> sample_pow_exp(double a, double b, double c,
+                                   std::size_t n) {
+  std::vector<double> ys;
+  for (std::size_t i = 1; i <= n; ++i)
+    ys.push_back(a - std::pow(b, c - static_cast<double>(i)));
+  return ys;
+}
+
+std::vector<double> epochs(std::size_t n) {
+  std::vector<double> xs;
+  for (std::size_t i = 1; i <= n; ++i) xs.push_back(static_cast<double>(i));
+  return xs;
+}
+
+TEST(Parametric, RegistryAndNames) {
+  for (const auto& name : function_names()) {
+    const FunctionPtr f = make_function(name);
+    EXPECT_EQ(f->name(), name);
+    EXPECT_EQ(f->param_count(), 3u);
+  }
+  EXPECT_THROW(make_function("not_a_family"), std::invalid_argument);
+}
+
+TEST(Parametric, PowExpEvaluates) {
+  const FunctionPtr f = make_pow_exp();
+  const std::vector<double> p{90.0, 2.0, 3.0};
+  // F(3) = 90 - 2^0 = 89; F(5) = 90 - 2^-2 = 89.75.
+  EXPECT_NEAR(f->eval(p, 3.0), 89.0, 1e-12);
+  EXPECT_NEAR(f->eval(p, 5.0), 89.75, 1e-12);
+  // Saturates at a.
+  EXPECT_NEAR(f->eval(p, 100.0), 90.0, 1e-9);
+}
+
+class GradientCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GradientCheck, AnalyticMatchesFiniteDifference) {
+  const FunctionPtr f = make_function(GetParam());
+  // Valid parameters for each family.
+  std::vector<double> p;
+  if (GetParam() == "pow_exp") p = {90.0, 1.8, 2.5};
+  else if (GetParam() == "inverse_power") p = {95.0, 30.0, 0.8};
+  else if (GetParam() == "logistic") p = {98.0, 0.4, 8.0};
+  else if (GetParam() == "weibull") p = {95.0, 5.0, 1.2};
+  else if (GetParam() == "ilog") p = {98.0, 20.0, 2.0};
+  else if (GetParam() == "janoschek") p = {95.0, 40.0, 0.3};
+  else if (GetParam() == "mmf") p = {95.0, 3.0, 1.2};
+  else p = {4.0, -2.0, 0.2};  // vapor_pressure
+
+  std::vector<double> grad(3);
+  for (double x : {2.0, 5.0, 11.0}) {
+    f->gradient(p, x, grad);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double eps = 1e-6 * std::max(1.0, std::fabs(p[i]));
+      std::vector<double> pp = p, pm = p;
+      pp[i] += eps;
+      pm[i] -= eps;
+      const double numeric = (f->eval(pp, x) - f->eval(pm, x)) / (2.0 * eps);
+      EXPECT_NEAR(grad[i], numeric, 1e-4 * std::max(1.0, std::fabs(numeric)))
+          << GetParam() << " param " << i << " at x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GradientCheck,
+                         ::testing::Values("pow_exp", "inverse_power",
+                                           "logistic", "vapor_pressure",
+                                           "weibull", "ilog", "janoschek",
+                                           "mmf"));
+
+class FitSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FitSweep, FamilyFitsItsOwnCleanSamples) {
+  // Self-consistency: every family must recover (to small SSE) a curve
+  // sampled from itself with valid parameters.
+  const FunctionPtr f = make_function(GetParam());
+  std::vector<double> p;
+  if (GetParam() == "pow_exp") p = {92.0, 1.5, 2.0};
+  else if (GetParam() == "inverse_power") p = {95.0, 30.0, 0.8};
+  else if (GetParam() == "logistic") p = {95.0, 0.6, 5.0};
+  else if (GetParam() == "weibull") p = {95.0, 4.0, 1.1};
+  else if (GetParam() == "ilog") p = {99.0, 25.0, 2.0};
+  else if (GetParam() == "janoschek") p = {94.0, 45.0, 0.35};
+  else if (GetParam() == "mmf") p = {95.0, 3.0, 1.3};
+  else p = {4.5, -1.5, 0.05};  // vapor_pressure
+  std::vector<double> ys;
+  for (double x : epochs(15)) ys.push_back(f->eval(p, x));
+  const auto fit = fit_curve(*f, epochs(15), ys);
+  ASSERT_TRUE(fit.has_value()) << GetParam();
+  EXPECT_LT(fit->sse, 1.0) << GetParam();
+  // Extrapolation close to the family's own value.
+  EXPECT_NEAR(f->eval(fit->params, 25.0), f->eval(p, 25.0), 2.0)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FitSweep,
+                         ::testing::Values("pow_exp", "inverse_power",
+                                           "logistic", "vapor_pressure",
+                                           "weibull", "ilog", "janoschek",
+                                           "mmf"));
+
+TEST(Ensemble, WeightsFavorBetterFittingFamily) {
+  // Data sampled from janoschek: the ensemble's prediction should be close
+  // to the true plateau and the janoschek member should carry weight.
+  const FunctionPtr truth_family = make_janoschek();
+  const std::vector<double> p{93.0, 45.0, 0.4};
+  std::vector<double> ys;
+  for (double x : epochs(12)) ys.push_back(truth_family->eval(p, x));
+  const std::vector<FunctionPtr> pool{make_pow_exp(), make_janoschek(),
+                                      make_ilog()};
+  const auto ens = ensemble_predict(pool, epochs(12), ys, 25.0);
+  ASSERT_TRUE(ens.has_value());
+  EXPECT_NEAR(ens->prediction, truth_family->eval(p, 25.0), 1.0);
+  double weight_sum = 0.0;
+  for (const auto& [name, pred, weight] : ens->members) weight_sum += weight;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(Ensemble, EmptyOrUnfittablePoolReturnsNull) {
+  const std::vector<double> ys{90.0, 80.0, 70.0, 60.0};  // decreasing
+  EXPECT_FALSE(ensemble_predict({}, epochs(4), ys, 25.0).has_value());
+  EXPECT_FALSE(ensemble_predict({make_pow_exp()}, epochs(4), ys, 25.0)
+                   .has_value());
+}
+
+TEST(Ensemble, EngineUsesEnsembleWhenConfigured) {
+  EngineConfig cfg = default_engine_config();
+  cfg.ensemble = {make_pow_exp(), make_janoschek(), make_weibull()};
+  const PredictionEngine engine(cfg);
+  const auto ys = sample_pow_exp(96.0, 1.5, 2.0, 10);
+  const auto p = engine.predict(ys);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 96.0, 1.5);
+  const util::Json j = cfg.to_json();
+  EXPECT_EQ(j.at("ensemble").size(), 3u);
+}
+
+TEST(Parametric, PowExpInitialGuessOnCleanCurve) {
+  const FunctionPtr f = make_pow_exp();
+  const auto ys = sample_pow_exp(92.0, 1.6, 2.0, 8);
+  const auto guess = f->initial_guess(epochs(8), ys);
+  ASSERT_TRUE(guess.has_value());
+  EXPECT_TRUE(f->valid_params(*guess));
+  EXPECT_NEAR((*guess)[0], 92.0, 3.0);  // plateau near a
+}
+
+TEST(Parametric, PowExpRejectsDecreasingCurve) {
+  const FunctionPtr f = make_pow_exp();
+  const std::vector<double> ys{90.0, 80.0, 70.0, 60.0};
+  const auto guess = f->initial_guess(epochs(4), ys);
+  EXPECT_FALSE(guess.has_value());
+}
+
+TEST(Parametric, ValidParamsBoundaries) {
+  const FunctionPtr f = make_pow_exp();
+  EXPECT_TRUE(f->valid_params(std::vector<double>{90.0, 1.5, 2.0}));
+  EXPECT_FALSE(f->valid_params(std::vector<double>{90.0, 0.9, 2.0}));  // b <= 1
+  EXPECT_FALSE(f->valid_params(
+      std::vector<double>{std::nan(""), 1.5, 2.0}));
+}
+
+TEST(SolveDense, Solves3x3System) {
+  // A = [[2,1,0],[1,3,1],[0,1,2]], b = [3,8,5] -> x = [0.5, 2, 1.5]:
+  // row checks: 2*0.5+2 = 3; 0.5+6+1.5 = 8; 2+3 = 5.
+  std::vector<double> a{2, 1, 0, 1, 3, 1, 0, 1, 2};
+  std::vector<double> b{3, 8, 5};
+  ASSERT_TRUE(solve_dense(a, b, 3));
+  EXPECT_NEAR(b[0], 0.5, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.5, 1e-12);
+}
+
+TEST(SolveDense, DetectsSingular) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(solve_dense(a, b, 2));
+}
+
+TEST(SolveDense, ValidatesDimensions) {
+  std::vector<double> a{1};
+  std::vector<double> b{1, 2};
+  EXPECT_THROW(solve_dense(a, b, 2), std::invalid_argument);
+}
+
+TEST(FitCurve, RecoversPowExpParameters) {
+  const FunctionPtr f = make_pow_exp();
+  const auto ys = sample_pow_exp(95.0, 1.5, 1.0, 10);
+  const auto fit = fit_curve(*f, epochs(10), ys);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->sse, 1e-6);
+  EXPECT_NEAR(fit->params[0], 95.0, 0.1);
+  // Extrapolation at a far epoch reaches the plateau.
+  EXPECT_NEAR(f->eval(fit->params, 25.0), 95.0, 0.1);
+}
+
+TEST(FitCurve, HandlesNoisyCurve) {
+  const FunctionPtr f = make_pow_exp();
+  util::Rng rng(7);
+  auto ys = sample_pow_exp(90.0, 1.4, 2.0, 15);
+  for (auto& y : ys) y += rng.normal(0.0, 0.4);
+  const auto fit = fit_curve(*f, epochs(15), ys);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(f->eval(fit->params, 25.0), 90.0, 3.0);
+}
+
+TEST(FitCurve, UnderDeterminedReturnsNull) {
+  const FunctionPtr f = make_pow_exp();
+  const std::vector<double> ys{50.0, 60.0};
+  EXPECT_FALSE(fit_curve(*f, epochs(2), ys).has_value());
+}
+
+TEST(FitCurve, SizeMismatchThrows) {
+  const FunctionPtr f = make_pow_exp();
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(fit_curve(*f, epochs(3), ys), std::invalid_argument);
+}
+
+TEST(EngineConfig, DefaultsMatchTable1) {
+  const EngineConfig cfg = default_engine_config();
+  EXPECT_EQ(cfg.function->name(), "pow_exp");
+  EXPECT_EQ(cfg.c_min, 3u);
+  EXPECT_DOUBLE_EQ(cfg.e_pred, 25.0);
+  EXPECT_EQ(cfg.window, 3u);
+  EXPECT_DOUBLE_EQ(cfg.tolerance, 0.5);
+  const util::Json j = cfg.to_json();
+  EXPECT_EQ(j.at("function").as_string(), "pow_exp");
+  EXPECT_EQ(j.at("c_min").as_int(), 3);
+}
+
+TEST(PredictionEngine, ValidatesConfig) {
+  EngineConfig cfg = default_engine_config();
+  cfg.c_min = 1;  // below 3 fit parameters
+  EXPECT_THROW(PredictionEngine{cfg}, std::invalid_argument);
+  cfg = default_engine_config();
+  cfg.window = 0;
+  EXPECT_THROW(PredictionEngine{cfg}, std::invalid_argument);
+  cfg = default_engine_config();
+  cfg.function = nullptr;
+  EXPECT_THROW(PredictionEngine{cfg}, std::invalid_argument);
+}
+
+TEST(PredictionEngine, NoPredictionBeforeCMin) {
+  const PredictionEngine engine(default_engine_config());
+  const std::vector<double> two_points{50.0, 60.0};
+  EXPECT_FALSE(engine.predict(two_points).has_value());
+}
+
+TEST(PredictionEngine, PredictsPlateauOfCleanCurve) {
+  const PredictionEngine engine(default_engine_config());
+  const auto ys = sample_pow_exp(96.0, 1.5, 2.0, 8);
+  const auto p = engine.predict(ys);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 96.0, 0.5);
+}
+
+TEST(PredictionEngine, ConvergenceRequiresWindow) {
+  const PredictionEngine engine(default_engine_config());
+  EXPECT_FALSE(engine.converged(std::vector<double>{95.0, 95.1}));
+  EXPECT_TRUE(engine.converged(std::vector<double>{95.0, 95.1, 95.2}));
+}
+
+TEST(PredictionEngine, ConvergenceRejectsOutOfBounds) {
+  const PredictionEngine engine(default_engine_config());
+  // 105 is not a valid accuracy -> not converged even with low variance.
+  EXPECT_FALSE(engine.converged(std::vector<double>{105.0, 105.0, 105.0}));
+  EXPECT_FALSE(engine.converged(std::vector<double>{-2.0, -2.0, -2.0}));
+  // Only the last N matter: early garbage is fine.
+  EXPECT_TRUE(
+      engine.converged(std::vector<double>{400.0, 95.0, 95.0, 95.0}));
+}
+
+TEST(PredictionEngine, ConvergenceRespectsVarianceTolerance) {
+  const PredictionEngine engine(default_engine_config());
+  // Variance of {90, 92, 94} is 8/3 > 0.5 -> no convergence.
+  EXPECT_FALSE(engine.converged(std::vector<double>{90.0, 92.0, 94.0}));
+  // Variance of {95.0, 95.5, 95.2} ~ 0.042 <= 0.5 -> converged.
+  EXPECT_TRUE(engine.converged(std::vector<double>{95.0, 95.5, 95.2}));
+}
+
+TEST(PredictionEngine, EndToEndEarlyStop) {
+  // Simulate Algorithm 1 on a clean saturating curve: the engine should
+  // converge well before 25 epochs and predict the plateau.
+  const PredictionEngine engine(default_engine_config());
+  const auto curve = sample_pow_exp(94.0, 1.6, 1.5, 25);
+  std::vector<double> history, predictions;
+  std::size_t stopped_at = 25;
+  for (std::size_t e = 1; e <= 25; ++e) {
+    history.push_back(curve[e - 1]);
+    const auto p = engine.predict(history);
+    if (p) predictions.push_back(*p);
+    if (engine.converged(predictions)) {
+      stopped_at = e;
+      break;
+    }
+  }
+  EXPECT_LT(stopped_at, 12u);
+  EXPECT_NEAR(predictions.back(), 94.0, 1.0);
+}
+
+TEST(PredictionEngine, NeverConvergesOnErraticCurve) {
+  const PredictionEngine engine(default_engine_config());
+  util::Rng rng(9);
+  std::vector<double> history, predictions;
+  bool converged = false;
+  for (std::size_t e = 1; e <= 25 && !converged; ++e) {
+    history.push_back(50.0 + rng.normal(0.0, 15.0));  // non-learning NN
+    const auto p = engine.predict(history);
+    if (p) predictions.push_back(*p);
+    converged = engine.converged(predictions);
+  }
+  // An erratic fitness curve should not trigger confident early stopping
+  // with the paper's strict tolerance.
+  EXPECT_FALSE(converged);
+}
+
+}  // namespace
+}  // namespace a4nn::penguin

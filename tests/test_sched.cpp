@@ -1,0 +1,147 @@
+// Resource manager: cost model, FIFO placement, barriers, idle accounting,
+// and parallel/serial equivalence.
+#include <gtest/gtest.h>
+
+#include "sched/resource_manager.hpp"
+
+namespace a4nn::sched {
+namespace {
+
+Job fixed_job(double duration) {
+  return Job{[duration] { return duration; }};
+}
+
+TEST(CostModel, EpochSecondsScaleWithFlops) {
+  DeviceCostModel cost;
+  const double small = cost.epoch_seconds(1'000'000);
+  const double big = cost.epoch_seconds(10'000'000);
+  EXPECT_GT(big, small);
+  // Linear in FLOPs beyond the fixed overhead.
+  EXPECT_NEAR((big - cost.epoch_overhead_seconds) /
+                  (small - cost.epoch_overhead_seconds),
+              10.0, 1e-9);
+}
+
+TEST(CostModel, PaperScaleEpochIsTensOfSeconds) {
+  // Calibration check: a ~1 MFLOP model over the paper's 63.5k/15.9k images
+  // should cost tens of virtual seconds per epoch, putting 2,500 epochs at
+  // the paper's tens-of-hours scale.
+  DeviceCostModel cost;
+  const double s = cost.epoch_seconds(1'500'000);
+  EXPECT_GT(s, 20.0);
+  EXPECT_LT(s, 300.0);
+}
+
+TEST(ResourceManager, ValidatesConfig) {
+  ClusterConfig cfg;
+  cfg.num_gpus = 0;
+  EXPECT_THROW(ResourceManager{cfg}, std::invalid_argument);
+}
+
+TEST(ResourceManager, SingleGpuSerializesJobs) {
+  ClusterConfig cfg;
+  cfg.num_gpus = 1;
+  cfg.parallel_execution = false;
+  ResourceManager rm(cfg);
+  std::vector<Job> jobs;
+  for (double d : {3.0, 2.0, 5.0}) jobs.push_back(fixed_job(d));
+  const GenerationSchedule s = rm.run_generation(std::move(jobs));
+  EXPECT_EQ(s.placements[0].device_id, 0);
+  EXPECT_DOUBLE_EQ(s.placements[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.placements[1].start_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(s.placements[2].start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan_end, 10.0);
+  EXPECT_DOUBLE_EQ(s.idle_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rm.virtual_now(), 10.0);
+}
+
+TEST(ResourceManager, FifoPicksEarliestFreeDevice) {
+  ClusterConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.parallel_execution = false;
+  ResourceManager rm(cfg);
+  std::vector<Job> jobs;
+  for (double d : {4.0, 1.0, 2.0, 2.0}) jobs.push_back(fixed_job(d));
+  const GenerationSchedule s = rm.run_generation(std::move(jobs));
+  // j0 -> gpu0 [0,4); j1 -> gpu1 [0,1); j2 -> gpu1 [1,3); j3 -> gpu1 [3,5).
+  EXPECT_EQ(s.placements[0].device_id, 0);
+  EXPECT_EQ(s.placements[1].device_id, 1);
+  EXPECT_EQ(s.placements[2].device_id, 1);
+  EXPECT_DOUBLE_EQ(s.placements[2].start_seconds, 1.0);
+  EXPECT_EQ(s.placements[3].device_id, 1);
+  EXPECT_DOUBLE_EQ(s.makespan_end, 5.0);
+  // gpu0 idles from 4 to 5.
+  EXPECT_DOUBLE_EQ(s.idle_seconds, 1.0);
+}
+
+TEST(ResourceManager, GenerationBarrierAccumulates) {
+  ClusterConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.parallel_execution = false;
+  ResourceManager rm(cfg);
+  std::vector<Job> gen1;
+  gen1.push_back(fixed_job(3.0));
+  gen1.push_back(fixed_job(1.0));
+  rm.run_generation(std::move(gen1));
+  EXPECT_DOUBLE_EQ(rm.virtual_now(), 3.0);
+  // Second generation starts at the barrier even on the idle device.
+  std::vector<Job> gen2;
+  gen2.push_back(fixed_job(2.0));
+  const GenerationSchedule s2 = rm.run_generation(std::move(gen2));
+  EXPECT_DOUBLE_EQ(s2.placements[0].start_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(rm.virtual_now(), 5.0);
+  rm.reset();
+  EXPECT_DOUBLE_EQ(rm.virtual_now(), 0.0);
+}
+
+TEST(ResourceManager, EmptyGenerationIsNoOp) {
+  ClusterConfig cfg;
+  cfg.parallel_execution = false;
+  ResourceManager rm(cfg);
+  const GenerationSchedule s = rm.run_generation({});
+  EXPECT_TRUE(s.placements.empty());
+  EXPECT_DOUBLE_EQ(s.makespan_end, 0.0);
+}
+
+TEST(ResourceManager, ParallelAndSerialProduceSamePlacements) {
+  std::vector<double> durations{5.0, 1.0, 4.0, 2.0, 3.0, 6.0, 1.5};
+  auto run = [&](bool parallel) {
+    ClusterConfig cfg;
+    cfg.num_gpus = 3;
+    cfg.parallel_execution = parallel;
+    ResourceManager rm(cfg);
+    std::vector<Job> jobs;
+    for (double d : durations) jobs.push_back(fixed_job(d));
+    return rm.run_generation(std::move(jobs));
+  };
+  const GenerationSchedule serial = run(false);
+  const GenerationSchedule parallel = run(true);
+  ASSERT_EQ(serial.placements.size(), parallel.placements.size());
+  for (std::size_t i = 0; i < serial.placements.size(); ++i) {
+    EXPECT_EQ(serial.placements[i].device_id, parallel.placements[i].device_id);
+    EXPECT_DOUBLE_EQ(serial.placements[i].start_seconds,
+                     parallel.placements[i].start_seconds);
+    EXPECT_DOUBLE_EQ(serial.placements[i].end_seconds,
+                     parallel.placements[i].end_seconds);
+  }
+  EXPECT_DOUBLE_EQ(serial.makespan_end, parallel.makespan_end);
+}
+
+TEST(ResourceManager, MoreGpusShortenMakespan) {
+  auto makespan = [&](std::size_t gpus) {
+    ClusterConfig cfg;
+    cfg.num_gpus = gpus;
+    cfg.parallel_execution = false;
+    ResourceManager rm(cfg);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 10; ++i) jobs.push_back(fixed_job(10.0));
+    return rm.run_generation(std::move(jobs)).makespan_end;
+  };
+  EXPECT_DOUBLE_EQ(makespan(1), 100.0);
+  EXPECT_DOUBLE_EQ(makespan(4), 30.0);  // ceil(10/4)=3 waves
+  // Near-linear speedup with a remainder (the paper's observation).
+  EXPECT_NEAR(makespan(1) / makespan(4), 3.33, 0.01);
+}
+
+}  // namespace
+}  // namespace a4nn::sched

@@ -1,0 +1,249 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace a4nn::tensor {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_EQ(shape_to_string(t.shape()), "[2x3x4]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({5});
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, CheckedAccess) {
+  Tensor t({2});
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), std::out_of_range);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+  Tensor flat({10});
+  EXPECT_THROW(flat.at4(0, 0, 0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, HeInitStatistics) {
+  util::Rng rng(5);
+  const std::size_t fan_in = 64;
+  Tensor t = Tensor::he_init({200, fan_in}, fan_in, rng);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 2.0 / fan_in, 0.005);
+}
+
+TEST(Tensor, XavierInitBounds) {
+  util::Rng rng(6);
+  Tensor t = Tensor::xavier_init({50, 30}, 30, 50, rng);
+  const float bound = std::sqrt(6.0f / 80.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), bound);
+  }
+}
+
+TEST(Ops, AddMulAxpy) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  Tensor sum = add(a, b);
+  EXPECT_EQ(sum[1], 22.0f);
+  Tensor prod = mul(a, b);
+  EXPECT_EQ(prod[2], 90.0f);
+  std::vector<float> out{1, 1, 1};
+  axpy(2.0f, a.span(), out);
+  EXPECT_EQ(out[2], 7.0f);
+  Tensor c({2});
+  EXPECT_THROW(add(a, c), std::invalid_argument);
+}
+
+TEST(Ops, ScaleAndSum) {
+  Tensor t({4}, {1, 2, 3, 4});
+  scale(t, 0.5f);
+  EXPECT_EQ(t[3], 2.0f);
+  EXPECT_DOUBLE_EQ(sum(t), 5.0);
+}
+
+TEST(Ops, Argmax) {
+  std::vector<float> v{1.0f, 5.0f, 3.0f};
+  EXPECT_EQ(argmax(v), 1u);
+  EXPECT_THROW(argmax(std::vector<float>{}), std::invalid_argument);
+}
+
+// Reference triple-loop GEMM for validation.
+void ref_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+TEST(Ops, GemmMatchesReference) {
+  util::Rng rng(7);
+  const std::size_t m = 7, k = 5, n = 9;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  gemm(m, k, n, a.data(), b.data(), c.data());
+  ref_gemm(m, k, n, a.data(), b.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(Ops, GemmAtBMatchesReference) {
+  util::Rng rng(8);
+  const std::size_t m = 4, k = 6, n = 3;
+  // A stored (k x m), compute C = A^T B.
+  std::vector<float> a_t(k * m), b(k * n), c(m * n), a(m * k), ref(m * n);
+  for (auto& x : a_t) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk) a[i * k + kk] = a_t[kk * m + i];
+  gemm_at_b(m, k, n, a_t.data(), b.data(), c.data());
+  ref_gemm(m, k, n, a.data(), b.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(Ops, GemmABtMatchesReference) {
+  util::Rng rng(9);
+  const std::size_t m = 5, k = 4, n = 6;
+  // B stored (n x k), compute C = A B^T.
+  std::vector<float> a(m * k), b_t(n * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b_t) x = static_cast<float>(rng.normal());
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t j = 0; j < n; ++j) b[kk * n + j] = b_t[j * k + kk];
+  gemm_a_bt(m, k, n, a.data(), b_t.data(), c.data());
+  ref_gemm(m, k, n, a.data(), b.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(Ops, ConvGeometry) {
+  ConvGeometry g;
+  g.in_channels = 3;
+  g.in_h = 8;
+  g.in_w = 8;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_size(), 27u);
+  g.stride = 2;
+  g.pad = 0;
+  EXPECT_EQ(g.out_h(), 3u);
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // 1x1 kernel, no padding: columns == image.
+  ConvGeometry g;
+  g.in_channels = 2;
+  g.in_h = 3;
+  g.in_w = 3;
+  g.kernel = 1;
+  std::vector<float> img(18);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> cols(18);
+  im2col(g, img, cols);
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Ops, Im2colPaddingProducesZeros) {
+  ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 2;
+  g.in_w = 2;
+  g.kernel = 3;
+  g.pad = 1;
+  std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(9 * 4);
+  im2col(g, img, cols);
+  // First row of columns = kernel position (0,0): top-left output cell
+  // reads the padded corner -> 0.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Center kernel position (1,1) row reproduces the image.
+  const std::size_t center_row = 4;
+  EXPECT_EQ(cols[center_row * 4 + 0], 1.0f);
+  EXPECT_EQ(cols[center_row * 4 + 3], 4.0f);
+}
+
+TEST(Ops, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes the convolution backward pass correct.
+  util::Rng rng(11);
+  ConvGeometry g;
+  g.in_channels = 2;
+  g.in_h = 5;
+  g.in_w = 4;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const std::size_t img_size = 2 * 5 * 4;
+  const std::size_t col_size = g.patch_size() * g.out_h() * g.out_w();
+  std::vector<float> x(img_size), y(col_size), cols(col_size), back(img_size, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  im2col(g, x, cols);
+  col2im(g, y, back);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < img_size; ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, Im2colSizeValidation) {
+  ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 4;
+  g.in_w = 4;
+  g.kernel = 3;
+  std::vector<float> img(16), cols(5);
+  EXPECT_THROW(im2col(g, img, cols), std::invalid_argument);
+  std::vector<float> bad_img(7);
+  std::vector<float> ok_cols(9 * 4);
+  EXPECT_THROW(im2col(g, bad_img, ok_cols), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace a4nn::tensor

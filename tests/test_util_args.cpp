@@ -1,0 +1,92 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a4nn::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("prog", "test program");
+  args.add_option("population", "10", "population size");
+  args.add_option("rate", "0.5", "a rate");
+  args.add_flag("verbose", "enable logging");
+  return args;
+}
+
+void parse(ArgParser& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser args = make_parser();
+  parse(args, {});
+  EXPECT_EQ(args.get("population"), "10");
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_FALSE(args.get_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  ArgParser args = make_parser();
+  parse(args, {"--population", "25", "--rate=0.75"});
+  EXPECT_EQ(args.get_size("population"), 25u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.75);
+}
+
+TEST(ArgParser, FlagsAndPositionals) {
+  ArgParser args = make_parser();
+  parse(args, {"--verbose", "input.json", "more"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.json", "more"}));
+}
+
+TEST(ArgParser, HelpRequested) {
+  ArgParser args = make_parser();
+  parse(args, {"--help"});
+  EXPECT_TRUE(args.help_requested());
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--population"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+TEST(ArgParser, Errors) {
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW(parse(args, {"--unknown", "x"}), ArgError);
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW(parse(args, {"--population"}), ArgError);  // missing value
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW(parse(args, {"--verbose=yes"}), ArgError);  // flag w/ value
+  }
+  {
+    ArgParser args = make_parser();
+    parse(args, {"--population", "abc"});
+    EXPECT_THROW(args.get_size("population"), ArgError);
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW(args.add_option("rate", "1", "dup"), ArgError);
+    EXPECT_THROW(args.get("undeclared"), ArgError);
+  }
+}
+
+TEST(ArgParser, NegativeSizeRejected) {
+  ArgParser args = make_parser();
+  parse(args, {"--population", "-3"});
+  EXPECT_THROW(args.get_size("population"), ArgError);
+  EXPECT_DOUBLE_EQ(args.get_double("population"), -3.0);
+}
+
+TEST(ArgParser, LastOccurrenceWins) {
+  ArgParser args = make_parser();
+  parse(args, {"--population", "5", "--population", "9"});
+  EXPECT_EQ(args.get_size("population"), 9u);
+}
+
+}  // namespace
+}  // namespace a4nn::util

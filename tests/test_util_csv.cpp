@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a4nn::util {
+namespace {
+
+TEST(CsvWriter, EmitsHeaderAndRows) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "x"});
+  w.add_numeric_row(std::vector<double>{2.5, 3.0});
+  EXPECT_EQ(w.to_string(), "a,b\n1,x\n2.5,3\n");
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(CsvWriter, RejectsEmptyHeaderAndBadWidth) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter w({"text"});
+  w.add_row({std::string("has,comma")});
+  w.add_row({std::string("has\"quote")});
+  w.add_row({std::string("has\nnewline")});
+  EXPECT_EQ(w.to_string(),
+            "text\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(ParseCsv, SimpleTable) {
+  const CsvTable t = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(t.header, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][0], "3");
+}
+
+TEST(ParseCsv, QuotedCells) {
+  const CsvTable t = parse_csv("a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "1,5");
+  EXPECT_EQ(t.rows[0][1], "say \"hi\"");
+}
+
+TEST(ParseCsv, MissingFinalNewlineOk) {
+  const CsvTable t = parse_csv("a\n1");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(ParseCsv, CrLfHandled) {
+  const CsvTable t = parse_csv("a,b\r\n7,8\r\n");
+  EXPECT_EQ(t.rows[0][1], "8");
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops"), std::runtime_error);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const CsvTable t = parse_csv("id,value\n1,10\n2,20\n");
+  EXPECT_EQ(t.column("value"), 1u);
+  EXPECT_THROW(t.column("nope"), std::out_of_range);
+  EXPECT_EQ(t.numeric_column("value"), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(CsvTable, NumericColumnRejectsText) {
+  const CsvTable t = parse_csv("v\nabc\n");
+  EXPECT_THROW(t.numeric_column("v"), std::runtime_error);
+}
+
+TEST(Csv, WriterParserRoundTrip) {
+  CsvWriter w({"name", "score"});
+  w.add_row({"model,1", "99.5"});
+  w.add_row({"line\nbreak", "-3"});
+  const CsvTable t = parse_csv(w.to_string());
+  EXPECT_EQ(t.rows[0][0], "model,1");
+  EXPECT_EQ(t.rows[1][0], "line\nbreak");
+  EXPECT_EQ(t.numeric_column("score"), (std::vector<double>{99.5, -3.0}));
+}
+
+}  // namespace
+}  // namespace a4nn::util

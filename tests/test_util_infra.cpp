@@ -1,0 +1,137 @@
+// Thread pool, filesystem helpers, table rendering, and logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/fsutil.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace a4nn::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1);
+      return i * 2;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * 2);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsRejected) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SizeReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(FsUtil, WriteReadRoundTrip) {
+  const fs::path dir = make_temp_dir("a4nn-test");
+  const fs::path file = dir / "sub" / "data.txt";
+  write_file(file, "hello\nworld");
+  EXPECT_EQ(read_file(file), "hello\nworld");
+  fs::remove_all(dir);
+}
+
+TEST(FsUtil, WriteIsAtomicNoTmpLeftBehind) {
+  const fs::path dir = make_temp_dir("a4nn-test");
+  write_file(dir / "x.json", "{}");
+  EXPECT_FALSE(fs::exists(dir / "x.json.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(FsUtil, ReadMissingThrows) {
+  EXPECT_THROW(read_file("/nonexistent/a4nn/file"), std::runtime_error);
+}
+
+TEST(FsUtil, ListFilesFiltersAndSorts) {
+  const fs::path dir = make_temp_dir("a4nn-test");
+  write_file(dir / "b.json", "{}");
+  write_file(dir / "a.json", "{}");
+  write_file(dir / "c.txt", "x");
+  const auto jsons = list_files(dir, ".json");
+  ASSERT_EQ(jsons.size(), 2u);
+  EXPECT_EQ(jsons[0].filename(), "a.json");
+  EXPECT_EQ(list_files(dir).size(), 3u);
+  EXPECT_TRUE(list_files(dir / "missing").empty());
+  fs::remove_all(dir);
+}
+
+TEST(FsUtil, TempDirsAreUnique) {
+  const fs::path a = make_temp_dir("a4nn-test");
+  const fs::path b = make_temp_dir("a4nn-test");
+  EXPECT_NE(a, b);
+  fs::remove_all(a);
+  fs::remove_all(b);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t({"name", "val"});
+  t.add_row({"model_1", "99.50"});
+  t.add_row({"m", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name    | val   |"), std::string::npos);
+  EXPECT_NE(out.find("| model_1 | 99.50 |"), std::string::npos);
+  EXPECT_NE(out.find("|---------|-------|"), std::string::npos);
+}
+
+TEST(AsciiTable, WidthMismatchThrows) {
+  AsciiTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds() * 1000.0 * 0.99);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  log_error("this should not crash and not print");
+  set_log_level(LogLevel::kDebug);
+  log_debug("value=", 42, " name=", "x");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace a4nn::util

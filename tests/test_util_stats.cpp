@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace a4nn::util {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PopulationVarianceAndStddev) {
+  EXPECT_DOUBLE_EQ(variance(kSample), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_of(kSample), 9.0);
+  EXPECT_THROW(min_of(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, MedianAndPercentiles) {
+  const std::vector<double> odd{1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 100.0), 9.0);
+  EXPECT_THROW(percentile(kSample, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateReturnsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNeedsTwoPoints) {
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.5, 1.5, 2.5, 99.0};
+  const Histogram h = histogram(xs, 0.0, 3.0, 3);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 2u);  // -1 clamped in, 0.5
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 2u);  // 2.5, 99 clamped in
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Stats, HistogramValidation) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram(xs, 1.0, 1.0, 2), std::invalid_argument);
+}
+
+TEST(Stats, HistogramRenderContainsBars) {
+  const std::vector<double> xs{0.1, 0.1, 0.9};
+  const Histogram h = histogram(xs, 0.0, 1.0, 2);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find("##########"), std::string::npos);
+  EXPECT_NE(render.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace a4nn::util

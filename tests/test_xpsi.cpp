@@ -1,0 +1,146 @@
+// XPSI baseline: kNN correctness and autoencoder+kNN classification on
+// easy synthetic data.
+#include <gtest/gtest.h>
+
+#include "xfel/dataset.hpp"
+#include "xpsi/xpsi.hpp"
+
+namespace a4nn::xpsi {
+namespace {
+
+TEST(Knn, MajorityVote) {
+  const std::vector<std::vector<float>> points{
+      {0.0f}, {0.1f}, {0.2f}, {10.0f}, {10.1f}};
+  const std::vector<std::int64_t> labels{0, 0, 0, 1, 1};
+  const std::vector<float> near_zero{0.05f};
+  EXPECT_EQ(knn_predict(points, labels, near_zero, 3), 0);
+  const std::vector<float> near_ten{9.9f};
+  EXPECT_EQ(knn_predict(points, labels, near_ten, 2), 1);
+}
+
+TEST(Knn, KLargerThanDatasetClamps) {
+  const std::vector<std::vector<float>> points{{0.0f}, {1.0f}};
+  const std::vector<std::int64_t> labels{1, 1};
+  EXPECT_EQ(knn_predict(points, labels, std::vector<float>{0.5f}, 99), 1);
+}
+
+TEST(Knn, TieBreaksToSmallerLabel) {
+  const std::vector<std::vector<float>> points{{0.0f}, {1.0f}};
+  const std::vector<std::int64_t> labels{1, 0};
+  // k=2: one vote each -> label 0 wins deterministically.
+  EXPECT_EQ(knn_predict(points, labels, std::vector<float>{0.5f}, 2), 0);
+}
+
+TEST(Knn, Validation) {
+  const std::vector<std::vector<float>> points{{0.0f}};
+  const std::vector<std::int64_t> labels{0};
+  EXPECT_THROW(
+      knn_predict({}, std::span<const std::int64_t>{}, std::vector<float>{0.0f}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(knn_predict(points, labels, std::vector<float>{0.0f, 1.0f}, 1),
+               std::invalid_argument);
+}
+
+TEST(Xpsi, ConfigValidation) {
+  XpsiConfig cfg;
+  cfg.latent_dim = 0;
+  EXPECT_THROW(XpsiClassifier{cfg}, std::invalid_argument);
+  cfg = XpsiConfig{};
+  cfg.k_neighbors = 0;
+  EXPECT_THROW(XpsiClassifier{cfg}, std::invalid_argument);
+}
+
+TEST(Xpsi, EmbedBeforeFitThrows) {
+  XpsiClassifier xpsi(XpsiConfig{});
+  nn::Dataset d(1, 4, 4);
+  d.add_sample(std::vector<float>(16, 0.0f), 0);
+  EXPECT_THROW(xpsi.embed(d), std::logic_error);
+}
+
+TEST(Xpsi, LearnsHighIntensityData) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 80;
+  dcfg.detector.pixels = 8;
+  dcfg.intensity = xfel::BeamIntensity::kHigh;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+
+  XpsiConfig cfg;
+  cfg.autoencoder_epochs = 10;
+  XpsiClassifier xpsi(cfg);
+  const XpsiResult result = xpsi.fit_and_evaluate(data.train, data.validation);
+
+  // Autoencoder actually learned to reconstruct.
+  ASSERT_EQ(result.mse_history.size(), 10u);
+  EXPECT_LT(result.mse_history.back(), result.mse_history.front());
+  // Classification well above chance on the easy regime.
+  EXPECT_GT(result.validation_accuracy, 75.0);
+  // Accounting fields populated.
+  EXPECT_GT(result.virtual_seconds, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.autoencoder_flops, 0u);
+
+  // Embeddings have the configured dimension.
+  const auto latents = xpsi.embed(data.validation);
+  ASSERT_EQ(latents.size(), data.validation.size());
+  EXPECT_EQ(latents[0].size(), cfg.latent_dim);
+}
+
+TEST(Xpsi, RadialProfileGeometry) {
+  // Center-peaked image: profile must be monotonically decreasing.
+  const std::size_t n = 8;
+  std::vector<float> img(n * n, 0.0f);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double dy = static_cast<double>(y) - 3.5;
+      const double dx = static_cast<double>(x) - 3.5;
+      img[y * n + x] = static_cast<float>(10.0 / (1.0 + dx * dx + dy * dy));
+    }
+  }
+  const auto prof = XpsiClassifier::radial_profile(img, n, n);
+  ASSERT_GE(prof.size(), 2u);
+  for (std::size_t r = 1; r < prof.size(); ++r)
+    EXPECT_LT(prof[r], prof[r - 1]);
+  EXPECT_THROW(XpsiClassifier::radial_profile(img, n, n + 1),
+               std::invalid_argument);
+}
+
+TEST(Xpsi, OrientationRecoveryBeatsChance) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 120;
+  dcfg.detector.pixels = 8;
+  dcfg.intensity = xfel::BeamIntensity::kHigh;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+
+  XpsiConfig cfg;
+  cfg.autoencoder_epochs = 15;
+  XpsiClassifier xpsi(cfg);
+  xpsi.fit_and_evaluate(data.train, data.validation);
+  const auto recovery = xpsi.evaluate_orientation_recovery(
+      data.train, data.train_orientations, data.validation,
+      data.validation_orientations);
+  // Under the 2-fold Friedel ambiguity, random rotations are ~104 degrees
+  // apart on average; latent-nearest-neighbour assignment must do better.
+  EXPECT_NEAR(recovery.chance_error_deg, 104.0, 20.0);
+  EXPECT_LT(recovery.mean_error_deg, recovery.chance_error_deg);
+  EXPECT_GT(recovery.mean_error_deg, 0.0);
+  EXPECT_LE(recovery.median_error_deg, recovery.chance_error_deg);
+}
+
+TEST(Xpsi, OrientationRecoveryValidatesMetadata) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 10;
+  dcfg.detector.pixels = 8;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+  XpsiConfig cfg;
+  cfg.autoencoder_epochs = 1;
+  XpsiClassifier xpsi(cfg);
+  xpsi.fit_and_evaluate(data.train, data.validation);
+  const std::vector<xfel::Mat3> wrong_count(3);
+  EXPECT_THROW(xpsi.evaluate_orientation_recovery(
+                   data.train, wrong_count, data.validation,
+                   data.validation_orientations),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace a4nn::xpsi
