@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/liba4nn_bench_common.a"
+  "../lib/liba4nn_bench_common.pdb"
+  "CMakeFiles/a4nn_bench_common.dir/common.cpp.o"
+  "CMakeFiles/a4nn_bench_common.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

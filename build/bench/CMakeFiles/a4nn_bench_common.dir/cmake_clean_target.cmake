@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/liba4nn_bench_common.a"
+)

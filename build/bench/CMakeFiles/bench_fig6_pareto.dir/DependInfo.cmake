@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_pareto.cpp" "bench/CMakeFiles/bench_fig6_pareto.dir/bench_fig6_pareto.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_pareto.dir/bench_fig6_pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/a4nn_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/a4nn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/a4nn_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestrator/CMakeFiles/a4nn_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/a4nn_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/a4nn_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/penguin/CMakeFiles/a4nn_penguin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/a4nn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfel/CMakeFiles/a4nn_xfel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/a4nn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a4nn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a4nn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

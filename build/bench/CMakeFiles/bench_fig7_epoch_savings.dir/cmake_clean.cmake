@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_epoch_savings.dir/bench_fig7_epoch_savings.cpp.o"
+  "CMakeFiles/bench_fig7_epoch_savings.dir/bench_fig7_epoch_savings.cpp.o.d"
+  "bench_fig7_epoch_savings"
+  "bench_fig7_epoch_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_epoch_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lineage_commons.dir/bench_lineage_commons.cpp.o"
+  "CMakeFiles/bench_lineage_commons.dir/bench_lineage_commons.cpp.o.d"
+  "bench_lineage_commons"
+  "bench_lineage_commons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lineage_commons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

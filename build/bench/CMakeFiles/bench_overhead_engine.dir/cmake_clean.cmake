@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_engine.dir/bench_overhead_engine.cpp.o"
+  "CMakeFiles/bench_overhead_engine.dir/bench_overhead_engine.cpp.o.d"
+  "bench_overhead_engine"
+  "bench_overhead_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_xpsi.dir/bench_table3_xpsi.cpp.o"
+  "CMakeFiles/bench_table3_xpsi.dir/bench_table3_xpsi.cpp.o.d"
+  "bench_table3_xpsi"
+  "bench_table3_xpsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_xpsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_run.dir/a4nn_run.cpp.o"
+  "CMakeFiles/a4nn_run.dir/a4nn_run.cpp.o.d"
+  "a4nn_run"
+  "a4nn_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

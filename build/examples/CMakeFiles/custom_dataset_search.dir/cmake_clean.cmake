@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dataset_search.dir/custom_dataset_search.cpp.o"
+  "CMakeFiles/custom_dataset_search.dir/custom_dataset_search.cpp.o.d"
+  "custom_dataset_search"
+  "custom_dataset_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dataset_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

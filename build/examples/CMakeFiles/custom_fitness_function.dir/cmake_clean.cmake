@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fitness_function.dir/custom_fitness_function.cpp.o"
+  "CMakeFiles/custom_fitness_function.dir/custom_fitness_function.cpp.o.d"
+  "custom_fitness_function"
+  "custom_fitness_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fitness_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

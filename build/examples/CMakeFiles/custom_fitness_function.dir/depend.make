@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_fitness_function.
+# This may be replaced when dependencies are built.

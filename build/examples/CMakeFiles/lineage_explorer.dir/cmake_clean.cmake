@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_explorer.dir/lineage_explorer.cpp.o"
+  "CMakeFiles/lineage_explorer.dir/lineage_explorer.cpp.o.d"
+  "lineage_explorer"
+  "lineage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

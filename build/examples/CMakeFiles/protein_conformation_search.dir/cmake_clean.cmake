@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_conformation_search.dir/protein_conformation_search.cpp.o"
+  "CMakeFiles/protein_conformation_search.dir/protein_conformation_search.cpp.o.d"
+  "protein_conformation_search"
+  "protein_conformation_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_conformation_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

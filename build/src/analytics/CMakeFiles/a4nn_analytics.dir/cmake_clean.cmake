@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_analytics.dir/analyzer.cpp.o"
+  "CMakeFiles/a4nn_analytics.dir/analyzer.cpp.o.d"
+  "CMakeFiles/a4nn_analytics.dir/dot_export.cpp.o"
+  "CMakeFiles/a4nn_analytics.dir/dot_export.cpp.o.d"
+  "liba4nn_analytics.a"
+  "liba4nn_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_core.dir/a4nn.cpp.o"
+  "CMakeFiles/a4nn_core.dir/a4nn.cpp.o.d"
+  "liba4nn_core.a"
+  "liba4nn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

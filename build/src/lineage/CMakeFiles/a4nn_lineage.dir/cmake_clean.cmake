@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_lineage.dir/tracker.cpp.o"
+  "CMakeFiles/a4nn_lineage.dir/tracker.cpp.o.d"
+  "liba4nn_lineage.a"
+  "liba4nn_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/evaluator.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/evaluator.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/evaluator.cpp.o.d"
+  "/root/repo/src/nas/genome.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/genome.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/genome.cpp.o.d"
+  "/root/repo/src/nas/nsga2.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/nsga2.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/nsga2.cpp.o.d"
+  "/root/repo/src/nas/operators.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/operators.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/operators.cpp.o.d"
+  "/root/repo/src/nas/search.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/search.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/search.cpp.o.d"
+  "/root/repo/src/nas/search_space.cpp" "src/nas/CMakeFiles/a4nn_nas.dir/search_space.cpp.o" "gcc" "src/nas/CMakeFiles/a4nn_nas.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/a4nn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a4nn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a4nn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

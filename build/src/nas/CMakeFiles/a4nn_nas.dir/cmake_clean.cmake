@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_nas.dir/evaluator.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/evaluator.cpp.o.d"
+  "CMakeFiles/a4nn_nas.dir/genome.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/genome.cpp.o.d"
+  "CMakeFiles/a4nn_nas.dir/nsga2.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/nsga2.cpp.o.d"
+  "CMakeFiles/a4nn_nas.dir/operators.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/operators.cpp.o.d"
+  "CMakeFiles/a4nn_nas.dir/search.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/search.cpp.o.d"
+  "CMakeFiles/a4nn_nas.dir/search_space.cpp.o"
+  "CMakeFiles/a4nn_nas.dir/search_space.cpp.o.d"
+  "liba4nn_nas.a"
+  "liba4nn_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

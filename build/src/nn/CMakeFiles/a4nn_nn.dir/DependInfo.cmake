@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/factory.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/factory.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/factory.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/layers_extra.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/layers_extra.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/layers_extra.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/phase_block.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/phase_block.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/phase_block.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/a4nn_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/a4nn_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/a4nn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a4nn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

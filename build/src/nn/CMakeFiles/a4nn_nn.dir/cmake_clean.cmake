@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_nn.dir/dataset.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/factory.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/factory.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/layers.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/layers_extra.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/layers_extra.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/loss.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/model.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/model.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/phase_block.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/phase_block.cpp.o.d"
+  "CMakeFiles/a4nn_nn.dir/sequential.cpp.o"
+  "CMakeFiles/a4nn_nn.dir/sequential.cpp.o.d"
+  "liba4nn_nn.a"
+  "liba4nn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

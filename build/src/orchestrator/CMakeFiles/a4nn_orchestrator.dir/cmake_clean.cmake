@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_orchestrator.dir/training_loop.cpp.o"
+  "CMakeFiles/a4nn_orchestrator.dir/training_loop.cpp.o.d"
+  "CMakeFiles/a4nn_orchestrator.dir/workflow_evaluator.cpp.o"
+  "CMakeFiles/a4nn_orchestrator.dir/workflow_evaluator.cpp.o.d"
+  "liba4nn_orchestrator.a"
+  "liba4nn_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/penguin/curve_fit.cpp" "src/penguin/CMakeFiles/a4nn_penguin.dir/curve_fit.cpp.o" "gcc" "src/penguin/CMakeFiles/a4nn_penguin.dir/curve_fit.cpp.o.d"
+  "/root/repo/src/penguin/engine.cpp" "src/penguin/CMakeFiles/a4nn_penguin.dir/engine.cpp.o" "gcc" "src/penguin/CMakeFiles/a4nn_penguin.dir/engine.cpp.o.d"
+  "/root/repo/src/penguin/ensemble.cpp" "src/penguin/CMakeFiles/a4nn_penguin.dir/ensemble.cpp.o" "gcc" "src/penguin/CMakeFiles/a4nn_penguin.dir/ensemble.cpp.o.d"
+  "/root/repo/src/penguin/families_extra.cpp" "src/penguin/CMakeFiles/a4nn_penguin.dir/families_extra.cpp.o" "gcc" "src/penguin/CMakeFiles/a4nn_penguin.dir/families_extra.cpp.o.d"
+  "/root/repo/src/penguin/parametric.cpp" "src/penguin/CMakeFiles/a4nn_penguin.dir/parametric.cpp.o" "gcc" "src/penguin/CMakeFiles/a4nn_penguin.dir/parametric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/a4nn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

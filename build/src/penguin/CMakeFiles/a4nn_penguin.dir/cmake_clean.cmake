@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_penguin.dir/curve_fit.cpp.o"
+  "CMakeFiles/a4nn_penguin.dir/curve_fit.cpp.o.d"
+  "CMakeFiles/a4nn_penguin.dir/engine.cpp.o"
+  "CMakeFiles/a4nn_penguin.dir/engine.cpp.o.d"
+  "CMakeFiles/a4nn_penguin.dir/ensemble.cpp.o"
+  "CMakeFiles/a4nn_penguin.dir/ensemble.cpp.o.d"
+  "CMakeFiles/a4nn_penguin.dir/families_extra.cpp.o"
+  "CMakeFiles/a4nn_penguin.dir/families_extra.cpp.o.d"
+  "CMakeFiles/a4nn_penguin.dir/parametric.cpp.o"
+  "CMakeFiles/a4nn_penguin.dir/parametric.cpp.o.d"
+  "liba4nn_penguin.a"
+  "liba4nn_penguin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_penguin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

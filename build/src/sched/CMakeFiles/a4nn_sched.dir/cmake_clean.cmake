@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_sched.dir/resource_manager.cpp.o"
+  "CMakeFiles/a4nn_sched.dir/resource_manager.cpp.o.d"
+  "liba4nn_sched.a"
+  "liba4nn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

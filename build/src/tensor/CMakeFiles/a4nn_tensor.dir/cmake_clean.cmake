@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/a4nn_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/a4nn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/a4nn_tensor.dir/tensor.cpp.o.d"
+  "liba4nn_tensor.a"
+  "liba4nn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

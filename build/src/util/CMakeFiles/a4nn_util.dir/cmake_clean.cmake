@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_util.dir/args.cpp.o"
+  "CMakeFiles/a4nn_util.dir/args.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/csv.cpp.o"
+  "CMakeFiles/a4nn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/fsutil.cpp.o"
+  "CMakeFiles/a4nn_util.dir/fsutil.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/json.cpp.o"
+  "CMakeFiles/a4nn_util.dir/json.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/log.cpp.o"
+  "CMakeFiles/a4nn_util.dir/log.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/rng.cpp.o"
+  "CMakeFiles/a4nn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/stats.cpp.o"
+  "CMakeFiles/a4nn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/table.cpp.o"
+  "CMakeFiles/a4nn_util.dir/table.cpp.o.d"
+  "CMakeFiles/a4nn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/a4nn_util.dir/thread_pool.cpp.o.d"
+  "liba4nn_util.a"
+  "liba4nn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liba4nn_util.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xfel/dataset.cpp" "src/xfel/CMakeFiles/a4nn_xfel.dir/dataset.cpp.o" "gcc" "src/xfel/CMakeFiles/a4nn_xfel.dir/dataset.cpp.o.d"
+  "/root/repo/src/xfel/diffraction.cpp" "src/xfel/CMakeFiles/a4nn_xfel.dir/diffraction.cpp.o" "gcc" "src/xfel/CMakeFiles/a4nn_xfel.dir/diffraction.cpp.o.d"
+  "/root/repo/src/xfel/protein.cpp" "src/xfel/CMakeFiles/a4nn_xfel.dir/protein.cpp.o" "gcc" "src/xfel/CMakeFiles/a4nn_xfel.dir/protein.cpp.o.d"
+  "/root/repo/src/xfel/shapes_dataset.cpp" "src/xfel/CMakeFiles/a4nn_xfel.dir/shapes_dataset.cpp.o" "gcc" "src/xfel/CMakeFiles/a4nn_xfel.dir/shapes_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/a4nn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/a4nn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/a4nn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_xfel.dir/dataset.cpp.o"
+  "CMakeFiles/a4nn_xfel.dir/dataset.cpp.o.d"
+  "CMakeFiles/a4nn_xfel.dir/diffraction.cpp.o"
+  "CMakeFiles/a4nn_xfel.dir/diffraction.cpp.o.d"
+  "CMakeFiles/a4nn_xfel.dir/protein.cpp.o"
+  "CMakeFiles/a4nn_xfel.dir/protein.cpp.o.d"
+  "CMakeFiles/a4nn_xfel.dir/shapes_dataset.cpp.o"
+  "CMakeFiles/a4nn_xfel.dir/shapes_dataset.cpp.o.d"
+  "liba4nn_xfel.a"
+  "liba4nn_xfel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_xfel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a4nn_xfel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4nn_xpsi.dir/xpsi.cpp.o"
+  "CMakeFiles/a4nn_xpsi.dir/xpsi.cpp.o.d"
+  "liba4nn_xpsi.a"
+  "liba4nn_xpsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4nn_xpsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

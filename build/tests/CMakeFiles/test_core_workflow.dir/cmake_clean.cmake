@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_workflow.dir/test_core_workflow.cpp.o"
+  "CMakeFiles/test_core_workflow.dir/test_core_workflow.cpp.o.d"
+  "test_core_workflow"
+  "test_core_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lineage.dir/test_lineage.cpp.o"
+  "CMakeFiles/test_lineage.dir/test_lineage.cpp.o.d"
+  "test_lineage"
+  "test_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

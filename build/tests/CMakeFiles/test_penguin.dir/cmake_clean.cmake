@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_penguin.dir/test_penguin.cpp.o"
+  "CMakeFiles/test_penguin.dir/test_penguin.cpp.o.d"
+  "test_penguin"
+  "test_penguin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_penguin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

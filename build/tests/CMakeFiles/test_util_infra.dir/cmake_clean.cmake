@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_infra.dir/test_util_infra.cpp.o"
+  "CMakeFiles/test_util_infra.dir/test_util_infra.cpp.o.d"
+  "test_util_infra"
+  "test_util_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

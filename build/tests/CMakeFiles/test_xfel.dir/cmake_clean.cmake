@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfel.dir/test_xfel.cpp.o"
+  "CMakeFiles/test_xfel.dir/test_xfel.cpp.o.d"
+  "test_xfel"
+  "test_xfel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

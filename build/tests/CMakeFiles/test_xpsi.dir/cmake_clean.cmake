@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xpsi.dir/test_xpsi.cpp.o"
+  "CMakeFiles/test_xpsi.dir/test_xpsi.cpp.o.d"
+  "test_xpsi"
+  "test_xpsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xpsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
