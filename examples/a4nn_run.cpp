@@ -52,6 +52,18 @@ int main(int argc, char** argv) {
   args.add_flag("resume",
                 "reuse record trails already in the commons (interrupted-run "
                 "recovery; requires --commons)");
+  args.add_flag("fsck",
+                "validate the commons tree (quarantine corrupt files) and "
+                "exit; requires --commons");
+  // Fault injection (deterministic, seeded from --seed).
+  args.add_option("fault-transient", "0",
+                  "per-attempt transient failure probability [0,1]");
+  args.add_option("fault-permanent", "0",
+                  "per-generation permanent device-failure probability [0,1]");
+  args.add_option("fault-crash", "0",
+                  "per-attempt job-crash probability [0,1]");
+  args.add_option("fault-straggler", "0",
+                  "per-attempt straggler probability [0,1]");
   args.add_option("seed", "2023", "experiment seed");
   args.add_flag("dot", "print the best architecture as Graphviz DOT");
 
@@ -94,14 +106,42 @@ int main(int argc, char** argv) {
   cfg.trainer.engine.tolerance = args.get_double("tolerance");
   cfg.trainer.engine.e_pred = static_cast<double>(cfg.nas.max_epochs);
   cfg.cluster.num_gpus = args.get_size("gpus");
+  cfg.cluster.fault.transient_failure_prob = args.get_double("fault-transient");
+  cfg.cluster.fault.permanent_failure_prob = args.get_double("fault-permanent");
+  cfg.cluster.fault.job_crash_prob = args.get_double("fault-crash");
+  cfg.cluster.fault.straggler_prob = args.get_double("fault-straggler");
+  cfg.cluster.fault.enabled = cfg.cluster.fault.transient_failure_prob > 0 ||
+                              cfg.cluster.fault.permanent_failure_prob > 0 ||
+                              cfg.cluster.fault.job_crash_prob > 0 ||
+                              cfg.cluster.fault.straggler_prob > 0;
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
   if (!args.get("commons").empty()) {
     cfg.lineage = lineage::TrackerConfig{args.get("commons"),
                                          args.get_size("snapshot-every")};
     cfg.resume_from_commons = args.get_flag("resume");
-  } else if (args.get_flag("resume")) {
-    std::fprintf(stderr, "--resume requires --commons\n");
+  } else if (args.get_flag("resume") || args.get_flag("fsck")) {
+    std::fprintf(stderr, "--resume and --fsck require --commons\n");
     return 1;
+  }
+
+  if (args.get_flag("fsck")) {
+    std::optional<lineage::DataCommons> commons;
+    try {
+      commons.emplace(cfg.lineage->root);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fsck: %s\n", e.what());
+      return 1;
+    }
+    const lineage::FsckReport report = commons->fsck();
+    std::printf(
+        "fsck: %zu model(s) scanned, %zu valid record(s), "
+        "%zu file(s) quarantined, %zu tmp file(s) removed\n",
+        report.models_scanned, report.records_valid, report.files_quarantined,
+        report.tmp_files_removed);
+    for (const auto& issue : report.issues)
+      std::printf("  quarantined %s: %s\n", issue.path.c_str(),
+                  issue.reason.c_str());
+    return report.clean() ? 0 : 2;
   }
 
   std::printf("A4NN run: %zu networks, %s intensity, %zu GPU(s), engine %s\n",
@@ -111,8 +151,16 @@ int main(int argc, char** argv) {
                   ? (args.get_flag("ensemble") ? "ensemble"
                                                : args.get("function").c_str())
                   : "off");
-  core::A4nnWorkflow workflow(std::move(cfg));
-  const core::WorkflowResult result = workflow.run();
+  std::optional<core::A4nnWorkflow> workflow_holder;
+  core::WorkflowResult result;
+  try {
+    workflow_holder.emplace(std::move(cfg));
+    result = workflow_holder->run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "a4nn_run: %s\n", e.what());
+    return 1;
+  }
+  const core::A4nnWorkflow& workflow = *workflow_holder;
 
   const auto& history = result.search.history;
   const auto savings = analytics::epoch_savings(history);
@@ -120,6 +168,21 @@ int main(int argc, char** argv) {
   if (result.resumed_evaluations > 0) {
     std::printf("resumed: %zu of %zu evaluations reused from the commons\n",
                 result.resumed_evaluations, history.size());
+  }
+  if (result.summary.resumed_epochs > 0)
+    std::printf("resumed: %zu training epoch(s) skipped via checkpoints\n",
+                result.summary.resumed_epochs);
+  if (result.summary.genome_mismatches > 0)
+    std::printf("resume: %zu stale record(s) rejected (genome mismatch)\n",
+                result.summary.genome_mismatches);
+  const auto& faults = result.summary.faults;
+  if (workflow.config().cluster.fault.enabled) {
+    std::printf(
+        "faults: %zu retries (%zu transient, %zu crashes, %zu stragglers), "
+        "%zu device(s) lost, %zu job(s) failed, %.1f virtual s wasted\n",
+        faults.retries, faults.transient_faults, faults.job_crashes,
+        faults.straggler_events, faults.permanent_device_failures,
+        faults.failed_jobs, faults.wasted_virtual_seconds);
   }
   std::printf("epochs: %zu/%zu (%.1f%% saved, %zu early terminations)\n",
               savings.epochs_trained, savings.epochs_budget,

@@ -6,6 +6,34 @@
 
 namespace a4nn::analytics {
 
+util::Json FaultTotals::to_json() const {
+  util::Json j = util::Json::object();
+  j["total_jobs"] = total_jobs;
+  j["retries"] = retries;
+  j["transient_faults"] = transient_faults;
+  j["job_crashes"] = job_crashes;
+  j["straggler_events"] = straggler_events;
+  j["permanent_device_failures"] = permanent_device_failures;
+  j["failed_jobs"] = failed_jobs;
+  j["wasted_virtual_seconds"] = wasted_virtual_seconds;
+  return j;
+}
+
+FaultTotals fault_totals(std::span<const sched::GenerationSchedule> schedules) {
+  FaultTotals t;
+  for (const auto& s : schedules) {
+    t.total_jobs += s.placements.size();
+    t.retries += s.total_retries;
+    t.transient_faults += s.transient_faults;
+    t.job_crashes += s.job_crashes;
+    t.straggler_events += s.straggler_events;
+    t.permanent_device_failures += s.newly_quarantined.size();
+    t.failed_jobs += s.failed_jobs;
+    t.wasted_virtual_seconds += s.wasted_seconds;
+  }
+  return t;
+}
+
 std::vector<std::size_t> pareto_indices(
     std::span<const nas::EvaluationRecord> records) {
   std::vector<nas::Objectives> obj;

@@ -6,9 +6,26 @@
 #pragma once
 
 #include "nas/search.hpp"
+#include "sched/resource_manager.hpp"
 #include "util/stats.hpp"
 
 namespace a4nn::analytics {
+
+/// Aggregate fault/recovery activity over a run's generation schedules
+/// (all zero for a fault-free run).
+struct FaultTotals {
+  std::size_t total_jobs = 0;
+  std::size_t retries = 0;
+  std::size_t transient_faults = 0;
+  std::size_t job_crashes = 0;
+  std::size_t straggler_events = 0;
+  std::size_t permanent_device_failures = 0;
+  std::size_t failed_jobs = 0;
+  double wasted_virtual_seconds = 0.0;
+
+  util::Json to_json() const;
+};
+FaultTotals fault_totals(std::span<const sched::GenerationSchedule> schedules);
 
 /// Indices of the Pareto-optimal records (max fitness, min FLOPs).
 std::vector<std::size_t> pareto_indices(

@@ -1,5 +1,6 @@
 #include "core/a4nn.hpp"
 
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace a4nn::core {
@@ -20,8 +21,20 @@ util::Json WorkflowConfig::to_json() const {
   util::Json cl = util::Json::object();
   cl["num_gpus"] = cluster.num_gpus;
   cl["flops_per_second"] = cluster.cost.flops_per_second;
+  cl["fault"] = cluster.fault.to_json();
   j["cluster"] = std::move(cl);
   j["seed"] = seed;
+  return j;
+}
+
+util::Json RunSummary::to_json() const {
+  util::Json j = util::Json::object();
+  j["faults"] = faults.to_json();
+  j["resumed_evaluations"] = resumed_evaluations;
+  j["resumed_epochs"] = resumed_epochs;
+  j["genome_mismatches"] = genome_mismatches;
+  j["fsck_quarantined"] = fsck_quarantined;
+  j["fsck_tmp_removed"] = fsck_tmp_removed;
   return j;
 }
 
@@ -40,6 +53,31 @@ WorkflowResult A4nnWorkflow::run() {
   // and the classifier head consistent with the dataset's class count.
   config_.trainer.cost = config_.cluster.cost;
   config_.nas.space.classes = data_->train.num_classes();
+  // The fault injector inherits the workflow seed unless pinned, so a
+  // faulty run replays bit-identically without extra configuration.
+  if (config_.cluster.fault.enabled && config_.cluster.fault.seed == 0)
+    config_.cluster.fault.seed = config_.seed;
+
+  WorkflowResult result;
+
+  const bool resuming = config_.resume_from_commons && config_.lineage;
+  if (resuming) {
+    // A crashed writer can leave truncated JSON behind; quarantine it now
+    // so one corrupt file cannot kill the whole resume. Partially-trained
+    // models then continue from their last epoch checkpoint.
+    std::error_code ec;
+    if (std::filesystem::exists(config_.lineage->root / "models", ec)) {
+      lineage::DataCommons commons(config_.lineage->root);
+      const lineage::FsckReport fsck = commons.fsck();
+      result.summary.fsck_quarantined = fsck.files_quarantined;
+      result.summary.fsck_tmp_removed = fsck.tmp_files_removed;
+      if (!fsck.clean())
+        util::log_warn("resume: fsck quarantined ", fsck.files_quarantined,
+                       " file(s), removed ", fsck.tmp_files_removed,
+                       " stale tmp file(s)");
+    }
+    config_.trainer.resume_partial = true;
+  }
 
   std::optional<lineage::LineageTracker> tracker;
   if (config_.lineage) {
@@ -54,7 +92,8 @@ WorkflowResult A4nnWorkflow::run() {
   orchestrator::WorkflowEvaluator evaluator(loop, cluster, config_.nas.space,
                                             config_.seed,
                                             tracker ? &*tracker : nullptr);
-  if (config_.resume_from_commons && config_.lineage) {
+  evaluator.set_crash_after(config_.crash_after_evaluations);
+  if (resuming) {
     // Reuse whatever record trails a previous (interrupted) run left in
     // the commons; deterministic seeding makes the replay exact.
     std::error_code ec;
@@ -65,10 +104,13 @@ WorkflowResult A4nnWorkflow::run() {
   }
   nas::NsgaNetSearch search(config_.nas, evaluator);
 
-  WorkflowResult result;
   result.search = search.run();
   result.resumed_evaluations = evaluator.resumed_count();
   result.schedules = evaluator.schedules();
+  result.summary.faults = analytics::fault_totals(result.schedules);
+  result.summary.resumed_evaluations = evaluator.resumed_count();
+  result.summary.resumed_epochs = loop.resumed_epochs();
+  result.summary.genome_mismatches = evaluator.genome_mismatches();
   result.virtual_wall_seconds = cluster.virtual_now();
   result.measured_wall_seconds = wall.seconds();
   if (config_.lineage) result.commons_root = config_.lineage->root;

@@ -34,9 +34,33 @@ struct WorkflowConfig {
   std::optional<lineage::TrackerConfig> lineage;
   /// Resume an interrupted run: record trails already present in the
   /// commons are reused instead of retraining (requires `lineage` and the
-  /// same configuration/seed as the original run).
+  /// same configuration/seed as the original run). The commons is fsck'd
+  /// first — corrupt files are quarantined instead of killing the resume —
+  /// and partially-trained models continue from their last epoch
+  /// checkpoint instead of restarting at epoch 1.
   bool resume_from_commons = false;
+  /// Fault injection for tests and drills: simulate process death after
+  /// this many freshly-trained records reach the commons (0 disables).
+  /// When hit, run() throws orchestrator::WorkflowInterrupted.
+  std::size_t crash_after_evaluations = 0;
   std::uint64_t seed = 2023;
+
+  util::Json to_json() const;
+};
+
+/// Fault-tolerance and recovery accounting for one run().
+struct RunSummary {
+  analytics::FaultTotals faults;
+  /// Evaluations reused whole from the commons when resuming.
+  std::size_t resumed_evaluations = 0;
+  /// Training epochs skipped by resuming partially-trained models from
+  /// their epoch checkpoints.
+  std::size_t resumed_epochs = 0;
+  /// Preloaded records rejected because their stored genome mismatched.
+  std::size_t genome_mismatches = 0;
+  /// Files the pre-resume fsck quarantined or removed (0 on fresh runs).
+  std::size_t fsck_quarantined = 0;
+  std::size_t fsck_tmp_removed = 0;
 
   util::Json to_json() const;
 };
@@ -47,6 +71,8 @@ struct WorkflowResult {
   std::size_t resumed_evaluations = 0;
   /// Per-generation placement/timing from the resource manager.
   std::vector<sched::GenerationSchedule> schedules;
+  /// Fault/retry/recovery accounting for the whole run.
+  RunSummary summary;
   /// Virtual wall time of the whole search (last generation barrier).
   double virtual_wall_seconds = 0.0;
   /// Measured host time for the whole search.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/fsutil.hpp"
+#include "util/log.hpp"
 
 namespace a4nn::lineage {
 
@@ -23,6 +24,12 @@ std::string snapshot_file_name(std::size_t epoch) {
   return buf;
 }
 
+std::string training_state_file_name(std::size_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch_%04zu.state.json", epoch);
+  return buf;
+}
+
 LineageTracker::LineageTracker(TrackerConfig config)
     : config_(std::move(config)) {
   if (config_.root.empty())
@@ -32,6 +39,7 @@ LineageTracker::LineageTracker(TrackerConfig config)
 }
 
 void LineageTracker::record_search_config(const util::Json& config) {
+  if (sealed_.load()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   util::write_file(config_.root / "search.json", config.dump(2));
 }
@@ -46,13 +54,23 @@ fs::path LineageTracker::model_dir(int model_id) const {
 
 void LineageTracker::record_model_epoch(int model_id, std::size_t epoch,
                                         const nn::Model& model) {
+  if (sealed_.load()) return;
   const util::Json ckpt = model.checkpoint();
   std::lock_guard<std::mutex> lock(mutex_);
   util::write_file(model_dir(model_id) / snapshot_file_name(epoch),
                    ckpt.dump());
 }
 
+void LineageTracker::record_training_state(int model_id, std::size_t epoch,
+                                           const util::Json& state) {
+  if (sealed_.load()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::write_file(model_dir(model_id) / training_state_file_name(epoch),
+                   state.dump());
+}
+
 void LineageTracker::record_evaluation(const nas::EvaluationRecord& record) {
+  if (sealed_.load()) return;
   const util::Json j = record.to_json();
   std::lock_guard<std::mutex> lock(mutex_);
   util::write_file(model_dir(record.model_id) / "record.json", j.dump(2));
@@ -91,16 +109,31 @@ std::vector<nas::EvaluationRecord> DataCommons::load_records() const {
   return records;
 }
 
-std::vector<std::size_t> DataCommons::snapshot_epochs(int model_id) const {
+namespace {
+
+std::vector<std::size_t> epochs_with_suffix(const fs::path& dir,
+                                            const std::string& suffix) {
   std::vector<std::size_t> epochs;
-  const fs::path dir = root_ / "models" / model_dir_name(model_id);
   for (const auto& file : util::list_files(dir)) {
     const std::string name = file.filename().string();
-    if (name.rfind("epoch_", 0) != 0) continue;
+    if (name.rfind("epoch_", 0) != 0 || !name.ends_with(suffix)) continue;
     epochs.push_back(static_cast<std::size_t>(std::atoll(name.c_str() + 6)));
   }
   std::sort(epochs.begin(), epochs.end());
   return epochs;
+}
+
+}  // namespace
+
+std::vector<std::size_t> DataCommons::snapshot_epochs(int model_id) const {
+  return epochs_with_suffix(root_ / "models" / model_dir_name(model_id),
+                            ".ckpt.json");
+}
+
+std::vector<std::size_t> DataCommons::training_state_epochs(
+    int model_id) const {
+  return epochs_with_suffix(root_ / "models" / model_dir_name(model_id),
+                            ".state.json");
 }
 
 nn::Model DataCommons::load_model(int model_id, std::size_t epoch) const {
@@ -108,6 +141,95 @@ nn::Model DataCommons::load_model(int model_id, std::size_t epoch) const {
       root_ / "models" / model_dir_name(model_id) / snapshot_file_name(epoch);
   return nn::Model::from_checkpoint(
       util::Json::parse(util::read_file(path)));
+}
+
+util::Json DataCommons::load_training_state(int model_id,
+                                            std::size_t epoch) const {
+  const fs::path path = root_ / "models" / model_dir_name(model_id) /
+                        training_state_file_name(epoch);
+  return util::Json::parse(util::read_file(path));
+}
+
+namespace {
+
+/// Move a corrupt file into <root>/quarantine/<relative path>, recording
+/// the reason. Never throws: fsck must make progress past any breakage.
+void quarantine_file(const fs::path& root, const fs::path& file,
+                     const std::string& reason, FsckReport& report) {
+  const fs::path rel = fs::relative(file, root);
+  const fs::path target = root / "quarantine" / rel;
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  fs::rename(file, target, ec);
+  if (ec) fs::remove(file, ec);  // cross-device or racing writer: drop it
+  report.issues.push_back({rel, reason});
+  ++report.files_quarantined;
+  util::log_warn("fsck: quarantined ", rel.string(), " (", reason, ")");
+}
+
+}  // namespace
+
+FsckReport DataCommons::fsck() {
+  FsckReport report;
+
+  // Leftover staging files from crashed writers anywhere in the tree.
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      std::error_code rm;
+      fs::remove(it->path(), rm);
+      if (!rm) ++report.tmp_files_removed;
+    }
+  }
+
+  const fs::path search = root_ / "search.json";
+  if (fs::exists(search)) {
+    try {
+      util::Json::parse(util::read_file(search));
+    } catch (const std::exception& e) {
+      quarantine_file(root_, search, e.what(), report);
+    }
+  }
+
+  for (int id : model_ids()) {
+    ++report.models_scanned;
+    const fs::path dir = root_ / "models" / model_dir_name(id);
+
+    const fs::path record = dir / "record.json";
+    if (fs::exists(record)) {
+      try {
+        nas::EvaluationRecord::from_json(
+            util::Json::parse(util::read_file(record)));
+        ++report.records_valid;
+      } catch (const std::exception& e) {
+        quarantine_file(root_, record, e.what(), report);
+      }
+    }
+
+    for (const auto& file : util::list_files(dir, ".json")) {
+      const std::string name = file.filename().string();
+      if (name.rfind("epoch_", 0) != 0) continue;
+      try {
+        const util::Json j = util::Json::parse(util::read_file(file));
+        if (name.ends_with(".ckpt.json")) {
+          if (!j.contains("spec") || !j.contains("weights") ||
+              !j.contains("input_shape"))
+            throw util::JsonError("checkpoint missing spec/weights");
+        } else if (name.ends_with(".state.json")) {
+          if (!j.contains("epoch") || !j.contains("rng") ||
+              !j.contains("optimizer") || !j.contains("record"))
+            throw util::JsonError("training state missing required fields");
+        }
+      } catch (const std::exception& e) {
+        quarantine_file(root_, file, e.what(), report);
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace a4nn::lineage

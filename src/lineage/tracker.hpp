@@ -11,6 +11,7 @@
 //   <root>/models/model_00042/epoch_0007.ckpt.json  model snapshot (optional)
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <mutex>
 #include <optional>
@@ -41,8 +42,19 @@ class LineageTracker {
   /// Persist the final record trail of a trained network. Thread-safe.
   void record_evaluation(const nas::EvaluationRecord& record);
 
+  /// Persist the full training state (optimizer, RNG, histories) captured
+  /// after `epoch`, enabling bit-exact mid-training resume. Thread-safe.
+  void record_training_state(int model_id, std::size_t epoch,
+                             const util::Json& state);
+
   /// Whether a snapshot should be taken at this epoch.
   bool wants_snapshot(std::size_t epoch) const;
+
+  /// Simulate process death: after sealing, every record_* call becomes a
+  /// no-op. Used by the kill-and-resume tests to interrupt a run at job
+  /// granularity without tearing down the process.
+  void seal() { sealed_.store(true); }
+  bool sealed() const { return sealed_.load(); }
 
   const std::filesystem::path& root() const { return config_.root; }
 
@@ -51,6 +63,24 @@ class LineageTracker {
 
   TrackerConfig config_;
   std::mutex mutex_;
+  std::atomic<bool> sealed_{false};
+};
+
+/// One problem found (and fixed) by DataCommons::fsck.
+struct FsckIssue {
+  std::filesystem::path path;
+  std::string reason;
+};
+
+/// What fsck scanned, kept, and quarantined.
+struct FsckReport {
+  std::size_t models_scanned = 0;
+  std::size_t records_valid = 0;
+  std::size_t files_quarantined = 0;
+  std::size_t tmp_files_removed = 0;
+  std::vector<FsckIssue> issues;
+
+  bool clean() const { return issues.empty() && tmp_files_removed == 0; }
 };
 
 /// Read-side API over a commons tree.
@@ -63,10 +93,21 @@ class DataCommons {
   std::vector<nas::EvaluationRecord> load_records() const;
   /// Model ids present in the commons.
   std::vector<int> model_ids() const;
-  /// Epochs with snapshots for a model.
+  /// Epochs with weight snapshots for a model.
   std::vector<std::size_t> snapshot_epochs(int model_id) const;
+  /// Epochs with training-state checkpoints for a model.
+  std::vector<std::size_t> training_state_epochs(int model_id) const;
   /// Reload the model state captured after `epoch`.
   nn::Model load_model(int model_id, std::size_t epoch) const;
+  /// Reload the training-state document captured after `epoch`.
+  util::Json load_training_state(int model_id, std::size_t epoch) const;
+
+  /// Validate the whole commons tree: every record trail, snapshot, and
+  /// training-state file must parse; corrupt files are moved to
+  /// `<root>/quarantine/` (preserving their relative layout) and leftover
+  /// `.tmp` staging files from crashed writers are deleted, so one
+  /// truncated JSON can no longer kill a resume. Returns what was dropped.
+  FsckReport fsck();
 
   const std::filesystem::path& root() const { return root_; }
 
@@ -77,5 +118,6 @@ class DataCommons {
 /// Zero-padded directory/file naming shared by tracker and commons.
 std::string model_dir_name(int model_id);
 std::string snapshot_file_name(std::size_t epoch);
+std::string training_state_file_name(std::size_t epoch);
 
 }  // namespace a4nn::lineage

@@ -29,6 +29,7 @@ util::Json EvaluationRecord::to_json() const {
   j["epochs_trained"] = epochs_trained;
   j["max_epochs"] = max_epochs;
   j["early_terminated"] = early_terminated;
+  j["resumed_from_epoch"] = resumed_from_epoch;
   j["fitness_history"] = doubles_to_json(fitness_history);
   j["train_accuracy_history"] = doubles_to_json(train_accuracy_history);
   j["train_loss_history"] = doubles_to_json(train_loss_history);
@@ -53,6 +54,9 @@ EvaluationRecord EvaluationRecord::from_json(const util::Json& j) {
   r.epochs_trained = static_cast<std::size_t>(j.at("epochs_trained").as_int());
   r.max_epochs = static_cast<std::size_t>(j.at("max_epochs").as_int());
   r.early_terminated = j.at("early_terminated").as_bool();
+  // Absent in records written before fault-tolerant resume existed.
+  r.resumed_from_epoch =
+      static_cast<std::size_t>(j.number_or("resumed_from_epoch", 0.0));
   r.fitness_history = doubles_from_json(j.at("fitness_history"));
   r.train_accuracy_history = doubles_from_json(j.at("train_accuracy_history"));
   r.train_loss_history = doubles_from_json(j.at("train_loss_history"));

@@ -32,6 +32,9 @@ struct EvaluationRecord {
   std::size_t epochs_trained = 0;
   std::size_t max_epochs = 0;
   bool early_terminated = false;
+  /// Nonzero when training resumed from a commons epoch checkpoint instead
+  /// of epoch 0 (fault-tolerant restart); counts the epochs skipped.
+  std::size_t resumed_from_epoch = 0;
 
   std::vector<double> fitness_history;      // validation accuracy per epoch
   std::vector<double> train_accuracy_history;

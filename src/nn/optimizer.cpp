@@ -27,6 +27,40 @@ void Sgd::step(std::vector<ParamSlot>& slots) {
   }
 }
 
+util::Json Sgd::state_json(const std::vector<ParamSlot>& slots) const {
+  util::Json velocities = util::Json::array();
+  for (const auto& slot : slots) {
+    util::JsonArray arr;
+    const auto it = velocity_.find(slot.value);
+    if (it != velocity_.end()) {
+      arr.reserve(it->second.size());
+      for (float v : it->second) arr.emplace_back(static_cast<double>(v));
+    }
+    velocities.push_back(util::Json(std::move(arr)));
+  }
+  util::Json j = util::Json::object();
+  j["kind"] = kind();
+  j["velocity"] = std::move(velocities);
+  return j;
+}
+
+void Sgd::load_state(const std::vector<ParamSlot>& slots,
+                     const util::Json& j) {
+  const auto& velocities = j.at("velocity").as_array();
+  if (velocities.size() != slots.size())
+    throw std::invalid_argument("Sgd::load_state: slot count mismatch");
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const auto& arr = velocities[s].as_array();
+    if (arr.empty()) continue;  // slot never stepped before the checkpoint
+    if (arr.size() != slots[s].value->numel())
+      throw std::invalid_argument("Sgd::load_state: velocity size mismatch");
+    auto& vel = velocity_[slots[s].value];
+    vel.resize(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+      vel[i] = static_cast<float>(arr[i].as_number());
+  }
+}
+
 Adam::Adam(double lr, double beta1, double beta2, double eps,
            double weight_decay)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),

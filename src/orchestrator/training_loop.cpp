@@ -1,8 +1,14 @@
 #include "orchestrator/training_loop.hpp"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "util/fsutil.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace a4nn::orchestrator {
@@ -47,8 +53,48 @@ util::Json TrainerConfig::to_json() const {
   j["lr_schedule"] = lr_schedule_name(lr_schedule);
   j["use_prediction_engine"] = use_prediction_engine;
   j["engine"] = engine.to_json();
+  j["resume_partial"] = resume_partial;
   return j;
 }
+
+namespace {
+
+// Rng words are full 64-bit values; JSON numbers (doubles) cannot hold
+// them exactly, so the state round-trips through hex strings.
+util::Json rng_state_to_json(const util::RngState& st) {
+  util::Json j = util::Json::object();
+  util::Json words = util::Json::array();
+  for (std::uint64_t w : st.s) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, w);
+    words.push_back(util::Json(std::string(buf)));
+  }
+  j["s"] = std::move(words);
+  j["has_cached_normal"] = st.has_cached_normal;
+  j["cached_normal"] = st.cached_normal;
+  return j;
+}
+
+util::RngState rng_state_from_json(const util::Json& j) {
+  util::RngState st;
+  const auto& words = j.at("s").as_array();
+  if (words.size() != st.s.size())
+    throw util::JsonError("rng state: expected 4 state words");
+  for (std::size_t i = 0; i < st.s.size(); ++i)
+    st.s[i] = std::strtoull(words[i].as_string().c_str(), nullptr, 16);
+  st.has_cached_normal = j.at("has_cached_normal").as_bool();
+  st.cached_normal = j.at("cached_normal").as_number();
+  return st;
+}
+
+util::Json doubles_to_json(const std::vector<double>& v) {
+  util::JsonArray arr;
+  arr.reserve(v.size());
+  for (double d : v) arr.emplace_back(d);
+  return util::Json(std::move(arr));
+}
+
+}  // namespace
 
 TrainingLoop::TrainingLoop(const nn::Dataset& train,
                            const nn::Dataset& validation, TrainerConfig config,
@@ -97,7 +143,16 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
   const double epoch_virtual = config_.cost.epoch_seconds(record.flops);
 
   bool converged = false;
-  for (std::size_t epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+  std::size_t start_epoch = 1;
+  if (config_.resume_partial && lineage_) {
+    start_epoch = try_resume(model, opt, rng, record, converged);
+    engine_overhead += record.engine_overhead_seconds;
+  }
+
+  // The loop condition (not an inner break) ends training on convergence
+  // so a restored already-converged state trains zero further epochs.
+  for (std::size_t epoch = start_epoch;
+       !converged && epoch <= config_.max_epochs; ++epoch) {
     opt.set_learning_rate(config_.lr_at(epoch));
     const nn::EpochMetrics train_metrics =
         model.train_epoch(*train_, config_.batch_size, opt, rng);
@@ -121,7 +176,29 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
       // Analyzer step: has P converged to a stable value?
       converged = engine->converged(record.prediction_history);
       engine_overhead += engine_timer.seconds();
-      if (converged) break;
+    }
+
+    // The training state is captured after the engine step so a resume
+    // replays the epoch's prediction and convergence outcome exactly.
+    if (lineage_ && lineage_->wants_snapshot(epoch)) {
+      util::Json state = util::Json::object();
+      state["model_id"] = model_id;
+      state["epoch"] = epoch;
+      state["converged"] = converged;
+      state["rng"] = rng_state_to_json(rng.state());
+      auto slots = model.trunk().params();
+      state["optimizer"] = opt.state_json(slots);
+      util::Json rec = util::Json::object();
+      rec["fitness_history"] = doubles_to_json(record.fitness_history);
+      rec["train_accuracy_history"] =
+          doubles_to_json(record.train_accuracy_history);
+      rec["train_loss_history"] = doubles_to_json(record.train_loss_history);
+      rec["prediction_history"] = doubles_to_json(record.prediction_history);
+      rec["epoch_virtual_seconds"] =
+          doubles_to_json(record.epoch_virtual_seconds);
+      rec["engine_overhead_seconds"] = engine_overhead;
+      state["record"] = std::move(rec);
+      lineage_->record_training_state(model_id, epoch, state);
     }
   }
 
@@ -138,6 +215,81 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
       epoch_virtual * static_cast<double>(record.epochs_trained);
 
   return record;
+}
+
+std::size_t TrainingLoop::try_resume(nn::Model& model, nn::Sgd& opt,
+                                     util::Rng& rng,
+                                     nas::EvaluationRecord& record,
+                                     bool& converged) const {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      lineage_->root() / "models" / lineage::model_dir_name(record.model_id);
+  if (!fs::exists(dir)) return 1;
+
+  // Newest state first; a corrupt or mismatched pair falls back to older.
+  std::vector<std::size_t> epochs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("epoch_", 0) != 0 || !name.ends_with(".state.json"))
+      continue;
+    epochs.push_back(static_cast<std::size_t>(std::atoll(name.c_str() + 6)));
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+
+  for (std::size_t e : epochs) {
+    try {
+      const util::Json state = util::Json::parse(util::read_file(
+          dir / lineage::training_state_file_name(e)));
+      if (static_cast<int>(state.at("model_id").as_int()) != record.model_id ||
+          static_cast<std::size_t>(state.at("epoch").as_int()) != e)
+        throw util::JsonError("training state labels the wrong model/epoch");
+
+      const util::Json ckpt = util::Json::parse(util::read_file(
+          dir / lineage::snapshot_file_name(e)));
+      // A stale checkpoint from a different architecture must never be
+      // loaded into this model; the decoded genome's spec is the truth.
+      if (!(ckpt.at("spec") == model.trunk().spec()))
+        throw util::JsonError("checkpoint spec differs from decoded genome");
+
+      // Parse and validate everything before mutating model/opt/rng/record:
+      // a half-applied restore must not leak into the fallback attempt.
+      const util::Json& rec = state.at("record");
+      auto fitness = rec.at("fitness_history").as_double_vector();
+      auto train_acc = rec.at("train_accuracy_history").as_double_vector();
+      auto train_loss = rec.at("train_loss_history").as_double_vector();
+      auto predictions = rec.at("prediction_history").as_double_vector();
+      auto epoch_virtual = rec.at("epoch_virtual_seconds").as_double_vector();
+      const double overhead = rec.at("engine_overhead_seconds").as_number();
+      const util::RngState rng_state = rng_state_from_json(state.at("rng"));
+      const bool was_converged = state.at("converged").as_bool();
+      if (fitness.size() != e)
+        throw util::JsonError("training state history shorter than its epoch");
+
+      model.trunk().load_weights(ckpt.at("weights"));
+      auto slots = model.trunk().params();
+      opt.load_state(slots, state.at("optimizer"));
+      rng.set_state(rng_state);
+
+      record.fitness_history = std::move(fitness);
+      record.train_accuracy_history = std::move(train_acc);
+      record.train_loss_history = std::move(train_loss);
+      record.prediction_history = std::move(predictions);
+      record.epoch_virtual_seconds = std::move(epoch_virtual);
+      record.engine_overhead_seconds = overhead;
+      record.epochs_trained = e;
+      record.resumed_from_epoch = e;
+      converged = was_converged;
+      resumed_epochs_.fetch_add(e);
+      util::log_info("resume: model ", record.model_id,
+                     " continues from epoch ", e + 1, " (", e,
+                     " epochs restored)");
+      return e + 1;
+    } catch (const std::exception& ex) {
+      util::log_warn("resume: model ", record.model_id, " epoch ", e,
+                     " state unusable (", ex.what(), "); trying older");
+    }
+  }
+  return 1;
 }
 
 }  // namespace a4nn::orchestrator

@@ -6,6 +6,7 @@
 // fitness, otherwise the final measured fitness is used.
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "lineage/tracker.hpp"
@@ -38,6 +39,14 @@ struct TrainerConfig {
   bool use_prediction_engine = true;
   penguin::EngineConfig engine = penguin::default_engine_config();
 
+  /// Resume a partially-trained model from its last epoch checkpoint in
+  /// the commons instead of retraining from epoch 0. Requires a lineage
+  /// tracker whose snapshots include training state; the restored stream
+  /// (weights + optimizer momentum + RNG) is bit-identical, so a resumed
+  /// training finishes with exactly the same record as an uninterrupted
+  /// one.
+  bool resume_partial = false;
+
   /// Virtual-time accounting for the simulated devices.
   sched::DeviceCostModel cost;
 
@@ -66,11 +75,22 @@ class TrainingLoop {
 
   const TrainerConfig& config() const { return config_; }
 
+  /// Total epochs skipped so far by resuming from checkpoints.
+  std::size_t resumed_epochs() const { return resumed_epochs_.load(); }
+
  private:
+  /// Restore the newest usable (checkpoint, training state) pair for this
+  /// model from the commons. Returns the 1-based epoch to continue from
+  /// (1 when nothing usable exists). Corrupt or mismatched files are
+  /// skipped with a warning, falling back to older epochs.
+  std::size_t try_resume(nn::Model& model, nn::Sgd& opt, util::Rng& rng,
+                         nas::EvaluationRecord& record, bool& converged) const;
+
   const nn::Dataset* train_;
   const nn::Dataset* validation_;
   TrainerConfig config_;
   lineage::LineageTracker* lineage_;
+  mutable std::atomic<std::size_t> resumed_epochs_{0};
 };
 
 }  // namespace a4nn::orchestrator

@@ -1,5 +1,7 @@
 #include "orchestrator/workflow_evaluator.hpp"
 
+#include "util/log.hpp"
+
 namespace a4nn::orchestrator {
 
 WorkflowEvaluator::WorkflowEvaluator(const TrainingLoop& loop,
@@ -18,6 +20,17 @@ void WorkflowEvaluator::preload_records(
   for (auto& r : records) resume_pool_[r.model_id] = std::move(r);
 }
 
+void WorkflowEvaluator::flush_record(const nas::EvaluationRecord& record) {
+  if (!lineage_) return;
+  lineage_->record_evaluation(record);
+  const std::size_t count = flushed_.fetch_add(1) + 1;
+  if (crash_after_ > 0 && count >= crash_after_ && !crashed_.exchange(true)) {
+    // Simulated process death: everything already flushed stays on disk;
+    // every later write silently disappears, like a killed process.
+    lineage_->seal();
+  }
+}
+
 std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     std::span<const nas::Genome> genomes, int generation) {
   std::vector<nas::EvaluationRecord> records(genomes.size());
@@ -31,24 +44,40 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     const nas::Genome genome = genomes[i];
     const int model_id = base_id + static_cast<int>(i);
     nas::EvaluationRecord* slot = &records[i];
+    // Identify the slot up front so a job that fails permanently still
+    // leaves a record naming its genome.
+    slot->model_id = model_id;
+    slot->genome = genome;
+    slot->generation = generation;
 
     // Resume hit: identical model id and genome from a previous run.
     const auto cached = resume_pool_.find(model_id);
-    if (cached != resume_pool_.end() &&
-        cached->second.genome.key() == genome.key()) {
-      *slot = cached->second;
-      ++resumed_;
-      jobs.push_back(sched::Job{[slot] { return slot->virtual_seconds; }});
-      continue;
+    if (cached != resume_pool_.end()) {
+      if (cached->second.genome.key() == genome.key()) {
+        *slot = cached->second;
+        slot->generation = generation;
+        ++resumed_;
+        jobs.push_back(sched::Job{[slot] { return slot->virtual_seconds; }});
+        continue;
+      }
+      // Stale commons (different seed or search config): the stored trail
+      // is for another architecture, so it cannot be reused.
+      util::log_warn("resume: model ", model_id,
+                     " genome mismatch (stored key=", cached->second.genome.key(),
+                     ", requested key=", genome.key(), "); retraining");
+      ++genome_mismatches_;
     }
 
     // Per-model deterministic seed independent of execution order.
     const std::uint64_t model_seed =
         seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(model_id + 1));
-    jobs.push_back(sched::Job{[this, genome, model_id, model_seed, slot] {
-      *slot = loop_->train_genome(genome, space_, model_id, model_seed);
-      return slot->virtual_seconds;
-    }});
+    jobs.push_back(
+        sched::Job{[this, genome, model_id, model_seed, generation, slot] {
+          *slot = loop_->train_genome(genome, space_, model_id, model_seed);
+          slot->generation = generation;
+          flush_record(*slot);
+          return slot->virtual_seconds;
+        }});
   }
   next_model_id_ += static_cast<int>(genomes.size());
 
@@ -57,12 +86,22 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
   for (std::size_t i = 0; i < records.size(); ++i) {
     records[i].generation = generation;
     records[i].device_id = schedule.placements[i].device_id;
+    if (schedule.placements[i].failed)
+      util::log_error("model ", records[i].model_id,
+                      " failed permanently after retries: ",
+                      schedule.placements[i].error);
   }
   schedules_.push_back(schedule);
 
   if (lineage_) {
+    // Re-record with the device placement stamped in. No-ops when sealed.
     for (const auto& record : records) lineage_->record_evaluation(record);
   }
+
+  if (crashed_.load())
+    throw WorkflowInterrupted(
+        "workflow interrupted after flushing " +
+        std::to_string(flushed_.load()) + " evaluation records");
   return records;
 }
 

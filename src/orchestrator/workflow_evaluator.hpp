@@ -5,12 +5,21 @@
 // record trail to the lineage tracker.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <stdexcept>
 
 #include "orchestrator/training_loop.hpp"
 #include "sched/resource_manager.hpp"
 
 namespace a4nn::orchestrator {
+
+/// Thrown when a configured mid-run crash point is reached (fault-injection
+/// testing): the lineage tracker has been sealed, so the commons holds
+/// exactly the records flushed before the "death".
+struct WorkflowInterrupted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class WorkflowEvaluator : public nas::Evaluator {
  public:
@@ -31,6 +40,17 @@ class WorkflowEvaluator : public nas::Evaluator {
   /// How many evaluations were satisfied from preloaded records.
   std::size_t resumed_count() const { return resumed_; }
 
+  /// Preloaded records whose stored genome did not match the re-requested
+  /// one (stale commons from a different seed/config): retrained instead.
+  std::size_t genome_mismatches() const { return genome_mismatches_; }
+
+  /// Fault injection: simulate process death after `n` freshly-trained
+  /// records have been flushed to the commons (0 disables). The tracker is
+  /// sealed at that point and evaluate_generation throws
+  /// WorkflowInterrupted once the in-flight generation drains.
+  void set_crash_after(std::size_t n) { crash_after_ = n; }
+  bool crashed() const { return crashed_.load(); }
+
   std::vector<nas::EvaluationRecord> evaluate_generation(
       std::span<const nas::Genome> genomes, int generation) override;
 
@@ -40,6 +60,10 @@ class WorkflowEvaluator : public nas::Evaluator {
   }
 
  private:
+  /// Incremental checkpoint: persist a finished record immediately (not at
+  /// the generation barrier) so a crash loses at most the in-flight jobs.
+  void flush_record(const nas::EvaluationRecord& record);
+
   const TrainingLoop* loop_;
   sched::ResourceManager* cluster_;
   nas::SearchSpaceConfig space_;
@@ -49,6 +73,10 @@ class WorkflowEvaluator : public nas::Evaluator {
   std::vector<sched::GenerationSchedule> schedules_;
   std::map<int, nas::EvaluationRecord> resume_pool_;
   std::size_t resumed_ = 0;
+  std::size_t genome_mismatches_ = 0;
+  std::size_t crash_after_ = 0;
+  std::atomic<std::size_t> flushed_{0};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace a4nn::orchestrator

@@ -1,63 +1,236 @@
 #include "sched/resource_manager.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <future>
 #include <stdexcept>
 
+#include "util/log.hpp"
+
 namespace a4nn::sched {
 
+namespace {
+
+/// Outcome of really executing one job (host side), with exception
+/// containment: a throwing job is re-run up to max_retries times and, if it
+/// never succeeds, reported as failed instead of aborting the generation.
+struct ExecResult {
+  double duration = 0.0;
+  bool ok = false;
+  std::size_t real_retries = 0;
+  std::string error;
+};
+
+ExecResult execute_contained(const Job& job, std::size_t max_retries) {
+  ExecResult result;
+  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+    try {
+      result.duration = job.run();
+      result.ok = true;
+      result.real_retries = attempt;
+      return result;
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    } catch (...) {
+      result.error = "unknown exception";
+    }
+  }
+  result.real_retries = max_retries;
+  return result;
+}
+
+}  // namespace
+
 ResourceManager::ResourceManager(ClusterConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      injector_(config_.fault),
+      quarantined_(config_.num_gpus, false) {
   if (config_.num_gpus == 0)
     throw std::invalid_argument("ResourceManager: need at least one GPU");
   if (config_.parallel_execution)
     pool_ = std::make_unique<util::ThreadPool>(config_.num_gpus);
 }
 
+std::size_t ResourceManager::quarantined_devices() const {
+  return static_cast<std::size_t>(
+      std::count(quarantined_.begin(), quarantined_.end(), true));
+}
+
 GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
   GenerationSchedule schedule;
   schedule.placements.resize(jobs.size());
+  const std::uint64_t generation = generation_index_++;
   if (jobs.empty()) {
     schedule.makespan_end = barrier_;
     return schedule;
   }
 
   // Phase 1: execute every job and collect its virtual duration. Results
-  // are independent of placement, so execution can overlap freely.
-  std::vector<double> durations(jobs.size(), 0.0);
+  // are independent of placement, so execution can overlap freely. Real
+  // exceptions are contained here; they mark the job failed, never the
+  // generation.
+  std::vector<ExecResult> results(jobs.size());
+  const std::size_t max_retries = config_.fault.max_retries;
   if (pool_) {
-    std::vector<std::future<double>> futures;
+    std::vector<std::future<ExecResult>> futures;
     futures.reserve(jobs.size());
-    for (auto& job : jobs) futures.push_back(pool_->submit(job.run));
-    for (std::size_t i = 0; i < futures.size(); ++i)
-      durations[i] = futures[i].get();
+    for (auto& job : jobs)
+      futures.push_back(pool_->submit(
+          [&job, max_retries] { return execute_contained(job, max_retries); }));
+    for (std::size_t i = 0; i < futures.size(); ++i) results[i] = futures[i].get();
   } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i) durations[i] = jobs[i].run();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      results[i] = execute_contained(jobs[i], max_retries);
   }
 
-  // Phase 2: FIFO list scheduling against virtual device clocks. Job i is
-  // dispatched (in submission order) to the device that frees up first —
-  // Ray's FIFO dynamic scheduling within a generation.
+  // Phase 2: FIFO list scheduling against virtual device clocks, with
+  // seeded fault injection. Every decision hashes (seed, generation, job,
+  // attempt), so the simulated timeline is identical on every replay.
+  //
+  // Which devices die permanently this generation is decided up front; the
+  // last healthy device is never allowed to die so the generation always
+  // completes.
+  std::vector<bool> dies_this_generation(config_.num_gpus, false);
+  {
+    std::size_t healthy = healthy_devices();
+    for (std::size_t d = 0; d < config_.num_gpus; ++d) {
+      if (quarantined_[d] || healthy <= 1) continue;
+      if (injector_.device_fails_permanently(generation,
+                                             static_cast<int>(d))) {
+        dies_this_generation[d] = true;
+        --healthy;
+      }
+    }
+  }
+
   std::vector<double> device_free(config_.num_gpus, barrier_);
+  std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto next = std::min_element(device_free.begin(), device_free.end());
-    const int device = static_cast<int>(next - device_free.begin());
     JobPlacement& p = schedule.placements[i];
-    p.device_id = device;
-    p.start_seconds = *next;
-    p.duration_seconds = durations[i];
-    p.end_seconds = *next + durations[i];
-    *next = p.end_seconds;
+    p.retries = results[i].real_retries;
+    schedule.total_retries += results[i].real_retries;
+    if (!results[i].ok) {
+      // Real execution never succeeded: the job is dropped from the
+      // virtual timeline but stays in the schedule as a failed placement.
+      p.failed = true;
+      p.error = results[i].error;
+      ++schedule.failed_jobs;
+      util::log_error("sched: job ", i, " of generation ", generation,
+                      " failed after ", max_retries + 1,
+                      " attempts: ", p.error);
+      continue;
+    }
+    queue.push_back(i);
   }
 
-  schedule.makespan_end =
-      *std::max_element(device_free.begin(), device_free.end());
-  for (double free_at : device_free)
-    schedule.idle_seconds += schedule.makespan_end - free_at;
+  std::vector<std::size_t> attempts(jobs.size(), 0);
+  std::vector<double> earliest_start(jobs.size(), barrier_);
+  std::vector<double> wasted(jobs.size(), 0.0);
+
+  while (!queue.empty()) {
+    const std::size_t job = queue.front();
+    queue.pop_front();
+
+    // FIFO dynamic scheduling: dispatch to the healthy device that frees
+    // up first (lowest index on ties — deterministic).
+    int device = -1;
+    for (std::size_t d = 0; d < config_.num_gpus; ++d) {
+      if (quarantined_[d]) continue;
+      if (device < 0 ||
+          device_free[d] < device_free[static_cast<std::size_t>(device)])
+        device = static_cast<int>(d);
+    }
+    const std::size_t dev = static_cast<std::size_t>(device);
+    const double start = std::max(device_free[dev], earliest_start[job]);
+    schedule.idle_seconds += start - device_free[dev];
+
+    const std::size_t attempt = ++attempts[job];
+    double duration = results[job].duration;
+    if (injector_.straggler_multiplier(generation, job, attempt) > 1.0) {
+      duration *= config_.fault.straggler_slowdown;
+      ++schedule.straggler_events;
+    }
+
+    if (dies_this_generation[dev]) {
+      // The device dies partway through its first dispatch this
+      // generation; its clock freezes at the failure instant and the job
+      // goes back to the front of the queue for a healthy device.
+      const double consumed =
+          injector_.fail_fraction(generation, job, attempt) * duration;
+      device_free[dev] = start + consumed;
+      quarantined_[dev] = true;
+      dies_this_generation[dev] = false;
+      schedule.newly_quarantined.push_back(device);
+      wasted[job] += consumed;
+      ++schedule.total_retries;
+      ++schedule.placements[job].retries;
+      earliest_start[job] = start + consumed;
+      queue.push_front(job);
+      util::log_warn("sched: device ", device, " failed permanently at t=",
+                     start + consumed, "s; requeueing job ", job);
+      continue;
+    }
+
+    // Injected faults stop after max_retries so every job terminates.
+    const bool injectable = attempts[job] <= max_retries;
+    const bool transient =
+        injectable && injector_.transient_fault(generation, job, attempt);
+    const bool crash =
+        injectable && !transient && injector_.job_crash(generation, job, attempt);
+    if (transient || crash) {
+      // Transient device faults kill the attempt partway through; job
+      // crashes waste the full attempt. Either way the device frees up and
+      // the job backs off (capped exponential, charged in virtual time)
+      // before re-entering the FIFO queue.
+      const double consumed =
+          transient
+              ? injector_.fail_fraction(generation, job, attempt) * duration
+              : duration;
+      const double backoff = injector_.backoff_seconds(attempt);
+      device_free[dev] = start + consumed;
+      earliest_start[job] = start + consumed + backoff;
+      wasted[job] += consumed + backoff;
+      ++schedule.total_retries;
+      ++schedule.placements[job].retries;
+      if (transient)
+        ++schedule.transient_faults;
+      else
+        ++schedule.job_crashes;
+      queue.push_back(job);
+      continue;
+    }
+
+    JobPlacement& p = schedule.placements[job];
+    p.device_id = device;
+    p.start_seconds = start;
+    p.duration_seconds = duration;
+    p.end_seconds = start + duration;
+    device_free[dev] = p.end_seconds;
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    schedule.placements[i].wasted_seconds = wasted[i];
+    schedule.wasted_seconds += wasted[i];
+  }
+
+  // Barrier over the surviving devices (a quarantined device's clock is
+  // frozen at its failure instant and no longer accrues idle time).
+  schedule.makespan_end = barrier_;
+  for (std::size_t d = 0; d < config_.num_gpus; ++d) {
+    schedule.makespan_end = std::max(schedule.makespan_end, device_free[d]);
+  }
+  for (std::size_t d = 0; d < config_.num_gpus; ++d) {
+    if (quarantined_[d]) continue;
+    schedule.idle_seconds += schedule.makespan_end - device_free[d];
+  }
   barrier_ = schedule.makespan_end;
   return schedule;
 }
 
-void ResourceManager::reset() { barrier_ = 0.0; }
+void ResourceManager::reset() {
+  barrier_ = 0.0;
+  generation_index_ = 0;
+  std::fill(quarantined_.begin(), quarantined_.end(), false);
+}
 
 }  // namespace a4nn::sched

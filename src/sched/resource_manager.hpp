@@ -8,11 +8,22 @@
 // device — the real concurrent code path), but device assignment, start
 // and completion times come from a FIFO list-scheduling simulation over
 // the jobs' *virtual* durations, never from host timing.
+//
+// The manager is fault-tolerant: real job exceptions are contained (a
+// throwing job never aborts the generation), and a seeded FaultInjector
+// can perturb the virtual schedule with transient faults, permanent
+// device failures (quarantine + requeue onto healthy devices), job
+// crashes, and stragglers. Failed attempts are retried with capped
+// exponential backoff charged in virtual time. Because faults only touch
+// the schedule, a faulty run reports the same training results as a
+// fault-free one — just later and with retry/waste accounting attached.
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "sched/cost_model.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace a4nn::sched {
@@ -23,6 +34,8 @@ struct ClusterConfig {
   /// Run the jobs of a generation concurrently on a thread pool (one
   /// worker per device). Disable to execute inline (useful in tests).
   bool parallel_execution = true;
+  /// Seeded fault injection (disabled by default).
+  util::FaultConfig fault;
 };
 
 /// A unit of schedulable work. Runs to completion and reports its virtual
@@ -35,27 +48,47 @@ struct Job {
 /// Where and when each job of a generation ran (virtual time).
 struct JobPlacement {
   int device_id = -1;
-  double start_seconds = 0.0;     // virtual start time
+  double start_seconds = 0.0;     // virtual start of the successful attempt
   double end_seconds = 0.0;       // virtual completion time
-  double duration_seconds = 0.0;  // virtual duration reported by the job
+  double duration_seconds = 0.0;  // virtual duration of the final attempt
+  /// Failed attempts before the job completed (injected faults + real
+  /// exception re-runs).
+  std::size_t retries = 0;
+  /// Virtual seconds lost to this job's failed attempts and backoff.
+  double wasted_seconds = 0.0;
+  /// True when the job's real execution kept throwing after max_retries
+  /// re-runs; `error` carries the last exception message.
+  bool failed = false;
+  std::string error;
 };
 
 struct GenerationSchedule {
   std::vector<JobPlacement> placements;
   /// Barrier: virtual time at which the whole generation is complete.
   double makespan_end = 0.0;
-  /// Accumulated idle time across devices between generation start and the
-  /// barrier (the downtime the paper attributes to FIFO + barriers).
+  /// Accumulated idle time across healthy devices between generation start
+  /// and the barrier (the downtime the paper attributes to FIFO +
+  /// barriers), plus mid-generation gaps introduced by retry backoff.
   double idle_seconds = 0.0;
+  /// Fault/recovery accounting for this generation.
+  std::size_t total_retries = 0;
+  std::size_t transient_faults = 0;
+  std::size_t job_crashes = 0;
+  std::size_t straggler_events = 0;
+  std::size_t failed_jobs = 0;
+  double wasted_seconds = 0.0;
+  /// Devices quarantined during this generation (permanent failures).
+  std::vector<int> newly_quarantined;
 };
 
 class ResourceManager {
  public:
   explicit ResourceManager(ClusterConfig config);
 
-  /// Execute one generation of jobs: run them (concurrently if configured)
-  /// and assign them to devices in FIFO order against the device clocks.
-  /// All devices are synchronized to the barrier afterwards.
+  /// Execute one generation of jobs: run them (concurrently if configured),
+  /// then assign them to devices in FIFO order against the device clocks,
+  /// injecting faults and retrying/requeueing as configured. All surviving
+  /// devices are synchronized to the barrier afterwards.
   GenerationSchedule run_generation(std::vector<Job> jobs);
 
   /// Cluster-wide virtual clock (last barrier).
@@ -63,12 +96,26 @@ class ResourceManager {
   std::size_t num_gpus() const { return config_.num_gpus; }
   const ClusterConfig& config() const { return config_; }
 
-  /// Reset the virtual clock (a fresh experiment on the same cluster).
+  /// Devices permanently failed so far (quarantined for the whole run).
+  std::size_t quarantined_devices() const;
+  std::size_t healthy_devices() const {
+    return config_.num_gpus - quarantined_devices();
+  }
+  bool is_quarantined(int device) const {
+    return quarantined_[static_cast<std::size_t>(device)];
+  }
+
+  /// Reset the virtual clock and un-quarantine every device (a fresh
+  /// experiment on the same cluster).
   void reset();
 
  private:
   ClusterConfig config_;
+  util::FaultInjector injector_;
   double barrier_ = 0.0;
+  /// Generation counter feeding the fault injector's hash coordinates.
+  std::uint64_t generation_index_ = 0;
+  std::vector<bool> quarantined_;
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

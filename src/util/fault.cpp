@@ -1,0 +1,112 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace a4nn::util {
+
+util::Json FaultConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j["enabled"] = enabled;
+  j["transient_failure_prob"] = transient_failure_prob;
+  j["permanent_failure_prob"] = permanent_failure_prob;
+  j["job_crash_prob"] = job_crash_prob;
+  j["straggler_prob"] = straggler_prob;
+  j["straggler_slowdown"] = straggler_slowdown;
+  j["max_retries"] = max_retries;
+  j["backoff_base_seconds"] = backoff_base_seconds;
+  j["backoff_multiplier"] = backoff_multiplier;
+  j["backoff_cap_seconds"] = backoff_cap_seconds;
+  j["seed"] = seed;
+  return j;
+}
+
+namespace {
+
+// SplitMix64 finalizer: the avalanche function that turns structured
+// coordinates into independent uniform bits.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t absorb(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+constexpr std::uint64_t kTagPermanent = 0xDEAD;
+constexpr std::uint64_t kTagTransient = 0xFA11;
+constexpr std::uint64_t kTagCrash = 0xC4A5;
+constexpr std::uint64_t kTagFraction = 0xF4AC;
+constexpr std::uint64_t kTagStraggler = 0x510E;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {
+  auto probability = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument(std::string("FaultInjector: ") + name +
+                                  " must be in [0, 1]");
+  };
+  probability(config_.transient_failure_prob, "transient_failure_prob");
+  probability(config_.permanent_failure_prob, "permanent_failure_prob");
+  probability(config_.job_crash_prob, "job_crash_prob");
+  probability(config_.straggler_prob, "straggler_prob");
+  if (config_.straggler_slowdown < 1.0)
+    throw std::invalid_argument("FaultInjector: straggler_slowdown must be >= 1");
+}
+
+double FaultInjector::draw(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) const {
+  std::uint64_t h = mix64(config_.seed ^ tag);
+  h = absorb(h, a);
+  h = absorb(h, b);
+  h = absorb(h, c);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::device_fails_permanently(std::uint64_t generation,
+                                             int device) const {
+  if (!config_.enabled) return false;
+  return draw(kTagPermanent, generation, static_cast<std::uint64_t>(device), 0) <
+         config_.permanent_failure_prob;
+}
+
+bool FaultInjector::transient_fault(std::uint64_t generation, std::size_t job,
+                                    std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagTransient, generation, job, attempt) <
+         config_.transient_failure_prob;
+}
+
+bool FaultInjector::job_crash(std::uint64_t generation, std::size_t job,
+                              std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagCrash, generation, job, attempt) < config_.job_crash_prob;
+}
+
+double FaultInjector::fail_fraction(std::uint64_t generation, std::size_t job,
+                                    std::size_t attempt) const {
+  // Never exactly 0 so a failed attempt always consumes some virtual time.
+  return std::max(1e-6, draw(kTagFraction, generation, job, attempt));
+}
+
+double FaultInjector::straggler_multiplier(std::uint64_t generation,
+                                           std::size_t job,
+                                           std::size_t attempt) const {
+  if (!config_.enabled) return 1.0;
+  return draw(kTagStraggler, generation, job, attempt) < config_.straggler_prob
+             ? config_.straggler_slowdown
+             : 1.0;
+}
+
+double FaultInjector::backoff_seconds(std::size_t attempt) const {
+  const double exponent = attempt > 0 ? static_cast<double>(attempt - 1) : 0.0;
+  const double backoff = config_.backoff_base_seconds *
+                         std::pow(config_.backoff_multiplier, exponent);
+  return std::min(backoff, config_.backoff_cap_seconds);
+}
+
+}  // namespace a4nn::util

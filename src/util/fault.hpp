@@ -1,0 +1,95 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// Multi-day NAS campaigns on shared HPC clusters see transient device
+// faults, permanently dying GPUs, crashing training jobs, and stragglers.
+// The injector models all four, driven entirely by the run seed: every
+// decision is a pure hash of (seed, generation, job, attempt), never a
+// sequential RNG draw, so outcomes are bit-identical across replays no
+// matter how pool threads interleave. Faults perturb only the *virtual*
+// schedule (retries, backoff, quarantine); they never change training
+// results, which is what makes kill-and-resume runs reproduce the exact
+// Pareto front of an undisturbed run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/json.hpp"
+
+namespace a4nn::util {
+
+struct FaultConfig {
+  /// Master switch; when false the injector never fires (but the scheduler
+  /// still contains real job exceptions and honours max_retries for them).
+  bool enabled = false;
+  /// Probability that one job attempt hits a transient device fault (the
+  /// attempt fails partway through and is retried after backoff).
+  double transient_failure_prob = 0.0;
+  /// Probability, per device per generation, that the device fails
+  /// permanently while running its first job of the generation. The device
+  /// is quarantined for the rest of the run; its queue is rescheduled onto
+  /// healthy devices. The last healthy device never fails.
+  double permanent_failure_prob = 0.0;
+  /// Probability that one job attempt crashes at the end of its run (the
+  /// whole attempt's virtual time is wasted).
+  double job_crash_prob = 0.0;
+  /// Probability that one attempt runs as a straggler.
+  double straggler_prob = 0.0;
+  /// Duration multiplier applied to straggler attempts (> 1).
+  double straggler_slowdown = 2.0;
+  /// Injected faults stop firing for a job after this many retries (so a
+  /// job always completes); real job exceptions are re-run at most this
+  /// many extra times before the job is declared failed.
+  std::size_t max_retries = 3;
+  /// Capped exponential backoff charged in virtual time before a failed
+  /// attempt is retried: min(cap, base * multiplier^(attempt-1)).
+  double backoff_base_seconds = 5.0;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_seconds = 120.0;
+  /// Fault stream seed; the workflow derives it from the run seed when 0.
+  std::uint64_t seed = 0;
+
+  util::Json to_json() const;
+};
+
+/// Stateless, hash-based fault oracle. Thread-safe (const everywhere).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Does `device` die permanently during this generation?
+  bool device_fails_permanently(std::uint64_t generation, int device) const;
+
+  /// Does this attempt of `job` hit a transient device fault?
+  bool transient_fault(std::uint64_t generation, std::size_t job,
+                       std::size_t attempt) const;
+
+  /// Does this attempt of `job` crash at the end of its run?
+  bool job_crash(std::uint64_t generation, std::size_t job,
+                 std::size_t attempt) const;
+
+  /// Fraction of the attempt's duration consumed before a mid-run failure,
+  /// uniform in (0, 1).
+  double fail_fraction(std::uint64_t generation, std::size_t job,
+                       std::size_t attempt) const;
+
+  /// Duration multiplier for this attempt (1.0, or straggler_slowdown).
+  double straggler_multiplier(std::uint64_t generation, std::size_t job,
+                              std::size_t attempt) const;
+
+  /// Virtual seconds of capped exponential backoff before retry number
+  /// `attempt` (1-based attempt that just failed).
+  double backoff_seconds(std::size_t attempt) const;
+
+ private:
+  /// Uniform [0, 1) draw from the hash of the given coordinates.
+  double draw(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) const;
+
+  FaultConfig config_;
+};
+
+}  // namespace a4nn::util

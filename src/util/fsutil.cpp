@@ -15,14 +15,31 @@ void ensure_dir(const fs::path& dir) { fs::create_directories(dir); }
 
 void write_file(const fs::path& path, const std::string& content) {
   if (path.has_parent_path()) ensure_dir(path.parent_path());
-  const fs::path tmp = path.string() + ".tmp";
+  // The temp name is unique per process AND per write so concurrent
+  // writers to the same path never clobber each other's staging file; the
+  // atomic rename then makes last-writer-wins well defined.
+  static std::atomic<std::uint64_t> write_counter{0};
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid()) +
+                       "." + std::to_string(write_counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("write_file: cannot open " + tmp.string());
     out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!out) throw std::runtime_error("write_file: write failed " + tmp.string());
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("write_file: write failed " + tmp.string());
+    }
   }
-  fs::rename(tmp, path);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    throw std::runtime_error("write_file: rename to " + path.string() +
+                             " failed: " + ec.message());
+  }
 }
 
 std::string read_file(const fs::path& path) {

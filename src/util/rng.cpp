@@ -97,4 +97,18 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (std::size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace a4nn::util

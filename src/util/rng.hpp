@@ -5,10 +5,20 @@
 // paper's lineage/data-commons story.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace a4nn::util {
+
+/// Snapshot of an Rng's full internal state. Lets the orchestrator
+/// checkpoint training mid-run and resume with a bit-identical stream
+/// (fault-tolerant job restart).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// SplitMix64: used to expand a single user seed into independent streams.
 /// Passes BigCrush when used as a 64-bit generator; here it seeds Xoshiro.
@@ -66,6 +76,10 @@ class Rng {
   /// Derive an independent child generator (stream splitting). Used to give
   /// each NN / worker its own stream regardless of evaluation order.
   Rng split();
+
+  /// Checkpoint/restore the exact generator state (epoch-granular resume).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -97,6 +97,41 @@ TEST(EngineRobustness, ConstantHistoryStaysSafe) {
   }
 }
 
+TEST(EngineRobustness, HistoryShorterThanCMinYieldsNoPrediction) {
+  penguin::EngineConfig cfg = penguin::default_engine_config();
+  ASSERT_GE(cfg.c_min, 1u);
+  const penguin::PredictionEngine engine(cfg);
+  EXPECT_FALSE(engine.predict(std::vector<double>{}).has_value());
+  std::vector<double> history;
+  for (std::size_t e = 1; e < cfg.c_min; ++e) {
+    history.push_back(45.0 + static_cast<double>(e));
+    EXPECT_FALSE(engine.predict(history).has_value())
+        << "history of " << history.size() << " < c_min predicted";
+  }
+}
+
+TEST(EngineRobustness, AllZeroHistoryStaysFinite) {
+  // A degenerate flat-zero curve (dead model) must never yield a NaN/inf
+  // prediction that could poison the NAS fitness.
+  const penguin::PredictionEngine engine(penguin::default_engine_config());
+  const std::vector<double> zeros(10, 0.0);
+  const auto p = engine.predict(zeros);
+  if (p) EXPECT_TRUE(std::isfinite(*p));
+}
+
+TEST(EngineRobustness, ConvergenceNeedsFullWindowAndBounds) {
+  penguin::EngineConfig cfg = penguin::default_engine_config();
+  const penguin::PredictionEngine engine(cfg);
+  // Fewer predictions than the window: never converged.
+  EXPECT_FALSE(engine.converged(std::vector<double>{}));
+  EXPECT_FALSE(engine.converged(std::vector<double>(cfg.window - 1, 80.0)));
+  // Out-of-bounds predictions invalidate the window even at variance 0.
+  EXPECT_FALSE(engine.converged(std::vector<double>(cfg.window, 150.0)));
+  EXPECT_FALSE(engine.converged(std::vector<double>(cfg.window, -3.0)));
+  // A stable, in-bounds window converges.
+  EXPECT_TRUE(engine.converged(std::vector<double>(cfg.window, 80.0)));
+}
+
 TEST(EngineRobustness, SimulateEmptyCurve) {
   const penguin::PredictionEngine engine(penguin::default_engine_config());
   const auto sim =

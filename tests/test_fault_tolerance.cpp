@@ -1,0 +1,419 @@
+// Fault-tolerant execution layer: deterministic fault injection in the
+// scheduler, retry/backoff accounting, permanent device quarantine,
+// job-granular checkpoint/restart, and the kill-and-resume acceptance
+// test (an interrupted faulty run, resumed, reproduces the fault-free
+// Pareto front exactly).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/a4nn.hpp"
+#include "util/fsutil.hpp"
+
+namespace a4nn::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+WorkflowConfig tiny_config() {
+  WorkflowConfig cfg;
+  cfg.dataset.images_per_class = 30;
+  cfg.dataset.detector.pixels = 8;
+  cfg.dataset.intensity = xfel::BeamIntensity::kHigh;
+  cfg.nas.population_size = 3;
+  cfg.nas.offspring_per_generation = 3;
+  cfg.nas.generations = 2;
+  cfg.nas.max_epochs = 8;
+  cfg.nas.space.input_shape = {1, 8, 8};
+  cfg.nas.space.stem_channels = 4;
+  cfg.trainer.max_epochs = 8;
+  cfg.trainer.engine.e_pred = 8.0;
+  return cfg;
+}
+
+util::FaultConfig noisy_faults() {
+  util::FaultConfig fault;
+  fault.enabled = true;
+  fault.transient_failure_prob = 0.3;
+  fault.job_crash_prob = 0.15;
+  fault.straggler_prob = 0.3;
+  fault.backoff_base_seconds = 2.0;
+  return fault;
+}
+
+std::vector<sched::Job> fixed_jobs(std::size_t n, double seconds) {
+  std::vector<sched::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i)
+    jobs.push_back(sched::Job{[seconds] { return seconds; }});
+  return jobs;
+}
+
+// The acceptance test of the fault-tolerance layer: a run with injected
+// faults, killed mid-flight after a few flushed records, then resumed from
+// the commons, must end with exactly the Pareto front of an uninterrupted
+// fault-free run. Faults may only move virtual time, never results.
+TEST(FaultTolerance, KillAndResumeReproducesFaultFreePareto) {
+  WorkflowConfig base = tiny_config();
+  base.cluster.num_gpus = 2;
+
+  A4nnWorkflow reference(base);
+  const WorkflowResult ref = reference.run();
+
+  // A fault-free run reports an all-zero fault/recovery summary.
+  EXPECT_EQ(ref.summary.faults.retries, 0u);
+  EXPECT_EQ(ref.summary.faults.transient_faults, 0u);
+  EXPECT_EQ(ref.summary.faults.job_crashes, 0u);
+  EXPECT_EQ(ref.summary.faults.straggler_events, 0u);
+  EXPECT_EQ(ref.summary.faults.permanent_device_failures, 0u);
+  EXPECT_EQ(ref.summary.faults.failed_jobs, 0u);
+  EXPECT_DOUBLE_EQ(ref.summary.faults.wasted_virtual_seconds, 0.0);
+  EXPECT_EQ(ref.summary.resumed_evaluations, 0u);
+  EXPECT_EQ(ref.summary.resumed_epochs, 0u);
+
+  const fs::path commons = util::make_temp_dir("a4nn_kill_resume");
+  WorkflowConfig faulty = base;
+  faulty.cluster.fault = noisy_faults();
+  faulty.lineage = lineage::TrackerConfig{commons, 1};
+  faulty.crash_after_evaluations = 2;
+
+  // The "process" dies after two records reach the commons.
+  A4nnWorkflow crashed(faulty, reference.dataset());
+  EXPECT_THROW(crashed.run(), orchestrator::WorkflowInterrupted);
+
+  std::size_t surviving_records = 0;
+  {
+    lineage::DataCommons inspect(commons);
+    surviving_records = inspect.load_records().size();
+  }
+  EXPECT_GE(surviving_records, 2u);
+  EXPECT_LT(surviving_records, ref.search.history.size());
+
+  WorkflowConfig resumption = faulty;
+  resumption.crash_after_evaluations = 0;
+  resumption.resume_from_commons = true;
+  A4nnWorkflow resumed(resumption, reference.dataset());
+  const WorkflowResult res = resumed.run();
+
+  // Flushed records were reused, not retrained.
+  EXPECT_EQ(res.resumed_evaluations, surviving_records);
+  EXPECT_GT(res.summary.faults.retries, 0u);  // faults were active
+
+  ASSERT_EQ(res.search.history.size(), ref.search.history.size());
+  for (std::size_t i = 0; i < ref.search.history.size(); ++i) {
+    const auto& a = ref.search.history[i];
+    const auto& b = res.search.history[i];
+    EXPECT_EQ(a.genome.key(), b.genome.key()) << "model " << i;
+    EXPECT_DOUBLE_EQ(a.fitness, b.fitness) << "model " << i;
+    EXPECT_DOUBLE_EQ(a.measured_fitness, b.measured_fitness) << "model " << i;
+    EXPECT_EQ(a.epochs_trained, b.epochs_trained) << "model " << i;
+    EXPECT_EQ(a.flops, b.flops) << "model " << i;
+  }
+  EXPECT_EQ(ref.search.pareto, res.search.pareto);
+
+  fs::remove_all(commons);
+}
+
+// Mid-training restart: train a model with per-epoch state checkpoints,
+// drop everything after an early epoch (as a crash would), retrain with
+// resume enabled — the second run must continue from the checkpoint and
+// produce bit-identical histories to the uninterrupted one.
+TEST(FaultTolerance, EpochCheckpointResumeIsBitExact) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 40;
+  dcfg.detector.pixels = 8;
+  dcfg.intensity = xfel::BeamIntensity::kHigh;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+  nas::SearchSpaceConfig space;
+  space.input_shape = {1, 8, 8};
+  space.stem_channels = 4;
+
+  orchestrator::TrainerConfig tcfg;
+  tcfg.max_epochs = 6;
+  tcfg.batch_size = 16;
+  tcfg.use_prediction_engine = false;
+
+  const fs::path root = util::make_temp_dir("a4nn_epoch_resume");
+  lineage::LineageTracker full_tracker({root, 1});
+  orchestrator::TrainingLoop full_loop(data.train, data.validation, tcfg,
+                                       &full_tracker);
+  util::Rng grng(11);
+  const nas::Genome genome = nas::random_genome(3, 4, grng);
+  const nas::EvaluationRecord uninterrupted =
+      full_loop.train_genome(genome, space, 0, 99);
+
+  // Keep checkpoints up to epoch 2 only: the crash "lost" epochs 3..6.
+  const fs::path dir = root / "models" / lineage::model_dir_name(0);
+  for (std::size_t e = 3; e <= tcfg.max_epochs; ++e) {
+    fs::remove(dir / lineage::snapshot_file_name(e));
+    fs::remove(dir / lineage::training_state_file_name(e));
+  }
+  fs::remove(dir / "record.json");
+
+  tcfg.resume_partial = true;
+  lineage::LineageTracker resume_tracker({root, 1});
+  orchestrator::TrainingLoop resume_loop(data.train, data.validation, tcfg,
+                                         &resume_tracker);
+  const nas::EvaluationRecord resumed =
+      resume_loop.train_genome(genome, space, 0, 99);
+
+  EXPECT_EQ(resume_loop.resumed_epochs(), 2u);
+  EXPECT_EQ(resumed.resumed_from_epoch, 2u);
+  EXPECT_EQ(resumed.epochs_trained, uninterrupted.epochs_trained);
+  ASSERT_EQ(resumed.fitness_history.size(),
+            uninterrupted.fitness_history.size());
+  for (std::size_t i = 0; i < uninterrupted.fitness_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed.fitness_history[i],
+                     uninterrupted.fitness_history[i])
+        << "epoch " << i + 1;
+    EXPECT_DOUBLE_EQ(resumed.train_loss_history[i],
+                     uninterrupted.train_loss_history[i])
+        << "epoch " << i + 1;
+  }
+  EXPECT_DOUBLE_EQ(resumed.fitness, uninterrupted.fitness);
+
+  fs::remove_all(root);
+}
+
+// A stale checkpoint from a different architecture must be rejected (spec
+// guard), falling back to training from scratch instead of loading wrong
+// weights.
+TEST(FaultTolerance, ResumeRejectsWrongArchitectureCheckpoint) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 30;
+  dcfg.detector.pixels = 8;
+  dcfg.intensity = xfel::BeamIntensity::kHigh;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+  nas::SearchSpaceConfig space;
+  space.input_shape = {1, 8, 8};
+  space.stem_channels = 4;
+
+  orchestrator::TrainerConfig tcfg;
+  tcfg.max_epochs = 3;
+  tcfg.batch_size = 16;
+  tcfg.use_prediction_engine = false;
+
+  const fs::path root = util::make_temp_dir("a4nn_stale_ckpt");
+  lineage::LineageTracker tracker({root, 1});
+  orchestrator::TrainingLoop loop(data.train, data.validation, tcfg, &tracker);
+  util::Rng grng(5);
+  const nas::Genome first = nas::random_genome(3, 4, grng);
+  loop.train_genome(first, space, 0, 7);
+
+  // Same model id, different genome: the commons holds a stale trail.
+  tcfg.resume_partial = true;
+  lineage::LineageTracker tracker2({root, 1});
+  orchestrator::TrainingLoop loop2(data.train, data.validation, tcfg,
+                                   &tracker2);
+  nas::Genome other = nas::random_genome(3, 4, grng);
+  int tries = 0;
+  while (other.key() == first.key() && tries++ < 32)
+    other = nas::random_genome(3, 4, grng);
+  ASSERT_NE(other.key(), first.key());
+
+  const nas::EvaluationRecord r = loop2.train_genome(other, space, 0, 7);
+  EXPECT_EQ(r.resumed_from_epoch, 0u);  // guard refused the stale state
+  EXPECT_EQ(loop2.resumed_epochs(), 0u);
+  EXPECT_EQ(r.epochs_trained, 3u);
+
+  fs::remove_all(root);
+}
+
+// With permanent-failure probability 1 on a two-device cluster, exactly
+// one device dies (the last healthy device is never taken) and the
+// generation still completes, deterministically.
+TEST(FaultTolerance, PermanentDeviceFailureGenerationCompletes) {
+  sched::ClusterConfig cc;
+  cc.num_gpus = 2;
+  cc.parallel_execution = false;
+  cc.fault.enabled = true;
+  cc.fault.permanent_failure_prob = 1.0;
+  cc.fault.seed = 42;
+
+  sched::ResourceManager rm(cc);
+  const sched::GenerationSchedule s1 = rm.run_generation(fixed_jobs(5, 100.0));
+  ASSERT_EQ(s1.newly_quarantined.size(), 1u);
+  EXPECT_EQ(rm.healthy_devices(), 1u);
+  EXPECT_TRUE(rm.is_quarantined(s1.newly_quarantined[0]));
+  const int survivor = s1.newly_quarantined[0] == 0 ? 1 : 0;
+  for (const auto& p : s1.placements) {
+    EXPECT_FALSE(p.failed);
+    EXPECT_EQ(p.device_id, survivor);
+    EXPECT_GE(p.end_seconds, p.start_seconds);
+  }
+  // The requeued job retried at least once and wasted virtual time.
+  EXPECT_GE(s1.total_retries, 1u);
+  EXPECT_GT(s1.wasted_seconds, 0.0);
+
+  // The next generation sees no further deaths (survivor is protected)
+  // and completes on the one remaining device.
+  const sched::GenerationSchedule s2 = rm.run_generation(fixed_jobs(3, 50.0));
+  EXPECT_TRUE(s2.newly_quarantined.empty());
+  EXPECT_EQ(rm.healthy_devices(), 1u);
+  for (const auto& p : s2.placements) EXPECT_EQ(p.device_id, survivor);
+
+  // Bit-identical replay on a fresh manager with the same seed.
+  sched::ResourceManager replay(cc);
+  const sched::GenerationSchedule t1 =
+      replay.run_generation(fixed_jobs(5, 100.0));
+  EXPECT_EQ(t1.newly_quarantined, s1.newly_quarantined);
+  EXPECT_DOUBLE_EQ(t1.makespan_end, s1.makespan_end);
+  EXPECT_DOUBLE_EQ(t1.idle_seconds, s1.idle_seconds);
+  ASSERT_EQ(t1.placements.size(), s1.placements.size());
+  for (std::size_t i = 0; i < s1.placements.size(); ++i) {
+    EXPECT_EQ(t1.placements[i].device_id, s1.placements[i].device_id);
+    EXPECT_DOUBLE_EQ(t1.placements[i].start_seconds,
+                     s1.placements[i].start_seconds);
+    EXPECT_DOUBLE_EQ(t1.placements[i].end_seconds,
+                     s1.placements[i].end_seconds);
+    EXPECT_EQ(t1.placements[i].retries, s1.placements[i].retries);
+  }
+}
+
+// Transient faults with probability 1 burn exactly max_retries attempts
+// per job (injection stops after max_retries so every job terminates),
+// charging backoff as wasted virtual time.
+TEST(FaultTolerance, TransientFaultsRetryWithBackoffThenSucceed) {
+  sched::ClusterConfig cc;
+  cc.num_gpus = 1;
+  cc.parallel_execution = false;
+  cc.fault.enabled = true;
+  cc.fault.transient_failure_prob = 1.0;
+  cc.fault.max_retries = 3;
+  cc.fault.seed = 7;
+
+  sched::ResourceManager rm(cc);
+  const sched::GenerationSchedule s = rm.run_generation(fixed_jobs(2, 60.0));
+  EXPECT_EQ(s.transient_faults, 2u * 3u);
+  EXPECT_EQ(s.total_retries, 2u * 3u);
+  for (const auto& p : s.placements) {
+    EXPECT_FALSE(p.failed);
+    EXPECT_EQ(p.retries, 3u);
+    EXPECT_GT(p.wasted_seconds, 0.0);
+  }
+  EXPECT_GT(s.makespan_end, 2 * 60.0);  // faults cost virtual time
+}
+
+// A job whose real execution keeps throwing is contained: it is reported
+// as a failed placement with the exception message, and the rest of the
+// generation completes normally.
+TEST(FaultTolerance, RealJobExceptionIsContained) {
+  sched::ClusterConfig cc;
+  cc.num_gpus = 2;
+  cc.parallel_execution = false;
+
+  std::vector<sched::Job> jobs;
+  jobs.push_back(sched::Job{
+      []() -> double { throw std::runtime_error("synthetic job fault"); }});
+  jobs.push_back(sched::Job{[] { return 42.0; }});
+
+  sched::ResourceManager rm(cc);
+  const sched::GenerationSchedule s = rm.run_generation(std::move(jobs));
+  EXPECT_TRUE(s.placements[0].failed);
+  EXPECT_NE(s.placements[0].error.find("synthetic job fault"),
+            std::string::npos);
+  EXPECT_EQ(s.placements[0].device_id, -1);
+  EXPECT_EQ(s.failed_jobs, 1u);
+  EXPECT_FALSE(s.placements[1].failed);
+  EXPECT_GE(s.placements[1].device_id, 0);
+  EXPECT_DOUBLE_EQ(s.makespan_end, 42.0);
+}
+
+// Straggler injection slows attempts down by the configured factor but
+// never fails them.
+TEST(FaultTolerance, StragglersSlowDownWithoutFailing) {
+  sched::ClusterConfig cc;
+  cc.num_gpus = 1;
+  cc.parallel_execution = false;
+  cc.fault.enabled = true;
+  cc.fault.straggler_prob = 1.0;
+  cc.fault.straggler_slowdown = 2.5;
+  cc.fault.seed = 13;
+
+  sched::ResourceManager rm(cc);
+  const sched::GenerationSchedule s = rm.run_generation(fixed_jobs(1, 100.0));
+  EXPECT_EQ(s.straggler_events, 1u);
+  EXPECT_EQ(s.total_retries, 0u);
+  EXPECT_FALSE(s.placements[0].failed);
+  EXPECT_DOUBLE_EQ(s.placements[0].duration_seconds, 250.0);
+  EXPECT_DOUBLE_EQ(s.makespan_end, 250.0);
+}
+
+// fsck quarantines a corrupt record file (so resume survives it) and
+// removes stale tmp files from crashed writers.
+TEST(FaultTolerance, FsckQuarantinesCorruptRecords) {
+  xfel::XfelDatasetConfig dcfg;
+  dcfg.images_per_class = 30;
+  dcfg.detector.pixels = 8;
+  dcfg.intensity = xfel::BeamIntensity::kHigh;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(dcfg);
+  nas::SearchSpaceConfig space;
+  space.input_shape = {1, 8, 8};
+  space.stem_channels = 4;
+
+  orchestrator::TrainerConfig tcfg;
+  tcfg.max_epochs = 2;
+  tcfg.batch_size = 16;
+  tcfg.use_prediction_engine = false;
+
+  const fs::path root = util::make_temp_dir("a4nn_fsck");
+  lineage::LineageTracker tracker({root, 1});
+  orchestrator::TrainingLoop loop(data.train, data.validation, tcfg, &tracker);
+  util::Rng grng(3);
+  for (int id = 0; id < 2; ++id) {
+    const nas::EvaluationRecord r =
+        loop.train_genome(nas::random_genome(3, 4, grng), space, id, 17 + id);
+    tracker.record_evaluation(r);
+  }
+
+  // Corrupt one record mid-write and strand a staging file.
+  const fs::path bad = root / "models" / lineage::model_dir_name(0);
+  util::write_file(bad / "record.json", "{\"genome\": truncated");
+  util::write_file(root / "search.json.tmp.1234.5", "partial");
+  util::write_file(bad / lineage::training_state_file_name(1),
+                   "{\"epoch\": 1}");  // missing rng/optimizer/record
+
+  lineage::DataCommons commons(root);
+  const lineage::FsckReport report = commons.fsck();
+  EXPECT_EQ(report.models_scanned, 2u);
+  EXPECT_EQ(report.records_valid, 1u);
+  EXPECT_EQ(report.files_quarantined, 2u);
+  EXPECT_EQ(report.tmp_files_removed, 1u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(fs::exists(root / "quarantine" / "models" /
+                         lineage::model_dir_name(0) / "record.json"));
+  EXPECT_FALSE(fs::exists(bad / "record.json"));
+
+  // The surviving commons loads without throwing.
+  const auto records = commons.load_records();
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].model_id, 1);
+
+  // A second pass finds nothing left to fix.
+  EXPECT_TRUE(commons.fsck().clean());
+
+  fs::remove_all(root);
+}
+
+// Sealing the tracker makes every later write a no-op — the in-process
+// stand-in for process death used by the kill-and-resume test.
+TEST(FaultTolerance, SealedTrackerDropsWrites) {
+  const fs::path root = util::make_temp_dir("a4nn_seal");
+  lineage::LineageTracker tracker({root, 1});
+  nas::EvaluationRecord r;
+  r.model_id = 0;
+  tracker.record_evaluation(r);
+  EXPECT_TRUE(fs::exists(root / "models" / lineage::model_dir_name(0) /
+                         "record.json"));
+
+  tracker.seal();
+  EXPECT_TRUE(tracker.sealed());
+  nas::EvaluationRecord r2;
+  r2.model_id = 1;
+  tracker.record_evaluation(r2);
+  EXPECT_FALSE(fs::exists(root / "models" / lineage::model_dir_name(1) /
+                          "record.json"));
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace a4nn::core

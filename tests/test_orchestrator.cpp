@@ -213,5 +213,64 @@ TEST(WorkflowEvaluator, ParallelExecutionMatchesSerial) {
   }
 }
 
+TEST(WorkflowEvaluator, PreloadedGenomeMismatchRetrainsWithWarning) {
+  Fixture f;
+  TrainingLoop loop(f.data.train, f.data.validation, fast_trainer(false));
+  sched::ClusterConfig ccfg;
+  ccfg.parallel_execution = false;
+  sched::ResourceManager cluster(ccfg);
+  WorkflowEvaluator eval(loop, cluster, f.space, 99);
+
+  util::Rng rng(8);
+  const nas::Genome requested = nas::random_genome(3, 4, rng);
+  nas::Genome stale = nas::random_genome(3, 4, rng);
+  int tries = 0;
+  while (stale.key() == requested.key() && tries++ < 32)
+    stale = nas::random_genome(3, 4, rng);
+  ASSERT_NE(stale.key(), requested.key());
+
+  // A commons from a different seed/config: same model id, other genome.
+  nas::EvaluationRecord cached;
+  cached.model_id = 0;
+  cached.genome = stale;
+  cached.fitness = 99.0;
+  cached.virtual_seconds = 1.0;
+  eval.preload_records({cached});
+
+  std::vector<nas::Genome> genomes{requested};
+  const auto records = eval.evaluate_generation(genomes, 0);
+  EXPECT_EQ(eval.genome_mismatches(), 1u);
+  EXPECT_EQ(eval.resumed_count(), 0u);
+  // The stale result was discarded: the record is a real retrain of the
+  // requested genome.
+  EXPECT_EQ(records[0].genome.key(), requested.key());
+  EXPECT_NE(records[0].fitness, 99.0);
+  EXPECT_EQ(records[0].epochs_trained, 8u);
+}
+
+TEST(WorkflowEvaluator, MatchingPreloadIsReusedWithoutMismatch) {
+  Fixture f;
+  TrainingLoop loop(f.data.train, f.data.validation, fast_trainer(false));
+  sched::ClusterConfig ccfg;
+  ccfg.parallel_execution = false;
+  sched::ResourceManager cluster(ccfg);
+  WorkflowEvaluator eval(loop, cluster, f.space, 99);
+
+  util::Rng rng(9);
+  const nas::Genome g = nas::random_genome(3, 4, rng);
+  nas::EvaluationRecord cached;
+  cached.model_id = 0;
+  cached.genome = g;
+  cached.fitness = 77.5;
+  cached.virtual_seconds = 12.0;
+  eval.preload_records({cached});
+
+  std::vector<nas::Genome> genomes{g};
+  const auto records = eval.evaluate_generation(genomes, 0);
+  EXPECT_EQ(eval.resumed_count(), 1u);
+  EXPECT_EQ(eval.genome_mismatches(), 0u);
+  EXPECT_DOUBLE_EQ(records[0].fitness, 77.5);
+}
+
 }  // namespace
 }  // namespace a4nn::orchestrator

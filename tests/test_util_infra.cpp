@@ -46,6 +46,22 @@ TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotWedgeWaitIdle) {
+  ThreadPool pool(2);
+  auto bad =
+      pool.submit([]() -> int { throw std::runtime_error("task fault"); });
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&done] { done.fetch_add(1); });
+  // The throw is captured in the future; the worker survives and the pool
+  // drains normally.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool stays usable after the failure.
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+  pool.wait_idle();
+}
+
 TEST(ThreadPool, ZeroThreadsRejected) {
   EXPECT_THROW(ThreadPool(0), std::invalid_argument);
 }
@@ -67,6 +83,36 @@ TEST(FsUtil, WriteIsAtomicNoTmpLeftBehind) {
   const fs::path dir = make_temp_dir("a4nn-test");
   write_file(dir / "x.json", "{}");
   EXPECT_FALSE(fs::exists(dir / "x.json.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(FsUtil, ConcurrentWritersLeaveOneCompletePayload) {
+  // Regression: writers once shared a single "<path>.tmp" staging name, so
+  // two concurrent write_file calls to the same target could interleave
+  // (one writer renaming the other's half-written file). Staging names are
+  // now unique per writer; the surviving file must always be one writer's
+  // payload in full.
+  const fs::path dir = make_temp_dir("a4nn-conc-write");
+  const fs::path target = dir / "contested.json";
+  constexpr int kThreads = 8;
+  constexpr int kWrites = 25;
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < kThreads; ++t) {
+    futures.push_back(pool.submit([&target, t] {
+      const std::string payload(4096, static_cast<char>('a' + t));
+      for (int i = 0; i < kWrites; ++i) write_file(target, payload);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  const std::string content = read_file(target);
+  ASSERT_EQ(content.size(), 4096u);
+  EXPECT_EQ(content, std::string(4096, content[0]));
+  // No staging files left behind by any of the 200 writes.
+  for (const auto& f : list_files(dir))
+    EXPECT_EQ(f.filename().string().find(".tmp"), std::string::npos)
+        << f.filename();
   fs::remove_all(dir);
 }
 
