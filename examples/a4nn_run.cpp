@@ -13,6 +13,7 @@
 #include "core/a4nn.hpp"
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
+#include "util/table.hpp"
 
 using namespace a4nn;
 
@@ -55,6 +56,10 @@ int main(int argc, char** argv) {
   args.add_flag("fsck",
                 "validate the commons tree (quarantine corrupt files) and "
                 "exit; requires --commons");
+  args.add_flag("deep",
+                "with --fsck: verify every manifest-journal entry's checksum, "
+                "repair torn journal lines, and print the integrity report");
+  args.add_flag("fsck-deep", "shorthand for --fsck --deep");
   // Fault injection (deterministic, seeded from --seed).
   args.add_option("fault-transient", "0",
                   "per-attempt transient failure probability [0,1]");
@@ -119,12 +124,14 @@ int main(int argc, char** argv) {
     cfg.lineage = lineage::TrackerConfig{args.get("commons"),
                                          args.get_size("snapshot-every")};
     cfg.resume_from_commons = args.get_flag("resume");
-  } else if (args.get_flag("resume") || args.get_flag("fsck")) {
+  } else if (args.get_flag("resume") || args.get_flag("fsck") ||
+             args.get_flag("fsck-deep")) {
     std::fprintf(stderr, "--resume and --fsck require --commons\n");
     return 1;
   }
 
-  if (args.get_flag("fsck")) {
+  if (args.get_flag("fsck") || args.get_flag("fsck-deep")) {
+    const bool deep = args.get_flag("deep") || args.get_flag("fsck-deep");
     std::optional<lineage::DataCommons> commons;
     try {
       commons.emplace(cfg.lineage->root);
@@ -132,15 +139,32 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fsck: %s\n", e.what());
       return 1;
     }
-    const lineage::FsckReport report = commons->fsck();
+    const lineage::FsckReport report = commons->fsck(
+        deep ? lineage::FsckMode::kDeep : lineage::FsckMode::kQuick);
     std::printf(
-        "fsck: %zu model(s) scanned, %zu valid record(s), "
+        "fsck%s: %zu model(s) scanned, %zu valid record(s), "
         "%zu file(s) quarantined, %zu tmp file(s) removed\n",
-        report.models_scanned, report.records_valid, report.files_quarantined,
-        report.tmp_files_removed);
+        deep ? " --deep" : "", report.models_scanned, report.records_valid,
+        report.files_quarantined, report.tmp_files_removed);
+    if (deep) {
+      const lineage::IntegrityReport& integrity = report.integrity;
+      util::AsciiTable table({"integrity check", "count"});
+      table.add_row({"journal entries", std::to_string(integrity.journal_entries)});
+      table.add_row({"files verified", std::to_string(integrity.files_verified)});
+      table.add_row({"crc mismatches", std::to_string(integrity.crc_mismatches)});
+      table.add_row({"missing files", std::to_string(integrity.missing_files)});
+      table.add_row({"quarantined", std::to_string(report.files_quarantined)});
+      table.add_row(
+          {"torn journal lines", std::to_string(integrity.journal_torn_lines)});
+      table.add_row(
+          {"unjournaled adopted", std::to_string(integrity.unjournaled_adopted)});
+      table.add_row(
+          {"legacy unframed", std::to_string(integrity.legacy_unframed)});
+      table.add_row({"journal rewritten", integrity.journal_rewritten ? "yes" : "no"});
+      std::printf("%s", table.render().c_str());
+    }
     for (const auto& issue : report.issues)
-      std::printf("  quarantined %s: %s\n", issue.path.c_str(),
-                  issue.reason.c_str());
+      std::printf("  issue %s: %s\n", issue.path.c_str(), issue.reason.c_str());
     return report.clean() ? 0 : 2;
   }
 

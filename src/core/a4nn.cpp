@@ -35,6 +35,8 @@ util::Json RunSummary::to_json() const {
   j["genome_mismatches"] = genome_mismatches;
   j["fsck_quarantined"] = fsck_quarantined;
   j["fsck_tmp_removed"] = fsck_tmp_removed;
+  j["fsck_crc_mismatches"] = fsck_crc_mismatches;
+  j["fsck_journal_repairs"] = fsck_journal_repairs;
   return j;
 }
 
@@ -62,19 +64,27 @@ WorkflowResult A4nnWorkflow::run() {
 
   const bool resuming = config_.resume_from_commons && config_.lineage;
   if (resuming) {
-    // A crashed writer can leave truncated JSON behind; quarantine it now
-    // so one corrupt file cannot kill the whole resume. Partially-trained
-    // models then continue from their last epoch checkpoint.
+    // A crashed writer can leave truncated or corrupt state behind; the
+    // deep fsck checks every artifact against the manifest journal now so
+    // a record that parses but fails its CRC is never replayed into the
+    // Pareto front. Partially-trained models then continue from their
+    // newest intact epoch checkpoint.
     std::error_code ec;
     if (std::filesystem::exists(config_.lineage->root / "models", ec)) {
       lineage::DataCommons commons(config_.lineage->root);
-      const lineage::FsckReport fsck = commons.fsck();
+      const lineage::FsckReport fsck = commons.fsck(lineage::FsckMode::kDeep);
       result.summary.fsck_quarantined = fsck.files_quarantined;
       result.summary.fsck_tmp_removed = fsck.tmp_files_removed;
+      result.summary.fsck_crc_mismatches = fsck.integrity.crc_mismatches;
+      result.summary.fsck_journal_repairs = fsck.integrity.journal_torn_lines +
+                                            fsck.integrity.missing_files +
+                                            fsck.integrity.unjournaled_adopted;
       if (!fsck.clean())
         util::log_warn("resume: fsck quarantined ", fsck.files_quarantined,
                        " file(s), removed ", fsck.tmp_files_removed,
-                       " stale tmp file(s)");
+                       " stale tmp file(s), repaired ",
+                       result.summary.fsck_journal_repairs,
+                       " journal entr(ies)");
     }
     config_.trainer.resume_partial = true;
   }

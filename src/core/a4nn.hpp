@@ -58,9 +58,15 @@ struct RunSummary {
   std::size_t resumed_epochs = 0;
   /// Preloaded records rejected because their stored genome mismatched.
   std::size_t genome_mismatches = 0;
-  /// Files the pre-resume fsck quarantined or removed (0 on fresh runs).
+  /// Files the pre-resume deep fsck quarantined or removed (0 on fresh
+  /// runs). Quarantines include parse failures and checksum mismatches.
   std::size_t fsck_quarantined = 0;
   std::size_t fsck_tmp_removed = 0;
+  /// Artifacts whose stored bytes failed their manifest-journal CRC.
+  std::size_t fsck_crc_mismatches = 0;
+  /// Journal repairs: torn lines dropped, missing entries pruned, and
+  /// unjournaled artifacts adopted back.
+  std::size_t fsck_journal_repairs = 0;
 
   util::Json to_json() const;
 };

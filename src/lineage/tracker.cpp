@@ -1,11 +1,14 @@
 #include "lineage/tracker.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <set>
 #include <stdexcept>
 
-#include "util/fsutil.hpp"
+#include "util/checksum.hpp"
+#include "util/frame.hpp"
 #include "util/log.hpp"
 
 namespace a4nn::lineage {
@@ -30,18 +33,156 @@ std::string training_state_file_name(std::size_t epoch) {
   return buf;
 }
 
+std::string manifest_file_name() { return "manifest.journal"; }
+
+std::optional<std::size_t> parse_indexed_name(std::string_view name,
+                                              std::string_view prefix,
+                                              std::string_view suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (!suffix.empty() && name.substr(name.size() - suffix.size()) != suffix)
+    return std::nullopt;
+  const std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::size_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || end != digits.data() + digits.size())
+    return std::nullopt;
+  return value;
+}
+
+std::string read_artifact(const fs::path& path) {
+  return util::unframe_or_legacy(util::read_file(path)).payload;
+}
+
+namespace {
+
+/// One committed artifact as recorded in the manifest journal.
+struct ManifestEntry {
+  std::string rel;        // path relative to the commons root
+  std::uint64_t size = 0; // file size as stored (framed bytes)
+  std::uint32_t crc = 0;  // CRC-32 of the file bytes as stored
+};
+
+/// Serialized form: `<crc32 of body, 8 hex> <body>` where body is
+/// `<artifact crc, 8 hex> <size> <relative path>`. The leading line CRC
+/// makes a torn or bit-flipped journal line deterministically detectable.
+std::string manifest_line(const ManifestEntry& entry) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%08x %llu ", entry.crc,
+                static_cast<unsigned long long>(entry.size));
+  const std::string body = buf + entry.rel;
+  char line_crc[12];
+  std::snprintf(line_crc, sizeof(line_crc), "%08x ", util::crc32(body));
+  return line_crc + body;
+}
+
+bool parse_manifest_line(std::string_view line, ManifestEntry& out) {
+  // <8 hex line-crc> ' ' <8 hex artifact-crc> ' ' <size> ' ' <rel path>
+  if (line.size() < 9 || line[8] != ' ') return false;
+  std::uint32_t line_crc = 0;
+  auto [lp, lec] = std::from_chars(line.data(), line.data() + 8, line_crc, 16);
+  if (lec != std::errc{} || lp != line.data() + 8) return false;
+  const std::string_view body = line.substr(9);
+  if (util::crc32(body) != line_crc) return false;
+
+  if (body.size() < 9 || body[8] != ' ') return false;
+  std::uint32_t crc = 0;
+  auto [cp, cec] = std::from_chars(body.data(), body.data() + 8, crc, 16);
+  if (cec != std::errc{} || cp != body.data() + 8) return false;
+  std::string_view rest = body.substr(9);
+
+  std::uint64_t size = 0;
+  auto [sp, sec] = std::from_chars(rest.data(), rest.data() + rest.size(), size);
+  if (sec != std::errc{} || sp == rest.data() ||
+      sp == rest.data() + rest.size() || *sp != ' ')
+    return false;
+  rest.remove_prefix(static_cast<std::size_t>(sp - rest.data()) + 1);
+  if (rest.empty()) return false;
+
+  out.rel = std::string(rest);
+  out.size = size;
+  out.crc = crc;
+  return true;
+}
+
+/// Parse a journal image into entries (in append order), returning the
+/// number of torn/malformed lines dropped. An unterminated final line is
+/// torn by definition — a truncation can cut exactly at a line boundary.
+std::size_t parse_manifest(std::string_view text,
+                           std::vector<ManifestEntry>& out) {
+  std::size_t torn = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string_view::npos;
+    const std::string_view line =
+        text.substr(pos, (terminated ? nl : text.size()) - pos);
+    pos = terminated ? nl + 1 : text.size();
+    if (line.empty()) continue;
+    ManifestEntry entry;
+    if (terminated && parse_manifest_line(line, entry))
+      out.push_back(std::move(entry));
+    else
+      ++torn;
+  }
+  return torn;
+}
+
+}  // namespace
+
 LineageTracker::LineageTracker(TrackerConfig config)
     : config_(std::move(config)) {
   if (config_.root.empty())
     throw std::invalid_argument("LineageTracker: empty root path");
   util::ensure_dir(config_.root);
   util::ensure_dir(config_.root / "models");
+  // Resume on an existing commons: adopt the surviving journal so appends
+  // supersede instead of clobbering. Torn lines are dropped here and
+  // repaired on disk by the next commit or a deep fsck.
+  const fs::path journal = config_.root / manifest_file_name();
+  if (fs::exists(journal)) {
+    std::string text;
+    try {
+      text = util::read_file(journal);
+    } catch (const std::exception& e) {
+      util::log_warn("tracker: unreadable manifest journal (", e.what(), ")");
+    }
+    std::vector<ManifestEntry> entries;
+    const std::size_t torn = parse_manifest(text, entries);
+    if (torn > 0)
+      util::log_warn("tracker: dropped ", torn, " torn journal line(s)");
+    for (const auto& entry : entries) {
+      journal_text_ += manifest_line(entry);
+      journal_text_ += '\n';
+    }
+  }
+}
+
+void LineageTracker::commit_locked(const fs::path& path,
+                                   const std::string& payload,
+                                   util::Durability durability) {
+  if (!config_.durable) durability = util::Durability::kBuffered;
+  const std::string framed = util::frame(payload);
+  util::write_file(path, framed, durability);
+
+  ManifestEntry entry;
+  entry.rel = fs::relative(path, config_.root).generic_string();
+  entry.size = framed.size();
+  entry.crc = util::crc32(framed);
+  journal_text_ += manifest_line(entry);
+  journal_text_ += '\n';
+  util::write_file(config_.root / manifest_file_name(), journal_text_,
+                   config_.durable ? util::Durability::kFsync
+                                   : util::Durability::kBuffered);
 }
 
 void LineageTracker::record_search_config(const util::Json& config) {
   if (sealed_.load()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  util::write_file(config_.root / "search.json", config.dump(2));
+  commit_locked(config_.root / "search.json", config.dump(2),
+                util::Durability::kBuffered);
 }
 
 bool LineageTracker::wants_snapshot(std::size_t epoch) const {
@@ -57,23 +198,24 @@ void LineageTracker::record_model_epoch(int model_id, std::size_t epoch,
   if (sealed_.load()) return;
   const util::Json ckpt = model.checkpoint();
   std::lock_guard<std::mutex> lock(mutex_);
-  util::write_file(model_dir(model_id) / snapshot_file_name(epoch),
-                   ckpt.dump());
+  commit_locked(model_dir(model_id) / snapshot_file_name(epoch), ckpt.dump(),
+                util::Durability::kFsync);
 }
 
 void LineageTracker::record_training_state(int model_id, std::size_t epoch,
                                            const util::Json& state) {
   if (sealed_.load()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  util::write_file(model_dir(model_id) / training_state_file_name(epoch),
-                   state.dump());
+  commit_locked(model_dir(model_id) / training_state_file_name(epoch),
+                state.dump(), util::Durability::kFsync);
 }
 
 void LineageTracker::record_evaluation(const nas::EvaluationRecord& record) {
   if (sealed_.load()) return;
   const util::Json j = record.to_json();
   std::lock_guard<std::mutex> lock(mutex_);
-  util::write_file(model_dir(record.model_id) / "record.json", j.dump(2));
+  commit_locked(model_dir(record.model_id) / "record.json", j.dump(2),
+                util::Durability::kBuffered);
 }
 
 DataCommons::DataCommons(fs::path root) : root_(std::move(root)) {
@@ -83,7 +225,7 @@ DataCommons::DataCommons(fs::path root) : root_(std::move(root)) {
 }
 
 util::Json DataCommons::search_config() const {
-  return util::Json::parse(util::read_file(root_ / "search.json"));
+  return util::Json::parse(read_artifact(root_ / "search.json"));
 }
 
 std::vector<int> DataCommons::model_ids() const {
@@ -91,10 +233,15 @@ std::vector<int> DataCommons::model_ids() const {
   for (const auto& entry : fs::directory_iterator(root_ / "models")) {
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
-    if (name.rfind("model_", 0) != 0) continue;
-    ids.push_back(std::atoi(name.c_str() + 6));
+    const auto id = parse_indexed_name(name, "model_", "");
+    if (!id) {
+      util::log_warn("commons: ignoring non-model directory models/", name);
+      continue;
+    }
+    ids.push_back(static_cast<int>(*id));
   }
   std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
 }
 
@@ -104,7 +251,7 @@ std::vector<nas::EvaluationRecord> DataCommons::load_records() const {
     const fs::path path = root_ / "models" / model_dir_name(id) / "record.json";
     if (!fs::exists(path)) continue;
     records.push_back(nas::EvaluationRecord::from_json(
-        util::Json::parse(util::read_file(path))));
+        util::Json::parse(read_artifact(path))));
   }
   return records;
 }
@@ -115,9 +262,9 @@ std::vector<std::size_t> epochs_with_suffix(const fs::path& dir,
                                             const std::string& suffix) {
   std::vector<std::size_t> epochs;
   for (const auto& file : util::list_files(dir)) {
-    const std::string name = file.filename().string();
-    if (name.rfind("epoch_", 0) != 0 || !name.ends_with(suffix)) continue;
-    epochs.push_back(static_cast<std::size_t>(std::atoll(name.c_str() + 6)));
+    const auto epoch =
+        parse_indexed_name(file.filename().string(), "epoch_", suffix);
+    if (epoch) epochs.push_back(*epoch);
   }
   std::sort(epochs.begin(), epochs.end());
   return epochs;
@@ -139,15 +286,14 @@ std::vector<std::size_t> DataCommons::training_state_epochs(
 nn::Model DataCommons::load_model(int model_id, std::size_t epoch) const {
   const fs::path path =
       root_ / "models" / model_dir_name(model_id) / snapshot_file_name(epoch);
-  return nn::Model::from_checkpoint(
-      util::Json::parse(util::read_file(path)));
+  return nn::Model::from_checkpoint(util::Json::parse(read_artifact(path)));
 }
 
 util::Json DataCommons::load_training_state(int model_id,
                                             std::size_t epoch) const {
   const fs::path path = root_ / "models" / model_dir_name(model_id) /
                         training_state_file_name(epoch);
-  return util::Json::parse(util::read_file(path));
+  return util::Json::parse(read_artifact(path));
 }
 
 namespace {
@@ -169,8 +315,9 @@ void quarantine_file(const fs::path& root, const fs::path& file,
 
 }  // namespace
 
-FsckReport DataCommons::fsck() {
+FsckReport DataCommons::fsck(FsckMode mode) {
   FsckReport report;
+  report.deep = mode == FsckMode::kDeep;
 
   // Leftover staging files from crashed writers anywhere in the tree.
   std::error_code ec;
@@ -189,7 +336,7 @@ FsckReport DataCommons::fsck() {
   const fs::path search = root_ / "search.json";
   if (fs::exists(search)) {
     try {
-      util::Json::parse(util::read_file(search));
+      util::Json::parse(read_artifact(search));
     } catch (const std::exception& e) {
       quarantine_file(root_, search, e.what(), report);
     }
@@ -203,7 +350,7 @@ FsckReport DataCommons::fsck() {
     if (fs::exists(record)) {
       try {
         nas::EvaluationRecord::from_json(
-            util::Json::parse(util::read_file(record)));
+            util::Json::parse(read_artifact(record)));
         ++report.records_valid;
       } catch (const std::exception& e) {
         quarantine_file(root_, record, e.what(), report);
@@ -214,7 +361,7 @@ FsckReport DataCommons::fsck() {
       const std::string name = file.filename().string();
       if (name.rfind("epoch_", 0) != 0) continue;
       try {
-        const util::Json j = util::Json::parse(util::read_file(file));
+        const util::Json j = util::Json::parse(read_artifact(file));
         if (name.ends_with(".ckpt.json")) {
           if (!j.contains("spec") || !j.contains("weights") ||
               !j.contains("input_shape"))
@@ -227,6 +374,122 @@ FsckReport DataCommons::fsck() {
       } catch (const std::exception& e) {
         quarantine_file(root_, file, e.what(), report);
       }
+    }
+  }
+
+  if (mode == FsckMode::kDeep) {
+    IntegrityReport& integrity = report.integrity;
+
+    // Relative paths already dealt with by the parse-level pass above —
+    // their journal entries are dropped silently, not re-reported.
+    std::set<std::string> handled;
+    for (const auto& issue : report.issues)
+      handled.insert(issue.path.generic_string());
+
+    // Every artifact surviving on disk, keyed by its journal-relative path.
+    std::map<std::string, fs::path> disk;
+    if (fs::exists(search)) disk["search.json"] = search;
+    for (int id : model_ids()) {
+      const fs::path dir = root_ / "models" / model_dir_name(id);
+      for (const auto& file : util::list_files(dir, ".json")) {
+        const std::string name = file.filename().string();
+        if (name != "record.json" &&
+            !parse_indexed_name(name, "epoch_", ".ckpt.json") &&
+            !parse_indexed_name(name, "epoch_", ".state.json"))
+          continue;
+        disk[fs::relative(file, root_).generic_string()] = file;
+      }
+    }
+
+    // Load the journal; torn lines are dropped and counted.
+    const fs::path journal_path = root_ / manifest_file_name();
+    const bool have_journal = fs::exists(journal_path);
+    std::vector<ManifestEntry> entries;
+    if (have_journal) {
+      std::string text;
+      try {
+        text = util::read_file(journal_path);
+      } catch (const std::exception& e) {
+        util::log_warn("fsck: unreadable manifest journal (", e.what(), ")");
+      }
+      integrity.journal_torn_lines = parse_manifest(text, entries);
+      if (integrity.journal_torn_lines > 0)
+        report.issues.push_back({manifest_file_name(),
+                                 std::to_string(integrity.journal_torn_lines) +
+                                     " torn journal line(s) repaired"});
+    }
+    std::map<std::string, ManifestEntry> manifest;
+    for (auto& entry : entries) manifest[entry.rel] = std::move(entry);
+    integrity.journal_entries = manifest.size();
+
+    bool changed = integrity.journal_torn_lines > 0;
+    for (auto it = manifest.begin(); it != manifest.end();) {
+      const auto found = disk.find(it->first);
+      if (found == disk.end()) {
+        if (!handled.count(it->first)) {
+          ++integrity.missing_files;
+          report.issues.push_back(
+              {it->first, "journaled artifact missing on disk"});
+          util::log_warn("fsck: journaled artifact missing: ", it->first);
+        }
+        it = manifest.erase(it);
+        changed = true;
+        continue;
+      }
+      std::string bytes;
+      try {
+        bytes = util::read_file(found->second);
+      } catch (const std::exception&) {
+        bytes.clear();
+      }
+      if (bytes.size() != it->second.size ||
+          util::crc32(bytes) != it->second.crc) {
+        quarantine_file(root_, found->second,
+                        "size/crc mismatch against manifest journal", report);
+        ++integrity.crc_mismatches;
+        disk.erase(found);
+        it = manifest.erase(it);
+        changed = true;
+        continue;
+      }
+      ++integrity.files_verified;
+      disk.erase(found);
+      ++it;
+    }
+
+    // Artifacts on disk the journal does not know: a crash between an
+    // artifact commit and its journal append (framed — adopt and report),
+    // or a legacy pre-framing tree (unframed — adopt silently).
+    for (const auto& [rel, path] : disk) {
+      std::string bytes;
+      try {
+        bytes = util::read_file(path);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (util::is_framed(bytes)) {
+        ++integrity.unjournaled_adopted;
+        report.issues.push_back({rel, "artifact missing from journal; adopted"});
+        util::log_warn("fsck: adopted unjournaled artifact ", rel);
+      } else {
+        ++integrity.legacy_unframed;
+      }
+      ManifestEntry entry;
+      entry.rel = rel;
+      entry.size = bytes.size();
+      entry.crc = util::crc32(bytes);
+      manifest[rel] = std::move(entry);
+      changed = true;
+    }
+
+    if (changed && (!manifest.empty() || have_journal)) {
+      std::string text;
+      for (const auto& [rel, entry] : manifest) {
+        text += manifest_line(entry);
+        text += '\n';
+      }
+      util::write_file(journal_path, text, util::Durability::kFsync);
+      integrity.journal_rewritten = true;
     }
   }
   return report;

@@ -5,8 +5,15 @@
 // paper's Dataverse commons at laptop scale: every model can be reloaded
 // and re-evaluated from any training epoch.
 //
+// Every artifact is committed inside an integrity frame (util/frame.hpp:
+// magic + version + length + CRC-32) and logged in an append-only manifest
+// journal, so torn writes and bit rot are tamper-evident instead of being
+// silently replayed into the search. Legacy unframed trees still load and
+// are re-framed the first time they are rewritten.
+//
 // Layout:
 //   <root>/search.json                     search + engine + dataset config
+//   <root>/manifest.journal                {line-crc, artifact-crc, size, path}
 //   <root>/models/model_00042/record.json  EvaluationRecord
 //   <root>/models/model_00042/epoch_0007.ckpt.json  model snapshot (optional)
 #pragma once
@@ -15,9 +22,11 @@
 #include <filesystem>
 #include <mutex>
 #include <optional>
+#include <string_view>
 
 #include "nas/evaluator.hpp"
 #include "nn/model.hpp"
+#include "util/fsutil.hpp"
 
 namespace a4nn::lineage {
 
@@ -26,6 +35,10 @@ struct TrackerConfig {
   /// Snapshot model weights every N epochs (0 disables snapshots; 1
   /// matches the paper's "models after every training epoch").
   std::size_t snapshot_every = 0;
+  /// Fsync manifest-journal commits and checkpoint/training-state writes
+  /// so they survive a power cut, not just a process crash. Record trails
+  /// stay buffered: they are cheap to retrain and always journaled.
+  bool durable = true;
 };
 
 class LineageTracker {
@@ -60,16 +73,51 @@ class LineageTracker {
 
  private:
   std::filesystem::path model_dir(int model_id) const;
+  /// Frame `payload`, commit it to `path`, and append a manifest-journal
+  /// entry under an atomic journal rename. Caller holds mutex_.
+  void commit_locked(const std::filesystem::path& path,
+                     const std::string& payload, util::Durability durability);
 
   TrackerConfig config_;
   std::mutex mutex_;
   std::atomic<bool> sealed_{false};
+  /// In-memory image of the manifest journal (valid lines only), appended
+  /// on every commit and rewritten to disk atomically.
+  std::string journal_text_;
 };
 
 /// One problem found (and fixed) by DataCommons::fsck.
 struct FsckIssue {
   std::filesystem::path path;
   std::string reason;
+};
+
+/// Checksum-level findings of a deep fsck pass.
+struct IntegrityReport {
+  /// Manifest entries read from the journal (after supersede).
+  std::size_t journal_entries = 0;
+  /// Malformed or torn journal lines dropped during repair.
+  std::size_t journal_torn_lines = 0;
+  /// Artifacts whose size and CRC matched their manifest entry.
+  std::size_t files_verified = 0;
+  /// Artifacts quarantined for a size or CRC mismatch against the manifest.
+  std::size_t crc_mismatches = 0;
+  /// Journaled artifacts absent on disk (entry dropped).
+  std::size_t missing_files = 0;
+  /// Valid framed artifacts that were on disk but not journaled (a crash
+  /// between an artifact commit and its journal append); re-journaled.
+  std::size_t unjournaled_adopted = 0;
+  /// Legacy unframed artifacts accepted verbatim and journaled.
+  std::size_t legacy_unframed = 0;
+  /// Whether the journal was repaired/rewritten on disk.
+  bool journal_rewritten = false;
+
+  /// Legacy artifacts and journal creation are accepted states; anything
+  /// torn, mismatched, missing, or unjournaled is an inconsistency.
+  bool clean() const {
+    return journal_torn_lines == 0 && crc_mismatches == 0 &&
+           missing_files == 0 && unjournaled_adopted == 0;
+  }
 };
 
 /// What fsck scanned, kept, and quarantined.
@@ -79,8 +127,24 @@ struct FsckReport {
   std::size_t files_quarantined = 0;
   std::size_t tmp_files_removed = 0;
   std::vector<FsckIssue> issues;
+  /// Populated by deep mode (all zeros after a quick pass).
+  IntegrityReport integrity;
+  /// Whether this report came from a deep pass.
+  bool deep = false;
 
-  bool clean() const { return issues.empty() && tmp_files_removed == 0; }
+  bool clean() const {
+    return issues.empty() && tmp_files_removed == 0 && integrity.clean();
+  }
+};
+
+/// How thoroughly DataCommons::fsck validates the tree.
+enum class FsckMode {
+  /// Parse-level validation plus stale-tmp cleanup.
+  kQuick,
+  /// kQuick plus checksum verification of every manifest-journal entry:
+  /// detects missing/extra/torn files, quarantines mismatches, repairs the
+  /// journal, and fills FsckReport::integrity.
+  kDeep,
 };
 
 /// Read-side API over a commons tree.
@@ -103,11 +167,14 @@ class DataCommons {
   util::Json load_training_state(int model_id, std::size_t epoch) const;
 
   /// Validate the whole commons tree: every record trail, snapshot, and
-  /// training-state file must parse; corrupt files are moved to
-  /// `<root>/quarantine/` (preserving their relative layout) and leftover
-  /// `.tmp` staging files from crashed writers are deleted, so one
-  /// truncated JSON can no longer kill a resume. Returns what was dropped.
-  FsckReport fsck();
+  /// training-state file must carry a valid frame (or be legacy unframed)
+  /// and parse; corrupt files are moved to `<root>/quarantine/` (preserving
+  /// their relative layout) and leftover `.tmp` staging files from crashed
+  /// writers are deleted, so one truncated JSON can no longer kill a
+  /// resume. FsckMode::kDeep additionally cross-checks every artifact
+  /// against the manifest journal's size+CRC entries and repairs the
+  /// journal. Returns what was dropped.
+  FsckReport fsck(FsckMode mode = FsckMode::kQuick);
 
   const std::filesystem::path& root() const { return root_; }
 
@@ -119,5 +186,20 @@ class DataCommons {
 std::string model_dir_name(int model_id);
 std::string snapshot_file_name(std::size_t epoch);
 std::string training_state_file_name(std::size_t epoch);
+/// Name of the manifest journal inside the commons root.
+std::string manifest_file_name();
+
+/// Strictly parse `<prefix><digits><suffix>` names (e.g. "model_00042",
+/// "epoch_0007.ckpt.json"). Returns nullopt — instead of atoi's silent 0 —
+/// when the prefix/suffix do not match or the middle is not all digits, so
+/// a stray `model_backup/` directory can never alias model 0.
+std::optional<std::size_t> parse_indexed_name(std::string_view name,
+                                              std::string_view prefix,
+                                              std::string_view suffix);
+
+/// Read an artifact file, verifying and stripping its integrity frame;
+/// legacy unframed content is returned verbatim. Throws util::FrameError
+/// on corruption and std::runtime_error when missing.
+std::string read_artifact(const std::filesystem::path& path);
 
 }  // namespace a4nn::lineage

@@ -227,24 +227,27 @@ std::size_t TrainingLoop::try_resume(nn::Model& model, nn::Sgd& opt,
   if (!fs::exists(dir)) return 1;
 
   // Newest state first; a corrupt or mismatched pair falls back to older.
+  // Strict name parsing: a stray "epoch_backup.state.json" is skipped, not
+  // misread as epoch 0.
   std::vector<std::size_t> epochs;
   for (const auto& entry : fs::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("epoch_", 0) != 0 || !name.ends_with(".state.json"))
-      continue;
-    epochs.push_back(static_cast<std::size_t>(std::atoll(name.c_str() + 6)));
+    const auto epoch = lineage::parse_indexed_name(
+        entry.path().filename().string(), "epoch_", ".state.json");
+    if (epoch) epochs.push_back(*epoch);
   }
   std::sort(epochs.rbegin(), epochs.rend());
 
   for (std::size_t e : epochs) {
     try {
-      const util::Json state = util::Json::parse(util::read_file(
+      // read_artifact verifies the integrity frame: a bit-flipped or torn
+      // state/checkpoint throws here and falls back to the next-older one.
+      const util::Json state = util::Json::parse(lineage::read_artifact(
           dir / lineage::training_state_file_name(e)));
       if (static_cast<int>(state.at("model_id").as_int()) != record.model_id ||
           static_cast<std::size_t>(state.at("epoch").as_int()) != e)
         throw util::JsonError("training state labels the wrong model/epoch");
 
-      const util::Json ckpt = util::Json::parse(util::read_file(
+      const util::Json ckpt = util::Json::parse(lineage::read_artifact(
           dir / lineage::snapshot_file_name(e)));
       // A stale checkpoint from a different architecture must never be
       // loaded into this model; the decoded genome's spec is the truth.

@@ -1,0 +1,39 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace a4nn::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+Crc32& Crc32::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i)
+    c = kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+  return *this;
+}
+
+std::uint32_t crc32(std::string_view data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace a4nn::util

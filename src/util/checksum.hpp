@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with an incremental
+// API. Every artifact the lineage tracker commits is checksummed twice: the
+// integrity frame around the payload carries one CRC, and the data-commons
+// manifest journal records another over the file bytes as stored, so both
+// torn writes and post-commit bit rot are detectable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace a4nn::util {
+
+/// Streaming CRC-32. Feed chunks in any split; value() can be read at any
+/// point without disturbing the stream.
+class Crc32 {
+ public:
+  Crc32& update(const void* data, std::size_t size);
+  Crc32& update(std::string_view data) { return update(data.data(), data.size()); }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace a4nn::util

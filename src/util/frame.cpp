@@ -1,0 +1,81 @@
+#include "util/frame.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/checksum.hpp"
+
+namespace a4nn::util {
+
+std::string frame(std::string_view payload) {
+  char header[48];
+  const int n =
+      std::snprintf(header, sizeof(header), "%.*s%d %zu %08x\n",
+                    static_cast<int>(kFrameMagic.size()), kFrameMagic.data(),
+                    kFrameVersion, payload.size(), crc32(payload));
+  std::string out;
+  out.reserve(static_cast<std::size_t>(n) + payload.size());
+  out.append(header, static_cast<std::size_t>(n));
+  out.append(payload);
+  return out;
+}
+
+bool is_framed(std::string_view content) {
+  return content.substr(0, kFrameMagic.size()) == kFrameMagic;
+}
+
+namespace {
+
+/// Parse the header line; returns the payload view after validating length
+/// and CRC. Every failure mode gets its own message so fsck reports say
+/// exactly how the file is broken.
+std::string_view parse_frame(std::string_view content) {
+  if (!is_framed(content)) throw FrameError("frame: missing magic");
+  std::string_view rest = content.substr(kFrameMagic.size());
+
+  int version = 0;
+  auto [vp, vec] = std::from_chars(rest.data(), rest.data() + rest.size(), version);
+  if (vec != std::errc{} || vp == rest.data() || vp == rest.data() + rest.size() ||
+      *vp != ' ')
+    throw FrameError("frame: malformed version field");
+  if (version != kFrameVersion)
+    throw FrameError("frame: unsupported version " + std::to_string(version));
+  rest.remove_prefix(static_cast<std::size_t>(vp - rest.data()) + 1);
+
+  std::size_t length = 0;
+  auto [lp, lec] = std::from_chars(rest.data(), rest.data() + rest.size(), length);
+  if (lec != std::errc{} || lp == rest.data() || lp == rest.data() + rest.size() ||
+      *lp != ' ')
+    throw FrameError("frame: malformed length field");
+  rest.remove_prefix(static_cast<std::size_t>(lp - rest.data()) + 1);
+
+  std::uint32_t crc = 0;
+  auto [cp, cec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), crc, 16);
+  if (cec != std::errc{} || cp == rest.data() || cp == rest.data() + rest.size() ||
+      *cp != '\n')
+    throw FrameError("frame: malformed crc field");
+  rest.remove_prefix(static_cast<std::size_t>(cp - rest.data()) + 1);
+
+  if (rest.size() < length)
+    throw FrameError("frame: truncated payload (" + std::to_string(rest.size()) +
+                     " of " + std::to_string(length) + " bytes)");
+  if (rest.size() > length)
+    throw FrameError("frame: " + std::to_string(rest.size() - length) +
+                     " trailing byte(s) after payload");
+  if (crc32(rest) != crc) throw FrameError("frame: payload crc mismatch");
+  return rest;
+}
+
+}  // namespace
+
+std::string unframe(std::string_view content) {
+  return std::string(parse_frame(content));
+}
+
+UnframeResult unframe_or_legacy(std::string_view content) {
+  if (!is_framed(content)) return {std::string(content), false};
+  return {std::string(parse_frame(content)), true};
+}
+
+}  // namespace a4nn::util

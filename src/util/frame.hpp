@@ -1,0 +1,53 @@
+// Integrity frame for data-commons artifacts: a one-line header carrying a
+// magic, format version, payload length, and CRC-32, followed by the raw
+// payload bytes. A torn write, mid-payload truncation, or single-bit flip
+// makes the header checks fail, so readers can quarantine the file instead
+// of silently accepting corrupted state.
+//
+// On-disk layout (version 1):
+//   A4NNF1 <payload length, decimal> <crc32 of payload, 8 hex digits>\n
+//   <payload bytes>
+//
+// Readers are versioned: content that does not start with the magic is a
+// legacy unframed artifact (pre-framing commons trees) and is accepted
+// verbatim; it gets re-framed automatically the first time it is rewritten,
+// because writers always frame. An unknown frame version is an error, not
+// legacy — it means the tree was written by a newer build.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace a4nn::util {
+
+/// Thrown when framed content fails its header, length, or CRC check.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::string_view kFrameMagic = "A4NNF";
+inline constexpr int kFrameVersion = 1;
+
+/// Wrap `payload` in a version-1 integrity frame.
+std::string frame(std::string_view payload);
+
+/// Whether `content` starts with the frame magic (any version).
+bool is_framed(std::string_view content);
+
+/// Strict unframe: `content` must carry a valid current-version frame whose
+/// length and CRC match exactly; throws FrameError otherwise.
+std::string unframe(std::string_view content);
+
+struct UnframeResult {
+  std::string payload;
+  bool was_framed = false;
+};
+
+/// Versioned read: framed content is verified (FrameError on corruption)
+/// and unwrapped; unframed content is treated as a legacy artifact and
+/// returned verbatim.
+UnframeResult unframe_or_legacy(std::string_view content);
+
+}  // namespace a4nn::util

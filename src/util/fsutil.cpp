@@ -1,8 +1,13 @@
 #include "util/fsutil.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
-#include <unistd.h>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -13,7 +18,48 @@ namespace fs = std::filesystem;
 
 void ensure_dir(const fs::path& dir) { fs::create_directories(dir); }
 
-void write_file(const fs::path& path, const std::string& content) {
+namespace {
+
+std::uint64_t crash_after_from_env() {
+  const char* value = std::getenv("A4NN_CRASH_AFTER_WRITES");
+  if (!value) return 0;
+  std::uint64_t k = 0;
+  std::from_chars(value, value + std::strlen(value), k);
+  return k;
+}
+
+std::atomic<std::uint64_t> g_write_ops{0};
+std::atomic<std::uint64_t> g_crash_after_writes{crash_after_from_env()};
+
+/// fsync/fdatasync an open path (O_RDONLY is enough on Linux, and is the
+/// only way to sync a directory). Sync failures are real data-loss risks,
+/// so they throw instead of being swallowed.
+void sync_path(const fs::path& path, bool directory) {
+  const int fd = ::open(path.c_str(), O_RDONLY | (directory ? O_DIRECTORY : 0));
+  if (fd < 0)
+    throw std::runtime_error("write_file: cannot open for sync: " +
+                             path.string());
+  const int rc = directory ? ::fsync(fd) : ::fdatasync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0)
+    throw std::runtime_error("write_file: sync failed for " + path.string() +
+                             ": " + std::strerror(saved_errno));
+}
+
+}  // namespace
+
+void set_crash_after_writes(std::uint64_t k) {
+  // Relative to the boundaries already crossed: a test (or forked child
+  // inheriting the parent's counter) arms "k more writes from now", which
+  // matches the env var's meaning at process start when the counter is 0.
+  g_crash_after_writes.store(k == 0 ? 0 : g_write_ops.load() + k);
+}
+
+std::uint64_t write_op_count() { return g_write_ops.load(); }
+
+void write_file(const fs::path& path, const std::string& content,
+                Durability durability) {
   if (path.has_parent_path()) ensure_dir(path.parent_path());
   // The temp name is unique per process AND per write so concurrent
   // writers to the same path never clobber each other's staging file; the
@@ -21,6 +67,7 @@ void write_file(const fs::path& path, const std::string& content) {
   static std::atomic<std::uint64_t> write_counter{0};
   const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid()) +
                        "." + std::to_string(write_counter.fetch_add(1));
+  const std::uint64_t boundary = g_write_ops.fetch_add(1) + 1;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("write_file: cannot open " + tmp.string());
@@ -32,6 +79,14 @@ void write_file(const fs::path& path, const std::string& content) {
       throw std::runtime_error("write_file: write failed " + tmp.string());
     }
   }
+  if (durability == Durability::kFsync) sync_path(tmp, /*directory=*/false);
+
+  // Crash-point fuzzing: die with the write staged but not committed — the
+  // state a real crash leaves behind. >= (not ==) so that any write racing
+  // past the armed boundary dies too; the process is already "dead".
+  const std::uint64_t crash_k = g_crash_after_writes.load();
+  if (crash_k > 0 && boundary >= crash_k) ::_exit(1);
+
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -40,14 +95,31 @@ void write_file(const fs::path& path, const std::string& content) {
     throw std::runtime_error("write_file: rename to " + path.string() +
                              " failed: " + ec.message());
   }
+  if (durability == Durability::kFsync && path.has_parent_path())
+    sync_path(path.parent_path(), /*directory=*/true);
 }
 
 std::string read_file(const fs::path& path) {
+  // Stat first: for regular files the byte count is the contract the read
+  // must meet — a short read (special files, concurrent truncation) would
+  // otherwise be returned as silently-valid shorter content.
+  std::error_code stat_ec;
+  const bool regular = fs::is_regular_file(path, stat_ec);
+  std::uintmax_t expected = 0;
+  if (regular) expected = fs::file_size(path, stat_ec);
+
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_file: cannot open " + path.string());
   std::ostringstream oss;
   oss << in.rdbuf();
-  return oss.str();
+  std::string content = oss.str();
+
+  if (regular && !stat_ec && content.size() != expected)
+    throw std::runtime_error(
+        "read_file: size mismatch for " + path.string() + ": read " +
+        std::to_string(content.size()) + " of " + std::to_string(expected) +
+        " byte(s)");
+  return content;
 }
 
 std::vector<fs::path> list_files(const fs::path& dir,
