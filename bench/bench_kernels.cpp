@@ -1,0 +1,177 @@
+// Training-kernel microbenchmark: GFLOP/s for the blocked/packed GEMM
+// variants (and the naive baseline they replaced) on cubic and conv-shaped
+// problems. Emits BENCH_kernels.json so CI can archive throughput per
+// commit, and — with --floor — enforces a regression gate: any kernel
+// running at less than half its checked-in floor fails the run.
+//
+//   ./bench_kernels                          # print table + write JSON
+//   ./bench_kernels --floor ../bench/kernels_floor.json
+#include <array>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/args.hpp"
+#include "util/fsutil.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace a4nn;
+
+namespace {
+
+struct Case {
+  std::string kernel;
+  std::size_t m, k, n;
+  // Runs the kernel once; buffers are captured by the closure.
+  std::function<void()> run;
+};
+
+struct Result {
+  std::string key;     // "kernel mxkxn"
+  double gflops = 0.0;
+  double ns_per_iter = 0.0;
+};
+
+std::vector<float> random_buffer(std::size_t count, util::Rng& rng) {
+  std::vector<float> buf(count);
+  for (auto& v : buf) v = static_cast<float>(rng.normal());
+  return buf;
+}
+
+// Time one case: warm up, then run batches until enough wall time has
+// accumulated for a stable rate.
+Result measure(const Case& c) {
+  c.run();  // warm-up (touch pages, prime caches)
+  const double target_seconds = 0.15;
+  std::size_t iters = 0;
+  util::Timer timer;
+  do {
+    c.run();
+    ++iters;
+  } while (timer.seconds() < target_seconds);
+  const double elapsed = timer.seconds();
+  const double flop = 2.0 * static_cast<double>(c.m) * c.k * c.n * iters;
+  Result r;
+  r.key = c.kernel + " " + std::to_string(c.m) + "x" + std::to_string(c.k) +
+          "x" + std::to_string(c.n);
+  r.gflops = flop / elapsed / 1e9;
+  r.ns_per_iter = elapsed / static_cast<double>(iters) * 1e9;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_kernels",
+                       "GEMM kernel throughput benchmark (BENCH_kernels.json)");
+  args.add_option("out", "BENCH_kernels.json", "output JSON path");
+  args.add_option("floor", "",
+                  "kernels_floor.json with minimum GFLOP/s per kernel; exit "
+                  "nonzero if any kernel measures below half its floor");
+  try {
+    args.parse(argc, argv);
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), args.usage().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  util::Rng rng(42);
+  // Cubic sizes bracket the cache hierarchy; the rectangular shapes are the
+  // actual GEMMs behind an 8x8-detector conv layer (m=channels,
+  // k=in_ch*3*3, n=out_pixels) and a classifier head.
+  const std::vector<std::array<std::size_t, 3>> shapes = {
+      {64, 64, 64},    {128, 128, 128}, {256, 256, 256},
+      {16, 36, 64},    {32, 144, 64},   {64, 10, 256},
+  };
+
+  std::vector<Case> cases;
+  // Keep every buffer alive for the duration of the run.
+  auto buffers = std::make_shared<std::vector<std::vector<float>>>();
+  auto keep = [&buffers](std::vector<float> v) {
+    buffers->push_back(std::move(v));
+    return buffers->back().data();
+  };
+
+  for (const auto& [m, k, n] : shapes) {
+    float* a = keep(random_buffer(m * k, rng));
+    float* b = keep(random_buffer(k * n, rng));
+    float* bias = keep(random_buffer(m, rng));
+    float* c = keep(std::vector<float>(m * n));
+    cases.push_back({"gemm_naive", m, k, n,
+                     [=] { tensor::gemm_naive(m, k, n, a, b, c); }});
+    cases.push_back(
+        {"gemm", m, k, n, [=] { tensor::gemm(m, k, n, a, b, c); }});
+    // a interpreted as (k x m) / b as (n x k): same buffers, valid layouts.
+    float* at = keep(random_buffer(k * m, rng));
+    float* bt = keep(random_buffer(n * k, rng));
+    cases.push_back({"gemm_at_b", m, k, n,
+                     [=] { tensor::gemm_at_b(m, k, n, at, b, c); }});
+    cases.push_back({"gemm_a_bt", m, k, n,
+                     [=] { tensor::gemm_a_bt(m, k, n, a, bt, c); }});
+    const tensor::Epilogue ep{tensor::Epilogue::Bias::kPerRow, bias, true};
+    cases.push_back({"gemm_bias_relu", m, k, n,
+                     [=] { tensor::gemm_ex(m, k, n, a, b, c, ep); }});
+  }
+
+  util::AsciiTable table({"kernel", "m", "k", "n", "GFLOP/s", "ns/iter"});
+  util::Json json = util::Json::object();
+  util::Json entries = util::Json::array();
+  std::vector<Result> results;
+  for (const auto& c : cases) {
+    const Result r = measure(c);
+    results.push_back(r);
+    table.add_row({c.kernel, std::to_string(c.m), std::to_string(c.k),
+                   std::to_string(c.n), util::AsciiTable::num(r.gflops, 2),
+                   util::AsciiTable::num(r.ns_per_iter, 0)});
+    util::Json e = util::Json::object();
+    e["kernel"] = c.kernel;
+    e["m"] = c.m;
+    e["k"] = c.k;
+    e["n"] = c.n;
+    e["gflops"] = r.gflops;
+    e["ns_per_iter"] = r.ns_per_iter;
+    entries.push_back(std::move(e));
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Headline number: blocked vs naive at the largest cubic size.
+  double naive256 = 0.0, blocked256 = 0.0;
+  for (const auto& r : results) {
+    if (r.key == "gemm_naive 256x256x256") naive256 = r.gflops;
+    if (r.key == "gemm 256x256x256") blocked256 = r.gflops;
+  }
+  const double speedup = naive256 > 0.0 ? blocked256 / naive256 : 0.0;
+  std::printf("gemm vs gemm_naive at 256^3: %.2fx\n", speedup);
+  json["speedup_256"] = speedup;
+  json["kernels"] = std::move(entries);
+  util::write_file(args.get("out"), json.dump(2));
+  std::printf("wrote %s\n", args.get("out").c_str());
+
+  if (!args.get("floor").empty()) {
+    const util::Json floors = util::Json::parse(util::read_file(args.get("floor")));
+    int violations = 0;
+    for (const auto& r : results) {
+      if (!floors.contains(r.key)) continue;
+      const double floor = floors.at(r.key).as_number();
+      if (r.gflops < floor / 2.0) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: %.2f GFLOP/s < half of floor %.2f\n",
+                     r.key.c_str(), r.gflops, floor);
+        ++violations;
+      }
+    }
+    if (violations > 0) return 2;
+    std::printf("floor check passed (%s)\n", args.get("floor").c_str());
+  }
+  return 0;
+}

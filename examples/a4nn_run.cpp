@@ -11,6 +11,7 @@
 
 #include "analytics/dot_export.hpp"
 #include "core/a4nn.hpp"
+#include "tensor/parallel.hpp"
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
 #include "util/table.hpp"
@@ -70,6 +71,10 @@ int main(int argc, char** argv) {
   args.add_option("fault-straggler", "0",
                   "per-attempt straggler probability [0,1]");
   args.add_option("seed", "2023", "experiment seed");
+  args.add_option("intra-op-threads", "0",
+                  "worker threads per training kernel (0: use "
+                  "A4NN_INTRA_OP_THREADS, default 1); results are "
+                  "bit-identical at any setting");
   args.add_flag("dot", "print the best architecture as Graphviz DOT");
 
   try {
@@ -120,6 +125,8 @@ int main(int argc, char** argv) {
                               cfg.cluster.fault.job_crash_prob > 0 ||
                               cfg.cluster.fault.straggler_prob > 0;
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
+  if (args.get_size("intra-op-threads") > 0)
+    tensor::set_intra_op_threads(args.get_size("intra-op-threads"));
   if (!args.get("commons").empty()) {
     cfg.lineage = lineage::TrackerConfig{args.get("commons"),
                                          args.get_size("snapshot-every")};

@@ -14,13 +14,19 @@ LayerPtr make_layer(const util::Json& spec, util::Rng& rng) {
     return static_cast<std::size_t>(spec.at(key).as_int());
   };
   if (kind == "conv2d") {
-    return std::make_unique<Conv2d>(dim("in_channels"), dim("out_channels"),
-                                    dim("kernel"), dim("stride"), dim("pad"),
-                                    rng);
+    auto layer = std::make_unique<Conv2d>(dim("in_channels"),
+                                          dim("out_channels"), dim("kernel"),
+                                          dim("stride"), dim("pad"), rng);
+    layer->set_activation(
+        activation_from_name(spec.string_or("activation", "none")));
+    return layer;
   }
   if (kind == "linear") {
-    return std::make_unique<Linear>(dim("in_features"), dim("out_features"),
-                                    rng);
+    auto layer = std::make_unique<Linear>(dim("in_features"),
+                                          dim("out_features"), rng);
+    layer->set_activation(
+        activation_from_name(spec.string_or("activation", "none")));
+    return layer;
   }
   if (kind == "relu") return std::make_unique<ReLU>();
   if (kind == "identity") return std::make_unique<Identity>();

@@ -4,7 +4,20 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/parallel.hpp"
+#include "tensor/scratch.hpp"
+
 namespace a4nn::nn {
+
+const char* activation_name(Activation a) {
+  return a == Activation::kRelu ? "relu" : "none";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "relu") return Activation::kRelu;
+  if (name == "none") return Activation::kNone;
+  throw std::invalid_argument("unknown activation '" + name + "'");
+}
 
 util::Json tensor_to_json(const Tensor& t) {
   util::Json j = util::Json::object();
@@ -36,6 +49,15 @@ void check_rank4(const Shape& s, const char* who) {
   if (s.size() != 4)
     throw std::invalid_argument(std::string(who) + ": expected NCHW input, got " +
                                 tensor::shape_to_string(s));
+}
+
+// dL/d(pre-activation) for a layer with a fused ReLU: the cached output is
+// the post-ReLU value, so out > 0 marks exactly the pass-through entries.
+Tensor relu_masked_grad(const Tensor& grad_out, const Tensor& output) {
+  Tensor masked(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    masked[i] = output[i] > 0.0f ? grad_out[i] : 0.0f;
+  return masked;
 }
 
 }  // namespace
@@ -70,7 +92,7 @@ tensor::ConvGeometry Conv2d::geometry(const Shape& in) const {
   return g;
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& x, bool training) {
   check_rank4(x.shape(), "Conv2d");
   if (x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: channel mismatch");
@@ -84,25 +106,29 @@ Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
 
   input_cache_ = x;
   in_shape_cache_ = x.shape();
-  columns_cache_.assign(batch * patch * cols, 0.0f);
+  // im2col results persist until backward; the vector reuses its capacity
+  // across batches and im2col overwrites every entry.
+  columns_cache_.resize(batch * patch * cols);
 
   Tensor out({batch, out_channels_, oh, ow});
-  for (std::size_t n = 0; n < batch; ++n) {
-    std::span<float> col(columns_cache_.data() + n * patch * cols,
-                         patch * cols);
-    tensor::im2col(g, {x.data() + n * image_size, image_size}, col);
-    // out_n(oc x cols) = W(oc x patch) * col(patch x cols)
-    tensor::gemm(out_channels_, patch, cols, weight_.data(), col.data(),
-                 out.data() + n * out_channels_ * cols);
-  }
-  // Bias broadcast over spatial cells.
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      float* plane = out.data() + (n * out_channels_ + oc) * cols;
-      const float b = bias_[oc];
-      for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+  tensor::Epilogue ep;
+  ep.bias = tensor::Epilogue::Bias::kPerRow;  // row = output channel
+  ep.bias_data = bias_.data();
+  ep.relu = act_ == Activation::kRelu;
+  // Images write disjoint output slices, so chunking is free of races and
+  // the fixed partition keeps results thread-count independent.
+  tensor::parallel_chunks(batch, [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+    for (std::size_t n = begin; n < end; ++n) {
+      std::span<float> col(columns_cache_.data() + n * patch * cols,
+                           patch * cols);
+      tensor::im2col(g, {x.data() + n * image_size, image_size}, col);
+      // out_n(oc x cols) = act(W(oc x patch) * col(patch x cols) + bias)
+      tensor::gemm_ex(out_channels_, patch, cols, weight_.data(), col.data(),
+                      out.data() + n * out_channels_ * cols, ep);
     }
-  }
+  });
+  output_cache_ = training && act_ != Activation::kNone ? out : Tensor();
   return out;
 }
 
@@ -114,29 +140,52 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t patch = g.patch_size();
   const std::size_t image_size = in_channels_ * g.in_h * g.in_w;
 
+  const Tensor* gsrc = &grad_out;
+  Tensor masked;
+  if (act_ == Activation::kRelu) {
+    masked = relu_masked_grad(grad_out, output_cache_);
+    gsrc = &masked;
+  }
+
   Tensor grad_in(in);
-  std::vector<float> grad_cols(patch * cols);
-  std::vector<float> dw(out_channels_ * patch);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* gout = grad_out.data() + n * out_channels_ * cols;
-    const float* col = columns_cache_.data() + n * patch * cols;
-    // dW(oc x patch) += gout(oc x cols) * col^T(cols x patch)
-    tensor::gemm_a_bt(out_channels_, cols, patch, gout, col, dw.data());
-    for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
-    // db(oc) += sum over cells
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      float acc = 0.0f;
-      const float* row = gout + oc * cols;
-      for (std::size_t i = 0; i < cols; ++i) acc += row[i];
-      bias_grad_[oc] += acc;
+  // Chunk-private weight/bias gradient slabs, reduced in chunk order below
+  // — the reduction order never depends on the worker count.
+  const std::size_t chunks = tensor::intra_op_chunks(batch);
+  tensor::ScratchScope scratch;
+  std::span<float> dw_slabs =
+      scratch.alloc_zeroed(chunks * out_channels_ * patch);
+  std::span<float> db_slabs = scratch.alloc_zeroed(chunks * out_channels_);
+  tensor::parallel_chunks(batch, [&](std::size_t c, std::size_t begin,
+                                     std::size_t end) {
+    float* dw = dw_slabs.data() + c * out_channels_ * patch;
+    float* db = db_slabs.data() + c * out_channels_;
+    tensor::ScratchScope local;  // this worker thread's arena
+    std::span<float> grad_cols = local.alloc(patch * cols);
+    for (std::size_t n = begin; n < end; ++n) {
+      const float* gout = gsrc->data() + n * out_channels_ * cols;
+      const float* col = columns_cache_.data() + n * patch * cols;
+      // dW(oc x patch) += gout(oc x cols) * col^T(cols x patch)
+      tensor::gemm_a_bt_acc(out_channels_, cols, patch, gout, col, dw);
+      // db(oc) += sum over cells
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        float acc = 0.0f;
+        const float* row = gout + oc * cols;
+        for (std::size_t i = 0; i < cols; ++i) acc += row[i];
+        db[oc] += acc;
+      }
+      // dcol(patch x cols) = W^T(patch x oc) * gout(oc x cols)
+      tensor::gemm_at_b(patch, out_channels_, cols, weight_.data(), gout,
+                        grad_cols.data());
+      tensor::col2im(g, grad_cols,
+                     {grad_in.data() + n * image_size, image_size});
     }
-    // dcol(patch x cols) = W^T(patch x oc) * gout(oc x cols)
-    grad_cols.assign(patch * cols, 0.0f);
-    tensor::gemm_at_b(patch, out_channels_, cols, weight_.data(), gout,
-                      grad_cols.data());
-    tensor::col2im(g, grad_cols,
-                   {grad_in.data() + n * image_size, image_size});
-    grad_cols.assign(patch * cols, 0.0f);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    tensor::axpy(1.0f, dw_slabs.subspan(c * out_channels_ * patch,
+                                        out_channels_ * patch),
+                 weight_grad_.span());
+    tensor::axpy(1.0f, db_slabs.subspan(c * out_channels_, out_channels_),
+                 bias_grad_.span());
   }
   return grad_in;
 }
@@ -164,8 +213,10 @@ std::uint64_t Conv2d::flops(const Shape& in) const {
   const Shape out = output_shape(in);
   const std::uint64_t cells = out[1] * out[2];
   const std::uint64_t patch = in_channels_ * kernel_ * kernel_;
-  // 2 FLOPs per MAC plus one add for the bias.
-  return cells * out_channels_ * (2 * patch + 1);
+  // 2 FLOPs per MAC plus one add for the bias; a fused ReLU costs what the
+  // standalone layer it replaced did.
+  return cells * out_channels_ *
+         (2 * patch + 1 + (act_ == Activation::kRelu ? 1 : 0));
 }
 
 util::Json Conv2d::spec() const {
@@ -176,6 +227,7 @@ util::Json Conv2d::spec() const {
   j["kernel"] = kernel_;
   j["stride"] = stride_;
   j["pad"] = pad_;
+  if (act_ != Activation::kNone) j["activation"] = activation_name(act_);
   return j;
 }
 
@@ -210,7 +262,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
   bias_grad_ = Tensor::zeros({out_features});
 }
 
-Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+Tensor Linear::forward(const Tensor& x, bool training) {
   if (x.rank() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear: expected (N x " +
                                 std::to_string(in_features_) + ") input, got " +
@@ -218,31 +270,61 @@ Tensor Linear::forward(const Tensor& x, bool /*training*/) {
   input_cache_ = x;
   const std::size_t batch = x.dim(0);
   Tensor out({batch, out_features_});
-  // out(N x out) = x(N x in) * W^T(in x out)
-  tensor::gemm_a_bt(batch, in_features_, out_features_, x.data(),
-                    weight_.data(), out.data());
-  for (std::size_t n = 0; n < batch; ++n) {
-    float* row = out.data() + n * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_[j];
-  }
+  tensor::Epilogue ep;
+  ep.bias = tensor::Epilogue::Bias::kPerCol;  // column = output feature
+  ep.bias_data = bias_.data();
+  ep.relu = act_ == Activation::kRelu;
+  // out(N x out) = act(x(N x in) * W^T(in x out) + bias), chunked over rows.
+  tensor::parallel_chunks(batch, [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+    tensor::gemm_a_bt_ex(end - begin, in_features_, out_features_,
+                         x.data() + begin * in_features_, weight_.data(),
+                         out.data() + begin * out_features_, ep);
+  });
+  output_cache_ = training && act_ != Activation::kNone ? out : Tensor();
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const std::size_t batch = input_cache_.dim(0);
-  // dW(out x in) += gout^T(out x N) * x(N x in)
-  std::vector<float> dw(out_features_ * in_features_, 0.0f);
-  tensor::gemm_at_b(out_features_, batch, in_features_, grad_out.data(),
-                    input_cache_.data(), dw.data());
-  for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* row = grad_out.data() + n * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j) bias_grad_[j] += row[j];
+  const Tensor* gsrc = &grad_out;
+  Tensor masked;
+  if (act_ == Activation::kRelu) {
+    masked = relu_masked_grad(grad_out, output_cache_);
+    gsrc = &masked;
   }
-  // dx(N x in) = gout(N x out) * W(out x in)
+
+  const std::size_t chunks = tensor::intra_op_chunks(batch);
+  tensor::ScratchScope scratch;
+  std::span<float> dw_slabs =
+      scratch.alloc_zeroed(chunks * out_features_ * in_features_);
+  std::span<float> db_slabs = scratch.alloc_zeroed(chunks * out_features_);
   Tensor grad_in({batch, in_features_});
-  tensor::gemm(batch, out_features_, in_features_, grad_out.data(),
-               weight_.data(), grad_in.data());
+  tensor::parallel_chunks(batch, [&](std::size_t c, std::size_t begin,
+                                     std::size_t end) {
+    const std::size_t rows = end - begin;
+    // dW(out x in) += gout^T(out x rows) * x(rows x in)
+    tensor::gemm_at_b_acc(out_features_, rows, in_features_,
+                          gsrc->data() + begin * out_features_,
+                          input_cache_.data() + begin * in_features_,
+                          dw_slabs.data() + c * out_features_ * in_features_);
+    float* db = db_slabs.data() + c * out_features_;
+    for (std::size_t n = begin; n < end; ++n) {
+      const float* row = gsrc->data() + n * out_features_;
+      for (std::size_t j = 0; j < out_features_; ++j) db[j] += row[j];
+    }
+    // dx(rows x in) = gout(rows x out) * W(out x in)
+    tensor::gemm(rows, out_features_, in_features_,
+                 gsrc->data() + begin * out_features_, weight_.data(),
+                 grad_in.data() + begin * in_features_);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    tensor::axpy(1.0f, dw_slabs.subspan(c * out_features_ * in_features_,
+                                        out_features_ * in_features_),
+                 weight_grad_.span());
+    tensor::axpy(1.0f, db_slabs.subspan(c * out_features_, out_features_),
+                 bias_grad_.span());
+  }
   return grad_in;
 }
 
@@ -258,7 +340,8 @@ Shape Linear::output_shape(const Shape& in) const {
 }
 
 std::uint64_t Linear::flops(const Shape&) const {
-  return static_cast<std::uint64_t>(out_features_) * (2 * in_features_ + 1);
+  return static_cast<std::uint64_t>(out_features_) *
+         (2 * in_features_ + 1 + (act_ == Activation::kRelu ? 1 : 0));
 }
 
 util::Json Linear::spec() const {
@@ -266,6 +349,7 @@ util::Json Linear::spec() const {
   j["kind"] = kind();
   j["in_features"] = in_features_;
   j["out_features"] = out_features_;
+  if (act_ != Activation::kNone) j["activation"] = activation_name(act_);
   return j;
 }
 

@@ -7,12 +7,27 @@
 
 namespace a4nn::nn {
 
+/// Activation a GEMM-backed layer can fuse into its epilogue, so the
+/// nonlinearity is applied during the GEMM writeback instead of by a
+/// separate ReLU layer making another pass over the tensor. Produces
+/// bit-identical values to the unfused Conv/Linear + ReLU pair.
+enum class Activation { kNone, kRelu };
+
+const char* activation_name(Activation a);
+Activation activation_from_name(const std::string& name);
+
 /// 2-d convolution with square kernels, implemented as im2col + GEMM.
 /// Weight layout: (out_channels x in_channels*k*k); bias per out channel.
+/// The bias add is fused into the GEMM epilogue; an optional ReLU can be
+/// fused too (see Sequential::fuse_epilogues). Forward/backward are
+/// chunk-parallel over the batch with a thread-count-independent partition.
 class Conv2d : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
          std::size_t stride, std::size_t pad, util::Rng& rng);
+
+  Activation activation() const { return act_; }
+  void set_activation(Activation a) { act_ = a; }
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -31,18 +46,24 @@ class Conv2d : public Layer {
   tensor::ConvGeometry geometry(const Shape& in) const;
 
   std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  Activation act_ = Activation::kNone;
   Tensor weight_, weight_grad_;
   Tensor bias_, bias_grad_;
   // Cached for backward.
   Tensor input_cache_;
+  Tensor output_cache_;  // only when a ReLU is fused (its gradient mask)
   std::vector<float> columns_cache_;  // im2col per batch image, concatenated
   Shape in_shape_cache_;
 };
 
-/// Fully connected layer on flattened input (N x features).
+/// Fully connected layer on flattened input (N x features). Bias (and an
+/// optionally fused ReLU) are applied in the GEMM epilogue.
 class Linear : public Layer {
  public:
   Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Activation activation() const { return act_; }
+  void set_activation(Activation a) { act_ = a; }
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -56,9 +77,11 @@ class Linear : public Layer {
 
  private:
   std::size_t in_features_, out_features_;
+  Activation act_ = Activation::kNone;
   Tensor weight_, weight_grad_;  // (out x in)
   Tensor bias_, bias_grad_;
   Tensor input_cache_;
+  Tensor output_cache_;  // only when a ReLU is fused
 };
 
 class ReLU : public Layer {

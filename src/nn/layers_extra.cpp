@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/scratch.hpp"
 
 namespace a4nn::nn {
 
@@ -47,8 +49,16 @@ Tensor SeparableConv2d::forward(const Tensor& x, bool /*training*/) {
   in_shape_cache_ = x.shape();
 
   // Depthwise stage: each channel convolved with its own KxK filter.
+  // Images are independent, so both stages chunk over the batch.
   depthwise_out_cache_ = Tensor({batch, in_channels_, oh, ow});
-  for (std::size_t n = 0; n < batch; ++n) {
+  const std::size_t cells = oh * ow;
+  tensor::Epilogue ep;
+  ep.bias = tensor::Epilogue::Bias::kPerRow;  // row = output channel
+  ep.bias_data = bias_.data();
+  Tensor out({batch, out_channels_, oh, ow});
+  tensor::parallel_chunks(batch, [&](std::size_t, std::size_t chunk_begin,
+                                     std::size_t chunk_end) {
+  for (std::size_t n = chunk_begin; n < chunk_end; ++n) {
     for (std::size_t c = 0; c < in_channels_; ++c) {
       const float* plane = x.data() + (n * in_channels_ + c) * h * w;
       const float* filt = dw_weight_.data() + c * kernel_ * kernel_;
@@ -76,20 +86,13 @@ Tensor SeparableConv2d::forward(const Tensor& x, bool /*training*/) {
         }
       }
     }
+    // Pointwise stage with fused bias:
+    // out(oc x cells) = PW(oc x in) * dw(in x cells) + bias.
+    tensor::gemm_ex(out_channels_, in_channels_, cells, pw_weight_.data(),
+                    depthwise_out_cache_.data() + n * in_channels_ * cells,
+                    out.data() + n * out_channels_ * cells, ep);
   }
-
-  // Pointwise stage: out(oc x cells) = PW(oc x in) * dw(in x cells).
-  Tensor out({batch, out_channels_, oh, ow});
-  const std::size_t cells = oh * ow;
-  for (std::size_t n = 0; n < batch; ++n) {
-    tensor::gemm(out_channels_, in_channels_, cells, pw_weight_.data(),
-                 depthwise_out_cache_.data() + n * in_channels_ * cells,
-                 out.data() + n * out_channels_ * cells);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      float* plane = out.data() + (n * out_channels_ + oc) * cells;
-      for (std::size_t i = 0; i < cells; ++i) plane[i] += bias_[oc];
-    }
-  }
+  });
   return out;
 }
 
@@ -101,21 +104,35 @@ Tensor SeparableConv2d::backward(const Tensor& grad_out) {
   const std::size_t cells = oh * ow;
 
   Tensor grad_in(in_shape_cache_);
-  std::vector<float> d_pw(out_channels_ * in_channels_);
-  std::vector<float> d_dw_out(in_channels_ * cells);
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Chunk-private gradient slabs for all three parameter tensors, reduced
+  // in chunk order after the parallel region.
+  const std::size_t chunks = tensor::intra_op_chunks(batch);
+  const std::size_t pw_n = out_channels_ * in_channels_;
+  const std::size_t dwf_n = in_channels_ * kernel_ * kernel_;
+  tensor::ScratchScope scratch;
+  std::span<float> d_pw_slabs = scratch.alloc_zeroed(chunks * pw_n);
+  std::span<float> db_slabs = scratch.alloc_zeroed(chunks * out_channels_);
+  std::span<float> d_dwf_slabs = scratch.alloc_zeroed(chunks * dwf_n);
+  tensor::parallel_chunks(batch, [&](std::size_t chunk,
+                                     std::size_t chunk_begin,
+                                     std::size_t chunk_end) {
+  float* d_pw = d_pw_slabs.data() + chunk * pw_n;
+  float* db = db_slabs.data() + chunk * out_channels_;
+  float* d_dwf = d_dwf_slabs.data() + chunk * dwf_n;
+  tensor::ScratchScope local;  // this worker thread's arena
+  std::span<float> d_dw_out = local.alloc(in_channels_ * cells);
+  for (std::size_t n = chunk_begin; n < chunk_end; ++n) {
     const float* gout = grad_out.data() + n * out_channels_ * cells;
     const float* dw_out =
         depthwise_out_cache_.data() + n * in_channels_ * cells;
     // dPW(oc x in) += gout(oc x cells) * dw_out^T(cells x in).
-    tensor::gemm_a_bt(out_channels_, cells, in_channels_, gout, dw_out,
-                      d_pw.data());
-    for (std::size_t i = 0; i < d_pw.size(); ++i) pw_weight_grad_[i] += d_pw[i];
+    tensor::gemm_a_bt_acc(out_channels_, cells, in_channels_, gout, dw_out,
+                          d_pw);
     // dBias.
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       float acc = 0.0f;
       for (std::size_t i = 0; i < cells; ++i) acc += gout[oc * cells + i];
-      bias_grad_[oc] += acc;
+      db[oc] += acc;
     }
     // d_dw_out(in x cells) = PW^T(in x oc) * gout(oc x cells).
     tensor::gemm_at_b(in_channels_, out_channels_, cells, pw_weight_.data(),
@@ -126,7 +143,7 @@ Tensor SeparableConv2d::backward(const Tensor& grad_out) {
     for (std::size_t c = 0; c < in_channels_; ++c) {
       const float* plane = input_cache_.data() + (n * in_channels_ + c) * h * w;
       const float* g = d_dw_out.data() + c * cells;
-      float* filt_grad = dw_weight_grad_.data() + c * kernel_ * kernel_;
+      float* filt_grad = d_dwf + c * kernel_ * kernel_;
       const float* filt = dw_weight_.data() + c * kernel_ * kernel_;
       float* in_grad = grad_in.data() + (n * in_channels_ + c) * h * w;
       for (std::size_t oy = 0; oy < oh; ++oy) {
@@ -153,6 +170,15 @@ Tensor SeparableConv2d::backward(const Tensor& grad_out) {
         }
       }
     }
+  }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    tensor::axpy(1.0f, d_pw_slabs.subspan(c * pw_n, pw_n),
+                 pw_weight_grad_.span());
+    tensor::axpy(1.0f, db_slabs.subspan(c * out_channels_, out_channels_),
+                 bias_grad_.span());
+    tensor::axpy(1.0f, d_dwf_slabs.subspan(c * dwf_n, dwf_n),
+                 dw_weight_grad_.span());
   }
   return grad_in;
 }

@@ -2,11 +2,41 @@
 
 #include <stdexcept>
 
+#include "nn/layers.hpp"
+
 namespace a4nn::nn {
 
 void Sequential::append(LayerPtr layer) {
   if (!layer) throw std::invalid_argument("Sequential::append: null layer");
   layers_.push_back(std::move(layer));
+}
+
+std::size_t Sequential::fuse_epilogues() {
+  std::size_t fused = 0;
+  std::vector<LayerPtr> kept;
+  kept.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Layer* cur = layers_[i].get();
+    const bool next_is_relu =
+        i + 1 < layers_.size() &&
+        dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr;
+    if (next_is_relu) {
+      auto* conv = dynamic_cast<Conv2d*>(cur);
+      auto* lin = conv ? nullptr : dynamic_cast<Linear*>(cur);
+      if ((conv && conv->activation() == Activation::kNone) ||
+          (lin && lin->activation() == Activation::kNone)) {
+        if (conv) conv->set_activation(Activation::kRelu);
+        if (lin) lin->set_activation(Activation::kRelu);
+        kept.push_back(std::move(layers_[i]));
+        ++i;  // drop the ReLU
+        ++fused;
+        continue;
+      }
+    }
+    kept.push_back(std::move(layers_[i]));
+  }
+  layers_ = std::move(kept);
+  return fused;
 }
 
 Tensor Sequential::forward(const Tensor& x, bool training) {

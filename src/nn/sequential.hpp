@@ -10,6 +10,14 @@ class Sequential : public Layer {
   Sequential() = default;
 
   void append(LayerPtr layer);
+
+  /// Graph optimization: merge each Conv2d/Linear + following ReLU pair
+  /// into the GEMM layer's fused epilogue and drop the standalone ReLU.
+  /// Values and gradients are bit-identical to the unfused network. Call
+  /// before training/serialization; the fused spec round-trips through the
+  /// layer factory. Returns the number of pairs fused.
+  std::size_t fuse_epilogues();
+
   std::size_t layer_count() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "tensor/scratch.hpp"
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -213,6 +214,10 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
   record.wall_seconds = wall.seconds();
   record.virtual_seconds =
       epoch_virtual * static_cast<double>(record.epochs_trained);
+
+  // Job boundary: drop this worker's kernel scratch so its footprint is
+  // bounded by the current model, not the largest one it ever trained.
+  tensor::ScratchArena::tls().release();
 
   return record;
 }

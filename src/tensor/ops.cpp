@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/scratch.hpp"
+
 namespace a4nn::tensor {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> out) {
@@ -41,16 +43,281 @@ std::size_t argmax(std::span<const float> xs) {
       std::max_element(xs.begin(), xs.end()) - xs.begin());
 }
 
+// --------------------------------------------------------------- GEMM
+//
+// One packed, cache-blocked driver serves every public variant. Transposed
+// operands differ only in how the pack step gathers elements; after
+// packing, the microkernel sees identical contiguous panels, so every
+// variant gets the same inner loop and the same summation order.
+
+namespace {
+
+// Register tile (MR x NR accumulator) and cache blocks: KC x NR B-strips
+// stream from L1, the MC x KC A-tile sits in L2. NR is one 16-lane float
+// vector (a zmm register, or an emulated pair of ymm); MR = 6 keeps the
+// accumulator tile inside the register file even on 256-bit hardware.
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 16;
+constexpr std::size_t MC = 60;  // multiple of MR: no padded rows mid-tile
+constexpr std::size_t KC = 256;
+constexpr std::size_t NC = 256;
+
+// 16-lane float vector for the microkernel. GCC/Clang lower this to the
+// widest SIMD the target has (one zmm, two ymm, or four xmm); lane-wise
+// arithmetic keeps the exact per-element summation order of the scalar
+// fallback, so results stay deterministic either way.
+#if defined(__GNUC__) || defined(__clang__)
+#define A4NN_VECTOR_KERNEL 1
+typedef float vf16 __attribute__((vector_size(64)));
+static_assert(NR * sizeof(float) == 64);
+#endif
+
+// Below this many multiply-adds the pack/writeback overhead dominates;
+// plain loops win. Chosen by shape only, so determinism is unaffected.
+constexpr std::size_t kSmallProblemFlops = 8192;
+
+inline std::size_t round_up(std::size_t x, std::size_t to) {
+  return (x + to - 1) / to * to;
+}
+
+// Element accessors: `trans` means the buffer stores the mathematical
+// operand transposed (A_t is (k x m); B_t is (n x k)).
+inline float load_a(const float* a, bool trans, std::size_t m, std::size_t k,
+                    std::size_t i, std::size_t kk) {
+  return trans ? a[kk * m + i] : a[i * k + kk];
+}
+inline float load_b(const float* b, bool trans, std::size_t k, std::size_t n,
+                    std::size_t kk, std::size_t j) {
+  return trans ? b[j * k + kk] : b[kk * n + j];
+}
+
+// Pack an (mc x kc) tile of A into MR-row strips:
+// out[s*kc*MR + kk*MR + r] = A(m0 + s*MR + r, k0 + kk), zero-padded rows.
+void pack_a_tile(const float* a, bool trans, std::size_t m, std::size_t k,
+                 std::size_t m0, std::size_t mc, std::size_t k0,
+                 std::size_t kc, float* out) {
+  const std::size_t strips = (mc + MR - 1) / MR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    float* dst = out + s * kc * MR;
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      for (std::size_t r = 0; r < MR; ++r) {
+        const std::size_t row = s * MR + r;
+        dst[kk * MR + r] =
+            row < mc ? load_a(a, trans, m, k, m0 + row, k0 + kk) : 0.0f;
+      }
+    }
+  }
+}
+
+// Pack a (kc x nc) tile of B into NR-column strips:
+// out[s*kc*NR + kk*NR + c] = B(k0 + kk, n0 + s*NR + c), zero-padded cols.
+void pack_b_tile(const float* b, bool trans, std::size_t k, std::size_t n,
+                 std::size_t k0, std::size_t kc, std::size_t n0,
+                 std::size_t nc, float* out) {
+  const std::size_t strips = (nc + NR - 1) / NR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    float* dst = out + s * kc * NR;
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      for (std::size_t c = 0; c < NR; ++c) {
+        const std::size_t col = s * NR + c;
+        dst[kk * NR + c] =
+            col < nc ? load_b(b, trans, k, n, k0 + kk, n0 + col) : 0.0f;
+      }
+    }
+  }
+}
+
+// acc(MR x NR) = Apanel(kc x MR) * Bpanel(kc x NR), acc zeroed by the
+// caller. The accumulator tile lives in MR vector registers for the whole
+// k-loop; each step broadcasts one A element per row against the same
+// B vector (a register-resident rank-1 update chain).
+inline void micro_kernel(std::size_t kc, const float* __restrict ap,
+                         const float* __restrict bp, float* __restrict acc) {
+#ifdef A4NN_VECTOR_KERNEL
+  vf16 c[MR] = {};
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * MR;
+    vf16 b;
+    __builtin_memcpy(&b, bp + kk * NR, sizeof b);
+    for (std::size_t r = 0; r < MR; ++r) c[r] += arow[r] * b;
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    __builtin_memcpy(acc + r * NR, &c[r], sizeof(vf16));
+#else
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * MR;
+    const float* brow = bp + kk * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av = arow[r];
+      float* accrow = acc + r * NR;
+      for (std::size_t c = 0; c < NR; ++c) accrow[c] += av * brow[c];
+    }
+  }
+#endif
+}
+
+// Commit one accumulator tile to C; fuses the epilogue on the final
+// k-block so biased/activated outputs never need a second pass.
+inline void write_tile(float* cmat, std::size_t n, std::size_t i0,
+                       std::size_t j0, std::size_t rows, std::size_t cols,
+                       const float* acc, bool overwrite, const Epilogue* ep) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = cmat + (i0 + r) * n + j0;
+    const float* arow = acc + r * NR;
+    const float row_bias =
+        ep && ep->bias == Epilogue::Bias::kPerRow ? ep->bias_data[i0 + r]
+                                                  : 0.0f;
+    for (std::size_t cc = 0; cc < cols; ++cc) {
+      float v = overwrite ? arow[cc] : crow[cc] + arow[cc];
+      if (ep) {
+        v += ep->bias == Epilogue::Bias::kPerCol ? ep->bias_data[j0 + cc]
+                                                 : row_bias;
+        if (ep->relu && v < 0.0f) v = 0.0f;
+      }
+      crow[cc] = v;
+    }
+  }
+}
+
+void epilogue_pass(float* c, std::size_t m, std::size_t n,
+                   const Epilogue& ep) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = c + i * n;
+    const float row_bias =
+        ep.bias == Epilogue::Bias::kPerRow ? ep.bias_data[i] : 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = row[j];
+      v += ep.bias == Epilogue::Bias::kPerCol ? ep.bias_data[j] : row_bias;
+      if (ep.relu && v < 0.0f) v = 0.0f;
+      row[j] = v;
+    }
+  }
+}
+
+// Unblocked path for tiny problems.
+void small_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                bool at, const float* b, bool bt, float* c, bool accumulate,
+                const Epilogue* ep) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (bt && !at) {
+    // Row-dot-row: both operands stream contiguously.
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+        c_row[j] += acc;
+      }
+    }
+  } else {
+    // i-k-j: C rows and B rows stream (B gathered when transposed).
+    for (std::size_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float a_ik = load_a(a, at, m, k, i, kk);
+        if (a_ik == 0.0f) continue;
+        for (std::size_t j = 0; j < n; ++j)
+          c_row[j] += a_ik * load_b(b, bt, k, n, kk, j);
+      }
+    }
+  }
+  if (ep) epilogue_pass(c, m, n, *ep);
+}
+
+void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                 bool at, const float* b, bool bt, float* c, bool accumulate,
+                 const Epilogue* ep) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    if (ep) epilogue_pass(c, m, n, *ep);
+    return;
+  }
+  if (m * n * k <= kSmallProblemFlops) {
+    small_gemm(m, k, n, a, at, b, bt, c, accumulate, ep);
+    return;
+  }
+
+  ScratchScope scratch;
+  float* bpack =
+      scratch.alloc(std::min(k, KC) * round_up(std::min(n, NC), NR)).data();
+  float* apack =
+      scratch.alloc(std::min(k, KC) * round_up(std::min(m, MC), MR)).data();
+
+  for (std::size_t k0 = 0; k0 < k; k0 += KC) {
+    const std::size_t kc = std::min(KC, k - k0);
+    const bool first_kb = k0 == 0;
+    const bool last_kb = k0 + kc == k;
+    for (std::size_t n0 = 0; n0 < n; n0 += NC) {
+      const std::size_t nc = std::min(NC, n - n0);
+      pack_b_tile(b, bt, k, n, k0, kc, n0, nc, bpack);
+      const std::size_t nstrips = (nc + NR - 1) / NR;
+      for (std::size_t m0 = 0; m0 < m; m0 += MC) {
+        const std::size_t mc = std::min(MC, m - m0);
+        pack_a_tile(a, at, m, k, m0, mc, k0, kc, apack);
+        const std::size_t mstrips = (mc + MR - 1) / MR;
+        for (std::size_t ms = 0; ms < mstrips; ++ms) {
+          for (std::size_t ns = 0; ns < nstrips; ++ns) {
+            alignas(64) float acc[MR * NR] = {};
+            micro_kernel(kc, apack + ms * kc * MR, bpack + ns * kc * NR, acc);
+            write_tile(c, n, m0 + ms * MR, n0 + ns * NR,
+                       std::min(MR, mc - ms * MR), std::min(NR, nc - ns * NR),
+                       acc, first_kb && !accumulate,
+                       last_kb ? ep : nullptr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c) {
-  std::memset(c, 0, m * n * sizeof(float));
-  gemm_accumulate(m, k, n, a, b, c);
+  gemm_driver(m, k, n, a, false, b, false, c, /*accumulate=*/false, nullptr);
 }
 
 void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
                      const float* a, const float* b, float* c) {
-  // i-k-j ordering: the inner loop streams through contiguous rows of B and
-  // C, which the compiler auto-vectorizes.
+  gemm_driver(m, k, n, a, false, b, false, c, /*accumulate=*/true, nullptr);
+}
+
+void gemm_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, const Epilogue& epilogue) {
+  gemm_driver(m, k, n, a, false, b, false, c, /*accumulate=*/false, &epilogue);
+}
+
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a_t,
+               const float* b, float* c) {
+  gemm_driver(m, k, n, a_t, true, b, false, c, /*accumulate=*/false, nullptr);
+}
+
+void gemm_at_b_acc(std::size_t m, std::size_t k, std::size_t n,
+                   const float* a_t, const float* b, float* c) {
+  gemm_driver(m, k, n, a_t, true, b, false, c, /*accumulate=*/true, nullptr);
+}
+
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b_t, float* c) {
+  gemm_driver(m, k, n, a, false, b_t, true, c, /*accumulate=*/false, nullptr);
+}
+
+void gemm_a_bt_acc(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                   const float* b_t, float* c) {
+  gemm_driver(m, k, n, a, false, b_t, true, c, /*accumulate=*/true, nullptr);
+}
+
+void gemm_a_bt_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                  const float* b_t, float* c, const Epilogue& epilogue) {
+  gemm_driver(m, k, n, a, false, b_t, true, c, /*accumulate=*/false, &epilogue);
+}
+
+void gemm_naive(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                const float* b, float* c) {
+  std::memset(c, 0, m * n * sizeof(float));
   for (std::size_t i = 0; i < m; ++i) {
     float* c_row = c + i * n;
     const float* a_row = a + i * k;
@@ -59,38 +326,6 @@ void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
       if (a_ik == 0.0f) continue;
       const float* b_row = b + kk * n;
       for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-    }
-  }
-}
-
-void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a_t,
-               const float* b, float* c) {
-  // C(m x n) = A^T * B with A stored (k x m): equivalent to accumulating
-  // outer products of A rows and B rows.
-  std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* a_row = a_t + kk * m;
-    const float* b_row = b + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float a_ki = a_row[i];
-      if (a_ki == 0.0f) continue;
-      float* c_row = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
-    }
-  }
-}
-
-void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
-               const float* b_t, float* c) {
-  // C(m x n) = A * B^T with B stored (n x k): dot products of rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* b_row = b_t + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      c_row[j] = acc;
     }
   }
 }

@@ -1,5 +1,16 @@
 // Kernels shared by the NN layers: SAXPY-style elementwise ops, GEMM, and
 // im2col/col2im transforms that turn convolutions into matrix multiplies.
+//
+// The GEMM family is cache-blocked with packed panels: B (and A, when it
+// is accessed transposed) is repacked into contiguous MR/NR strips so the
+// inner microkernel streams unit-stride and auto-vectorizes. All variants
+// share one driver, so loop order — and therefore float summation order —
+// is a pure function of the problem shape: results are bit-reproducible
+// run to run and independent of how callers parallelize around the kernel.
+//
+// Epilogues fuse the per-row/per-column bias add and an optional ReLU into
+// the GEMM writeback, so convolution and dense layers do not make a second
+// (or third) pass over their output tensors.
 #pragma once
 
 #include <cstddef>
@@ -27,8 +38,19 @@ double sum(const Tensor& t);
 /// Index of the maximum entry in [begin, begin+len).
 std::size_t argmax(std::span<const float> xs);
 
+/// Fused GEMM epilogue, applied to each C entry during the final
+/// writeback: C_ij = act(C_ij + bias), where bias is indexed by the row
+/// (per output channel of a conv GEMM) or the column (per output feature
+/// of a dense GEMM).
+struct Epilogue {
+  enum class Bias { kNone, kPerRow, kPerCol };
+  Bias bias = Bias::kNone;
+  /// m floats for kPerRow, n floats for kPerCol; unused for kNone.
+  const float* bias_data = nullptr;
+  bool relu = false;
+};
+
 /// C(m x n) = A(m x k) * B(k x n), row-major, C overwritten.
-/// Blocked i-k-j loop ordering: streaming access on B and C.
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c);
 
@@ -36,15 +58,37 @@ void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
 void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
                      const float* a, const float* b, float* c);
 
+/// gemm with a fused epilogue (bias broadcast and/or ReLU).
+void gemm_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, const Epilogue& epilogue);
+
 /// C(m x n) = A^T(k x m)^T... explicitly: C = A_t^T * B where a_t is stored
 /// (k x m) row-major. Used for weight-gradient computation.
 void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a_t,
                const float* b, float* c);
 
+/// C(m x n) += A_t^T * B — accumulating form, so weight gradients sum
+/// directly into their persistent buffers without a staging copy.
+void gemm_at_b_acc(std::size_t m, std::size_t k, std::size_t n,
+                   const float* a_t, const float* b, float* c);
+
 /// C(m x n) = A(m x k) * B_t^T where b_t is stored (n x k) row-major.
 /// Used for input-gradient computation.
 void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
                const float* b_t, float* c);
+
+/// C(m x n) += A * B_t^T — accumulating form.
+void gemm_a_bt_acc(std::size_t m, std::size_t k, std::size_t n,
+                   const float* a, const float* b_t, float* c);
+
+/// gemm_a_bt with a fused epilogue (dense forward: bias is kPerCol).
+void gemm_a_bt_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                  const float* b_t, float* c, const Epilogue& epilogue);
+
+/// The seed's naive i-k-j GEMM, kept as the reference implementation for
+/// the property tests and the bench_kernels speedup baseline.
+void gemm_naive(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                const float* b, float* c);
 
 /// Geometry of a 2-d convolution / pooling window.
 struct ConvGeometry {

@@ -1,0 +1,97 @@
+#include "tensor/parallel.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace a4nn::tensor {
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<util::ThreadPool> g_pool;
+std::size_t g_threads = 0;  // 0 = not yet initialized from the environment
+
+// A chunk function must never fan out again onto the same pool: a worker
+// blocking on sub-chunks that sit behind it in the queue would deadlock.
+thread_local bool t_in_parallel_region = false;
+
+std::size_t threads_from_env() {
+  const char* env = std::getenv("A4NN_INTRA_OP_THREADS");
+  if (!env) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+}  // namespace
+
+std::size_t intra_op_threads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_threads == 0) g_threads = threads_from_env();
+  return g_threads;
+}
+
+void set_intra_op_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_threads = n > 1 ? n : 1;
+  g_pool.reset();  // lazily rebuilt at the new size on next use
+}
+
+std::size_t intra_op_chunks(std::size_t items) {
+  return items < kMaxIntraOpChunks ? items : kMaxIntraOpChunks;
+}
+
+ChunkRange intra_op_chunk_range(std::size_t items, std::size_t chunk) {
+  const std::size_t chunks = intra_op_chunks(items);
+  if (chunks == 0) return {0, 0};
+  const std::size_t base = items / chunks;
+  const std::size_t extra = items % chunks;  // first `extra` chunks get +1
+  const std::size_t begin =
+      chunk * base + (chunk < extra ? chunk : extra);
+  return {begin, begin + base + (chunk < extra ? 1 : 0)};
+}
+
+void parallel_chunks(
+    std::size_t items,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t chunks = intra_op_chunks(items);
+  if (chunks == 0) return;
+
+  const std::size_t threads = intra_op_threads();
+  if (threads <= 1 || chunks == 1 || t_in_parallel_region) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const ChunkRange r = intra_op_chunk_range(items, c);
+      fn(c, r.begin, r.end);
+    }
+    return;
+  }
+
+  util::ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool || g_pool->size() != threads)
+      g_pool = std::make_unique<util::ThreadPool>(threads);
+    pool = g_pool.get();
+  }
+
+  std::vector<std::future<void>> done;
+  done.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const ChunkRange r = intra_op_chunk_range(items, c);
+    done.push_back(pool->submit([&fn, c, r] {
+      struct RegionGuard {
+        RegionGuard() { t_in_parallel_region = true; }
+        ~RegionGuard() { t_in_parallel_region = false; }
+      } guard;
+      fn(c, r.begin, r.end);
+    }));
+  }
+  // Rethrows the first chunk failure in chunk order (deterministic too).
+  for (auto& f : done) f.get();
+}
+
+}  // namespace a4nn::tensor

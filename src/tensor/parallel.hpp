@@ -1,0 +1,55 @@
+// Deterministic intra-op parallelism for the training kernels.
+//
+// Work over a batch is split into a FIXED partition of contiguous chunks
+// whose count and boundaries depend only on the item count — never on the
+// worker count. Chunks write disjoint outputs (or chunk-private partial
+// buffers that the caller reduces in chunk order), so the result is
+// bit-identical whether the chunks run on 1 thread or 8. That contract is
+// what lets the PENGUIN prediction engine terminate training early on
+// reproducible per-epoch fitness regardless of the host's core count.
+//
+// The worker count is process-global (kernels are shared by every model a
+// ResourceManager device is training): set once at startup via
+// set_intra_op_threads() or the A4NN_INTRA_OP_THREADS environment
+// variable. The default of 1 runs every chunk inline on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace a4nn::tensor {
+
+/// Number of worker threads the kernels may use (>= 1; 1 = serial).
+/// First call reads A4NN_INTRA_OP_THREADS (default 1).
+std::size_t intra_op_threads();
+
+/// Resize the kernel worker pool. Must not be called while kernels are
+/// running (configure at startup, or between training runs in tests).
+void set_intra_op_threads(std::size_t n);
+
+/// Fixed upper bound on chunks per parallel region. Also bounds the
+/// per-chunk partial-gradient slabs layers allocate for reductions.
+inline constexpr std::size_t kMaxIntraOpChunks = 16;
+
+/// Number of chunks [0, items) is split into: min(items, kMaxIntraOpChunks).
+/// Depends only on `items` — the determinism contract hinges on this.
+std::size_t intra_op_chunks(std::size_t items);
+
+/// Half-open item range of chunk `c` (ceil-division partition).
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+ChunkRange intra_op_chunk_range(std::size_t items, std::size_t chunk);
+
+/// Run fn(chunk, begin, end) for every chunk of [0, items). Serial (and in
+/// chunk order) when the pool size is 1, the region is nested inside
+/// another parallel region, or there is only one chunk; otherwise chunks
+/// run concurrently on the kernel pool and this call blocks until all
+/// complete. The first exception thrown by any chunk is rethrown.
+void parallel_chunks(
+    std::size_t items,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace a4nn::tensor

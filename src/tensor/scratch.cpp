@@ -1,0 +1,68 @@
+#include "tensor/scratch.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace a4nn::tensor {
+
+namespace {
+constexpr std::size_t kMinBlockFloats = 1 << 14;  // 64 KiB first block
+}
+
+std::span<float> ScratchArena::alloc(std::size_t n) {
+  if (n == 0) return {};
+  // Fill the current block; otherwise advance past blocks that are too
+  // small (they stay parked until release) or append a fresh one that at
+  // least doubles total capacity, so the block count stays logarithmic.
+  while (current_block_ < blocks_.size()) {
+    Block& b = blocks_[current_block_];
+    if (b.size - used_in_block_ >= n) {
+      float* p = b.data.get() + used_in_block_;
+      used_in_block_ += n;
+      live_ += n;
+      high_water_ = std::max(high_water_, live_);
+      return {p, n};
+    }
+    ++current_block_;
+    used_in_block_ = 0;
+  }
+  const std::size_t want = std::max({n, kMinBlockFloats, 2 * capacity()});
+  blocks_.push_back({std::make_unique<float[]>(want), want});
+  current_block_ = blocks_.size() - 1;
+  used_in_block_ = n;
+  live_ += n;
+  high_water_ = std::max(high_water_, live_);
+  return {blocks_.back().data.get(), n};
+}
+
+std::span<float> ScratchArena::alloc_zeroed(std::size_t n) {
+  std::span<float> s = alloc(n);
+  std::memset(s.data(), 0, s.size() * sizeof(float));
+  return s;
+}
+
+void ScratchArena::rewind(const Mark& m) {
+  current_block_ = m.block;
+  used_in_block_ = m.used;
+  live_ = m.live;
+}
+
+void ScratchArena::release() {
+  blocks_.clear();
+  current_block_ = 0;
+  used_in_block_ = 0;
+  live_ = 0;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+ScratchArena& ScratchArena::tls() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace a4nn::tensor

@@ -1,0 +1,93 @@
+// Per-thread scratch arena for kernel temporaries (im2col columns, GEMM
+// pack panels, per-chunk gradient slabs). Training previously heap-allocated
+// these buffers fresh on every batch; the arena amortizes them to one
+// allocation per high-water mark per thread, with stack-discipline reuse.
+//
+// Lifetime contract: a kernel (or layer forward/backward) opens a
+// ScratchScope, allocates freely, and every allocation is released when the
+// scope closes — but the backing memory stays resident on the thread, so
+// the next batch reuses it without touching the allocator. A job releases
+// its thread's arena when it finishes (see orchestrator::TrainingLoop), so
+// memory is bounded by the largest model a worker is currently training.
+//
+// Allocations return stable pointers for the lifetime of their scope:
+// the arena grows by adding blocks, never by relocating existing ones
+// (nested allocs — e.g. GEMM pack buffers inside a layer that already
+// holds an im2col span — stay valid).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace a4nn::tensor {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialized floats; caller must fully overwrite what it reads.
+  std::span<float> alloc(std::size_t n);
+
+  /// Zero-filled floats (for accumulation slabs).
+  std::span<float> alloc_zeroed(std::size_t n);
+
+  /// Position bookmark for stack-discipline release.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+    std::size_t live = 0;
+  };
+  Mark mark() const { return {current_block_, used_in_block_, live_}; }
+  void rewind(const Mark& m);
+
+  /// Free all backing memory (arena returns to empty). Called at job
+  /// boundaries so a worker that just trained a large model does not pin
+  /// its peak scratch forever.
+  void release();
+
+  /// Total floats currently reserved across blocks.
+  std::size_t capacity() const;
+  /// Largest single-scope footprint seen (floats), for diagnostics.
+  std::size_t high_water() const { return high_water_; }
+
+  /// The calling thread's arena.
+  static ScratchArena& tls();
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    std::size_t size = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t current_block_ = 0;  // index of the block being filled
+  std::size_t used_in_block_ = 0;
+  std::size_t live_ = 0;  // floats handed out and not yet rewound
+  std::size_t high_water_ = 0;
+};
+
+/// RAII: everything allocated after construction is released on
+/// destruction. Nests freely.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(&ScratchArena::tls()), mark_(arena_->mark()) {}
+  explicit ScratchScope(ScratchArena& arena)
+      : arena_(&arena), mark_(arena.mark()) {}
+  ~ScratchScope() { arena_->rewind(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  std::span<float> alloc(std::size_t n) { return arena_->alloc(n); }
+  std::span<float> alloc_zeroed(std::size_t n) {
+    return arena_->alloc_zeroed(n);
+  }
+
+ private:
+  ScratchArena* arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace a4nn::tensor

@@ -5,8 +5,6 @@
 namespace a4nn::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0)
-    throw std::invalid_argument("ThreadPool: need at least one thread");
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -18,7 +18,9 @@ namespace a4nn::util {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1).
+  /// Spawns `num_threads` workers. A pool of 0 workers spawns no threads
+  /// and runs each task inline at submit() — callers can treat "no
+  /// concurrency" as just another pool size.
   explicit ThreadPool(std::size_t num_threads);
 
   /// Drains the queue and joins all workers.
@@ -37,6 +39,10 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // zero-worker pool: run inline (exception lands in fut)
+      return fut;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");

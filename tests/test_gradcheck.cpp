@@ -1,0 +1,183 @@
+// Central finite-difference gradient checks for every trainable/geometric
+// layer on the training hot path, exercising the fused bias/ReLU epilogues
+// and the chunk-parallel backward paths. Loss is L = sum(w ⊙ forward(x))
+// for a fixed random cotangent w, so backward(w) must reproduce dL/dx and
+// dL/dθ. Central differences with a small step keep the truncation error
+// of the piecewise-linear layers (ReLU, pooling) bounded by O(h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "nn/layers_extra.hpp"
+#include "tensor/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace a4nn::nn {
+namespace {
+
+constexpr float kStep = 5e-3f;
+constexpr double kTolAbs = 2e-2;
+constexpr double kTolRel = 2e-2;
+
+// Loss plus the activation sign pattern of the output. A perturbation that
+// flips the pattern crossed a ReLU (or pooling) kink between x-h and x+h;
+// the central difference is O(1) wrong there regardless of the step size,
+// so those entries are skipped rather than tolerated.
+struct Probe {
+  double loss = 0.0;
+  std::vector<bool> mask;
+};
+
+Probe probe(Layer& layer, const Tensor& x, const Tensor& w) {
+  const Tensor out = layer.forward(x, /*training=*/true);
+  Probe p;
+  p.mask.resize(out.numel());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    p.loss += static_cast<double>(w[i]) * out[i];
+    p.mask[i] = out[i] > 0.0f;
+  }
+  return p;
+}
+
+void expect_close(double analytic, double fd, const std::string& what) {
+  const double tol =
+      kTolAbs + kTolRel * std::max(std::fabs(analytic), std::fabs(fd));
+  EXPECT_NEAR(analytic, fd, tol) << what;
+}
+
+// Checks d(loss)/d(input) and d(loss)/d(every parameter) against central
+// finite differences.
+void gradcheck(Layer& layer, Tensor x, std::uint64_t seed) {
+  util::Rng rng(seed);
+  layer.zero_grad();
+  const Tensor out = layer.forward(x, /*training=*/true);
+  Tensor w(out.shape());
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.normal());
+  const Tensor gx = layer.backward(w);
+  ASSERT_TRUE(gx.same_shape(x));
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + kStep;
+    const Probe plus = probe(layer, x, w);
+    x[i] = saved - kStep;
+    const Probe minus = probe(layer, x, w);
+    x[i] = saved;
+    if (plus.mask != minus.mask) continue;  // crossed a kink
+    ++checked;
+    expect_close(gx[i], (plus.loss - minus.loss) / (2.0 * kStep),
+                 "input grad entry " + std::to_string(i));
+  }
+  EXPECT_GT(checked, x.numel() / 2) << "too many kink skips for input grads";
+
+  for (ParamSlot& slot : layer.params()) {
+    checked = 0;
+    for (std::size_t i = 0; i < slot.value->numel(); ++i) {
+      const float saved = (*slot.value)[i];
+      (*slot.value)[i] = saved + kStep;
+      const Probe plus = probe(layer, x, w);
+      (*slot.value)[i] = saved - kStep;
+      const Probe minus = probe(layer, x, w);
+      (*slot.value)[i] = saved;
+      if (plus.mask != minus.mask) continue;  // crossed a kink
+      ++checked;
+      expect_close((*slot.grad)[i], (plus.loss - minus.loss) / (2.0 * kStep),
+                   slot.name + " grad entry " + std::to_string(i));
+    }
+    EXPECT_GT(checked, 0u) << "every " << slot.name << " entry crossed a kink";
+  }
+}
+
+Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor x(shape);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+  return x;
+}
+
+TEST(GradCheck, Conv2dPlain) {
+  util::Rng rng(1);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  gradcheck(conv, random_input({2, 2, 5, 5}, 10), 100);
+}
+
+TEST(GradCheck, Conv2dStridedNoPad) {
+  util::Rng rng(2);
+  Conv2d conv(1, 2, 3, 2, 0, rng);
+  gradcheck(conv, random_input({3, 1, 7, 7}, 11), 101);
+}
+
+TEST(GradCheck, Conv2dFusedRelu) {
+  util::Rng rng(3);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  conv.set_activation(Activation::kRelu);
+  gradcheck(conv, random_input({2, 2, 5, 5}, 12), 102);
+}
+
+TEST(GradCheck, LinearPlain) {
+  util::Rng rng(4);
+  Linear lin(6, 4, rng);
+  gradcheck(lin, random_input({5, 6}, 13), 103);
+}
+
+TEST(GradCheck, LinearFusedRelu) {
+  util::Rng rng(5);
+  Linear lin(6, 4, rng);
+  lin.set_activation(Activation::kRelu);
+  gradcheck(lin, random_input({5, 6}, 14), 104);
+}
+
+TEST(GradCheck, MaxPool2d) {
+  MaxPool2d pool(2);
+  gradcheck(pool, random_input({2, 2, 6, 6}, 15), 105);
+}
+
+TEST(GradCheck, AvgPool2d) {
+  AvgPool2d pool(2);
+  gradcheck(pool, random_input({2, 2, 6, 6}, 16), 106);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  GlobalAvgPool pool;
+  gradcheck(pool, random_input({2, 3, 4, 4}, 17), 107);
+}
+
+TEST(GradCheck, SeparableConv2d) {
+  util::Rng rng(6);
+  SeparableConv2d conv(2, 3, 3, 1, rng);
+  gradcheck(conv, random_input({2, 2, 5, 5}, 18), 108);
+}
+
+TEST(GradCheck, BatchNorm2dTrainingMode) {
+  BatchNorm2d bn(2);
+  // Running statistics shift every forward call, but the normalization in
+  // training mode only uses the current batch, so FD still applies.
+  gradcheck(bn, random_input({3, 2, 4, 4}, 19), 109);
+}
+
+TEST(GradCheck, Conv2dFusedReluParallel) {
+  // The same check with the kernel pool enabled: chunk-private slab
+  // reduction must produce correct (and identical) gradients.
+  tensor::set_intra_op_threads(4);
+  util::Rng rng(7);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  conv.set_activation(Activation::kRelu);
+  gradcheck(conv, random_input({6, 2, 5, 5}, 20), 110);
+  tensor::set_intra_op_threads(1);
+}
+
+TEST(GradCheck, LinearParallel) {
+  tensor::set_intra_op_threads(4);
+  util::Rng rng(8);
+  Linear lin(6, 4, rng);
+  gradcheck(lin, random_input({9, 6}, 21), 111);
+  tensor::set_intra_op_threads(1);
+}
+
+}  // namespace
+}  // namespace a4nn::nn

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/scratch.hpp"
 
 namespace a4nn::tensor {
 namespace {
@@ -243,6 +246,350 @@ TEST(Ops, Im2colSizeValidation) {
   std::vector<float> bad_img(7);
   std::vector<float> ok_cols(9 * 4);
   EXPECT_THROW(im2col(g, bad_img, ok_cols), std::invalid_argument);
+}
+
+// ------------------------------------------- randomized GEMM property sweep
+//
+// Every public variant is checked against a double-precision reference over
+// a few hundred shapes: degenerate extents (1, 2, odd), extents straddling
+// the blocking constants (just below/at/above MR=4, NR=16, MC=64, KC=NC=256),
+// and uniformly random ones. The error bound is absolute and scales only
+// with the k-extent (the summation length) — a packing or tiling bug that
+// drops, duplicates, or misindexes a term shows up far above it.
+
+double ref_entry(std::size_t k, std::size_t n, const float* a, const float* b,
+                 std::size_t i, std::size_t j) {
+  double acc = 0.0;
+  for (std::size_t kk = 0; kk < k; ++kk)
+    acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+  return acc;
+}
+
+float sweep_tolerance(std::size_t k) {
+  // float rounding of a length-k sum of ~N(0,1) products, with headroom.
+  return 1e-5f * static_cast<float>(k + 8);
+}
+
+std::size_t sweep_extent(util::Rng& rng) {
+  // Half the draws target the blocking boundaries, half are uniform.
+  static const std::size_t kEdges[] = {1,  2,  3,  4,  5,   15,  16, 17,
+                                       31, 63, 64, 65, 255, 256, 257};
+  if (rng.uniform() < 0.5) {
+    const auto e = kEdges[static_cast<std::size_t>(rng.uniform() * 15.0)];
+    return std::min<std::size_t>(e, 257);
+  }
+  return 1 + static_cast<std::size_t>(rng.uniform() * 48.0);
+}
+
+TEST(OpsSweep, AllGemmVariantsMatchDoubleReference) {
+  util::Rng rng(2023);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t m = sweep_extent(rng);
+    std::size_t k = sweep_extent(rng);
+    std::size_t n = sweep_extent(rng);
+    // Keep the double reference O(m*k*n) affordable when two extents are
+    // large: shrink the third.
+    while (m * k * n > 600'000) {
+      if (m >= k && m >= n) m = m / 2 + 1;
+      else if (k >= n) k = k / 2 + 1;
+      else n = n / 2 + 1;
+    }
+    SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                 " n=" + std::to_string(n));
+
+    std::vector<float> a(m * k), b(k * n);
+    for (auto& x : a) x = static_cast<float>(rng.normal());
+    for (auto& x : b) x = static_cast<float>(rng.normal());
+    // Transposed copies for the at_b / a_bt variants.
+    std::vector<float> a_t(k * m), b_t(n * k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t kk = 0; kk < k; ++kk) a_t[kk * m + i] = a[i * k + kk];
+    for (std::size_t kk = 0; kk < k; ++kk)
+      for (std::size_t j = 0; j < n; ++j) b_t[j * k + kk] = b[kk * n + j];
+
+    std::vector<double> ref(m * n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ref[i * n + j] = ref_entry(k, n, a.data(), b.data(), i, j);
+    const float tol = sweep_tolerance(k);
+
+    // The garbage prefill proves the overwrite variants really overwrite.
+    std::vector<float> c(m * n, 123.0f);
+    auto check = [&](const char* who, double extra = 0.0) {
+      for (std::size_t i = 0; i < m * n; ++i) {
+        ASSERT_NEAR(c[i], ref[i] + extra, tol) << who << " entry " << i;
+      }
+    };
+
+    gemm(m, k, n, a.data(), b.data(), c.data());
+    check("gemm");
+    std::fill(c.begin(), c.end(), 123.0f);
+    gemm_naive(m, k, n, a.data(), b.data(), c.data());
+    check("gemm_naive");
+    std::fill(c.begin(), c.end(), 123.0f);
+    gemm_at_b(m, k, n, a_t.data(), b.data(), c.data());
+    check("gemm_at_b");
+    std::fill(c.begin(), c.end(), 123.0f);
+    gemm_a_bt(m, k, n, a.data(), b_t.data(), c.data());
+    check("gemm_a_bt");
+
+    // Accumulating variants add on top of a nonzero C.
+    std::fill(c.begin(), c.end(), 0.25f);
+    gemm_accumulate(m, k, n, a.data(), b.data(), c.data());
+    check("gemm_accumulate", 0.25);
+    std::fill(c.begin(), c.end(), 0.25f);
+    gemm_at_b_acc(m, k, n, a_t.data(), b.data(), c.data());
+    check("gemm_at_b_acc", 0.25);
+    std::fill(c.begin(), c.end(), 0.25f);
+    gemm_a_bt_acc(m, k, n, a.data(), b_t.data(), c.data());
+    check("gemm_a_bt_acc", 0.25);
+  }
+}
+
+TEST(OpsSweep, FusedEpiloguesMatchUnfusedPasses) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = sweep_extent(rng) % 80 + 1;
+    const std::size_t k = sweep_extent(rng) % 80 + 1;
+    const std::size_t n = sweep_extent(rng) % 80 + 1;
+    SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                 " n=" + std::to_string(n));
+    std::vector<float> a(m * k), b(k * n), row_bias(m), col_bias(n);
+    for (auto& x : a) x = static_cast<float>(rng.normal());
+    for (auto& x : b) x = static_cast<float>(rng.normal());
+    for (auto& x : row_bias) x = static_cast<float>(rng.normal());
+    for (auto& x : col_bias) x = static_cast<float>(rng.normal());
+    std::vector<float> b_t(n * k);
+    for (std::size_t kk = 0; kk < k; ++kk)
+      for (std::size_t j = 0; j < n; ++j) b_t[j * k + kk] = b[kk * n + j];
+
+    // Unfused: plain GEMM, then bias pass, then ReLU pass.
+    std::vector<float> expect(m * n);
+    gemm(m, k, n, a.data(), b.data(), expect.data());
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        float v = expect[i * n + j] + row_bias[i];
+        expect[i * n + j] = v > 0.0f ? v : 0.0f;
+      }
+    Epilogue ep;
+    ep.bias = Epilogue::Bias::kPerRow;
+    ep.bias_data = row_bias.data();
+    ep.relu = true;
+    std::vector<float> c(m * n, -9.0f);
+    gemm_ex(m, k, n, a.data(), b.data(), c.data(), ep);
+    // Same arithmetic, same order: the fused result is bit-identical.
+    for (std::size_t i = 0; i < m * n; ++i)
+      ASSERT_EQ(c[i], expect[i]) << "gemm_ex entry " << i;
+
+    // Dense-style: A*B^T with per-column bias, no ReLU.
+    gemm_a_bt(m, k, n, a.data(), b_t.data(), expect.data());
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) expect[i * n + j] += col_bias[j];
+    Epilogue ep2;
+    ep2.bias = Epilogue::Bias::kPerCol;
+    ep2.bias_data = col_bias.data();
+    std::fill(c.begin(), c.end(), -9.0f);
+    gemm_a_bt_ex(m, k, n, a.data(), b_t.data(), c.data(), ep2);
+    for (std::size_t i = 0; i < m * n; ++i)
+      ASSERT_EQ(c[i], expect[i]) << "gemm_a_bt_ex entry " << i;
+  }
+}
+
+TEST(OpsSweep, GemmDegenerateExtents) {
+  // k == 0: overwrite zeroes C, accumulate leaves it alone, the epilogue
+  // still applies. m == 0 or n == 0: no touching anything.
+  std::vector<float> c(6, 5.0f);
+  gemm(2, 0, 3, nullptr, nullptr, c.data());
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+  std::fill(c.begin(), c.end(), 5.0f);
+  gemm_accumulate(2, 0, 3, nullptr, nullptr, c.data());
+  for (float v : c) EXPECT_EQ(v, 5.0f);
+  std::vector<float> bias{1.0f, 2.0f};
+  Epilogue ep;
+  ep.bias = Epilogue::Bias::kPerRow;
+  ep.bias_data = bias.data();
+  std::fill(c.begin(), c.end(), 5.0f);
+  gemm_ex(2, 0, 3, nullptr, nullptr, c.data(), ep);
+  EXPECT_EQ(c[0], 1.0f);
+  EXPECT_EQ(c[5], 2.0f);
+  std::fill(c.begin(), c.end(), 5.0f);
+  gemm(0, 4, 3, nullptr, nullptr, c.data());
+  gemm(2, 4, 0, nullptr, nullptr, c.data());
+  for (float v : c) EXPECT_EQ(v, 5.0f);
+}
+
+TEST(OpsSweep, AdjointnessOverStridedPaddedGeometries) {
+  // <im2col(x), y> == <x, col2im(y)> across the full geometry grid the
+  // search space can produce, including stride-2 and kernel-sized padding.
+  util::Rng rng(42);
+  for (std::size_t ch : {1, 3}) {
+    for (std::size_t h : {4, 5, 7}) {
+      for (std::size_t w : {4, 6, 9}) {
+        for (std::size_t kernel : {1, 2, 3}) {
+          for (std::size_t stride : {1, 2}) {
+            for (std::size_t pad : {0, 1, 2}) {
+              if (h + 2 * pad < kernel || w + 2 * pad < kernel) continue;
+              ConvGeometry g;
+              g.in_channels = ch;
+              g.in_h = h;
+              g.in_w = w;
+              g.kernel = kernel;
+              g.stride = stride;
+              g.pad = pad;
+              SCOPED_TRACE("ch=" + std::to_string(ch) + " h=" +
+                           std::to_string(h) + " w=" + std::to_string(w) +
+                           " k=" + std::to_string(kernel) + " s=" +
+                           std::to_string(stride) + " p=" +
+                           std::to_string(pad));
+              const std::size_t img_size = ch * h * w;
+              const std::size_t col_size =
+                  g.patch_size() * g.out_h() * g.out_w();
+              std::vector<float> x(img_size), y(col_size), cols(col_size),
+                  back(img_size, 0.0f);
+              for (auto& v : x) v = static_cast<float>(rng.normal());
+              for (auto& v : y) v = static_cast<float>(rng.normal());
+              im2col(g, x, cols);
+              col2im(g, y, back);
+              double lhs = 0.0, rhs = 0.0;
+              for (std::size_t i = 0; i < col_size; ++i)
+                lhs += static_cast<double>(cols[i]) * y[i];
+              for (std::size_t i = 0; i < img_size; ++i)
+                rhs += static_cast<double>(x[i]) * back[i];
+              ASSERT_NEAR(lhs, rhs, 1e-3);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ scratch arena
+
+TEST(Scratch, PointersStayStableAcrossGrowth) {
+  ScratchArena arena;
+  auto first = arena.alloc(8);
+  first[0] = 42.0f;
+  // Force several new blocks; the first allocation must not move.
+  for (int i = 0; i < 6; ++i) arena.alloc(1 << 15);
+  EXPECT_EQ(first[0], 42.0f);
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+}
+
+TEST(Scratch, ScopeRewindReusesMemory) {
+  ScratchArena arena;
+  float* p1;
+  {
+    ScratchScope scope(arena);
+    p1 = scope.alloc(100).data();
+  }
+  const std::size_t cap_after_first = arena.capacity();
+  {
+    ScratchScope scope(arena);
+    // Same size from the same position: identical pointer, no new block.
+    EXPECT_EQ(scope.alloc(100).data(), p1);
+  }
+  EXPECT_EQ(arena.capacity(), cap_after_first);
+}
+
+TEST(Scratch, AllocZeroedZeroesAndHighWaterTracks) {
+  ScratchArena arena;
+  {
+    ScratchScope scope(arena);
+    auto s = scope.alloc_zeroed(64);
+    for (float v : s) ASSERT_EQ(v, 0.0f);
+    scope.alloc(36);
+  }
+  EXPECT_EQ(arena.high_water(), 100u);
+  {
+    ScratchScope scope(arena);
+    scope.alloc(10);
+  }
+  EXPECT_EQ(arena.high_water(), 100u);  // high-water is a max, not current
+}
+
+TEST(Scratch, NestedScopesUnwindInOrder) {
+  ScratchArena arena;
+  ScratchScope outer(arena);
+  float* a = outer.alloc(16).data();
+  float* inner_ptr;
+  {
+    ScratchScope inner(arena);
+    inner_ptr = inner.alloc(16).data();
+    EXPECT_NE(inner_ptr, a);
+  }
+  // Inner released; the next alloc reuses its slot. Outer's span survives.
+  ScratchScope again(arena);
+  EXPECT_EQ(again.alloc(16).data(), inner_ptr);
+}
+
+// --------------------------------------------------- deterministic chunking
+
+TEST(Parallel, PartitionCoversRangeDisjointly) {
+  for (std::size_t items : {0u, 1u, 2u, 15u, 16u, 17u, 100u, 1000u}) {
+    const std::size_t chunks = intra_op_chunks(items);
+    EXPECT_EQ(chunks, std::min<std::size_t>(items, kMaxIntraOpChunks));
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const ChunkRange r = intra_op_chunk_range(items, c);
+      EXPECT_EQ(r.begin, prev_end);  // contiguous, in order, no gaps
+      EXPECT_GT(r.end, r.begin);     // never an empty chunk
+      covered += r.end - r.begin;
+      prev_end = r.end;
+    }
+    EXPECT_EQ(covered, items);
+    if (chunks > 0) {
+      EXPECT_EQ(prev_end, items);
+    }
+  }
+}
+
+TEST(Parallel, ChunksRunBitIdenticalAtAnyThreadCount) {
+  // The same chunked reduction at pool sizes 1, 2, and 8 must produce the
+  // same bytes: the partition depends on the item count alone and the
+  // caller reduces chunk-private slabs in chunk order.
+  const std::size_t items = 1000;
+  std::vector<float> data(items);
+  util::Rng rng(3);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+
+  auto run = [&](std::size_t threads) {
+    set_intra_op_threads(threads);
+    const std::size_t chunks = intra_op_chunks(items);
+    std::vector<float> partial(chunks, 0.0f);
+    parallel_chunks(items, [&](std::size_t c, std::size_t begin,
+                               std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) partial[c] += data[i] * data[i];
+    });
+    float total = 0.0f;
+    for (std::size_t c = 0; c < chunks; ++c) total += partial[c];
+    return total;
+  };
+  const float t1 = run(1);
+  const float t2 = run(2);
+  const float t8 = run(8);
+  set_intra_op_threads(1);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(Parallel, ChunkExceptionPropagatesAndPoolSurvives) {
+  set_intra_op_threads(4);
+  EXPECT_THROW(
+      parallel_chunks(100,
+                      [&](std::size_t c, std::size_t, std::size_t) {
+                        if (c == 3) throw std::runtime_error("chunk fault");
+                      }),
+      std::runtime_error);
+  // The pool is still usable and regions still run to completion.
+  std::vector<int> hits(intra_op_chunks(100), 0);
+  parallel_chunks(100, [&](std::size_t c, std::size_t, std::size_t) {
+    hits[c] = 1;
+  });
+  set_intra_op_threads(1);
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
@@ -62,8 +63,37 @@ TEST(ThreadPool, ThrowingTaskDoesNotWedgeWaitIdle) {
   pool.wait_idle();
 }
 
-TEST(ThreadPool, ZeroThreadsRejected) {
-  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+TEST(ThreadPool, ZeroWorkersRunsInlineAtSubmit) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  // Task runs on the calling thread, during submit, not on a worker.
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  auto fut = pool.submit([&ran, caller] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 7;
+  });
+  EXPECT_TRUE(ran);  // before get(): submit itself executed it
+  EXPECT_EQ(fut.get(), 7);
+  pool.wait_idle();  // trivially idle; must not block
+}
+
+TEST(ThreadPool, ZeroWorkerExceptionLandsInFuture) {
+  ThreadPool pool(0);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("inline"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // Queue far more tasks than workers, then destroy the pool immediately:
+  // the destructor must run every queued task, not drop the backlog.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 64);
 }
 
 TEST(ThreadPool, SizeReported) {
