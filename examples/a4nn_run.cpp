@@ -8,6 +8,7 @@
 //              --function pow_exp --window 3 --tolerance 0.5
 //              --commons /tmp/my_commons --snapshot-every 1
 #include <cstdio>
+#include <cstdlib>
 
 #include "analytics/dot_export.hpp"
 #include "core/a4nn.hpp"
@@ -15,6 +16,7 @@
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace a4nn;
 
@@ -75,6 +77,10 @@ int main(int argc, char** argv) {
                   "worker threads per training kernel (0: use "
                   "A4NN_INTRA_OP_THREADS, default 1); results are "
                   "bit-identical at any setting");
+  args.add_option("trace-out", "",
+                  "write a Chrome-trace JSON of the run (host spans + "
+                  "simulated device timeline + metrics) to this path; "
+                  "empty: use A4NN_TRACE env var, or tracing stays off");
   args.add_flag("dot", "print the best architecture as Graphviz DOT");
 
   try {
@@ -182,6 +188,12 @@ int main(int argc, char** argv) {
                   ? (args.get_flag("ensemble") ? "ensemble"
                                                : args.get("function").c_str())
                   : "off");
+  std::string trace_out = args.get("trace-out");
+  if (trace_out.empty()) {
+    if (const char* env = std::getenv("A4NN_TRACE")) trace_out = env;
+  }
+  if (!trace_out.empty()) util::trace::start();
+
   std::optional<core::A4nnWorkflow> workflow_holder;
   core::WorkflowResult result;
   try {
@@ -192,6 +204,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   const core::A4nnWorkflow& workflow = *workflow_holder;
+
+  if (!trace_out.empty()) {
+    util::trace::stop();
+    // The run's metrics snapshot rides along as an extra top-level key;
+    // trace viewers ignore it, scripts/check_trace.py cross-checks it
+    // against the span totals.
+    util::Json extra = util::Json::object();
+    extra["metrics"] = result.summary.metrics;
+    if (util::trace::write(trace_out, &extra)) {
+      std::printf(
+          "trace: %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
+          trace_out.c_str());
+    }
+  }
 
   const auto& history = result.search.history;
   const auto savings = analytics::epoch_savings(history);
@@ -206,6 +232,11 @@ int main(int argc, char** argv) {
   if (result.summary.genome_mismatches > 0)
     std::printf("resume: %zu stale record(s) rejected (genome mismatch)\n",
                 result.summary.genome_mismatches);
+  if (result.summary.failed_evaluations > 0)
+    std::printf(
+        "failed: %zu evaluation(s) exhausted retries (excluded from "
+        "selection, Pareto, and the commons)\n",
+        result.summary.failed_evaluations);
   const auto& faults = result.summary.faults;
   if (workflow.config().cluster.fault.enabled) {
     std::printf(

@@ -34,12 +34,43 @@ FaultTotals fault_totals(std::span<const sched::GenerationSchedule> schedules) {
   return t;
 }
 
+FaultTotals fault_totals(const util::Json& metrics_snapshot) {
+  FaultTotals t;
+  if (!metrics_snapshot.is_object() || !metrics_snapshot.contains("counters"))
+    return t;
+  const util::Json& counters = metrics_snapshot.at("counters");
+  if (!counters.is_object()) return t;
+  auto count = [&](const char* name) {
+    return static_cast<std::size_t>(counters.number_or(name, 0.0));
+  };
+  t.total_jobs = count("sched.jobs");
+  t.retries = count("sched.retries");
+  t.transient_faults = count("sched.transient_faults");
+  t.job_crashes = count("sched.job_crashes");
+  t.straggler_events = count("sched.straggler_events");
+  t.permanent_device_failures = count("sched.device_quarantines");
+  t.failed_jobs = count("sched.failed_jobs");
+  t.wasted_virtual_seconds =
+      counters.number_or("sched.wasted_virtual_seconds", 0.0);
+  return t;
+}
+
 std::vector<std::size_t> pareto_indices(
     std::span<const nas::EvaluationRecord> records) {
+  std::vector<std::size_t> viable;
   std::vector<nas::Objectives> obj;
+  viable.reserve(records.size());
   obj.reserve(records.size());
-  for (const auto& r : records) obj.push_back(nas::record_objectives(r));
-  return nas::pareto_front(obj);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].failed) continue;
+    viable.push_back(i);
+    obj.push_back(nas::record_objectives(records[i]));
+  }
+  const auto front = nas::pareto_front(obj);
+  std::vector<std::size_t> out;
+  out.reserve(front.size());
+  for (std::size_t f : front) out.push_back(viable[f]);
+  return out;
 }
 
 EpochSavings epoch_savings(std::span<const nas::EvaluationRecord> records) {

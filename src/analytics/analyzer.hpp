@@ -27,7 +27,14 @@ struct FaultTotals {
 };
 FaultTotals fault_totals(std::span<const sched::GenerationSchedule> schedules);
 
+/// Same totals read back from a metrics registry snapshot (the "sched.*"
+/// counters). The registry is incremented in schedule order, so this
+/// agrees bit-exactly with the schedule-walking overload — test_trace_metrics
+/// locks the two together.
+FaultTotals fault_totals(const util::Json& metrics_snapshot);
+
 /// Indices of the Pareto-optimal records (max fitness, min FLOPs).
+/// Failed evaluations carry no real fitness and are never on the front.
 std::vector<std::size_t> pareto_indices(
     std::span<const nas::EvaluationRecord> records);
 

@@ -2,6 +2,7 @@
 
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::core {
 
@@ -30,6 +31,9 @@ util::Json WorkflowConfig::to_json() const {
 util::Json RunSummary::to_json() const {
   util::Json j = util::Json::object();
   j["faults"] = faults.to_json();
+  j["failed_evaluations"] = failed_evaluations;
+  j["engine_overhead_seconds"] = engine_overhead_seconds;
+  j["metrics"] = metrics;
   j["resumed_evaluations"] = resumed_evaluations;
   j["resumed_epochs"] = resumed_epochs;
   j["genome_mismatches"] = genome_mismatches;
@@ -61,6 +65,13 @@ WorkflowResult A4nnWorkflow::run() {
     config_.cluster.fault.seed = config_.seed;
 
   WorkflowResult result;
+  // Declared before every component that records into it, so the registry
+  // outlives them all. One registry per run: two workflows in one process
+  // never share totals.
+  util::metrics::Registry registry;
+  util::trace::Scope run_span("workflow.run", "core");
+  if (util::trace::enabled())
+    util::trace::name_process(util::trace::kHostPid, "a4nn host");
 
   const bool resuming = config_.resume_from_commons && config_.lineage;
   if (resuming) {
@@ -92,16 +103,20 @@ WorkflowResult A4nnWorkflow::run() {
   std::optional<lineage::LineageTracker> tracker;
   if (config_.lineage) {
     tracker.emplace(*config_.lineage);
+    tracker->set_metrics(&registry);
     tracker->record_search_config(config_.to_json());
   }
 
   orchestrator::TrainingLoop loop(data_->train, data_->validation,
                                   config_.trainer,
                                   tracker ? &*tracker : nullptr);
+  loop.set_metrics(&registry);
   sched::ResourceManager cluster(config_.cluster);
+  cluster.set_metrics(&registry);
   orchestrator::WorkflowEvaluator evaluator(loop, cluster, config_.nas.space,
                                             config_.seed,
                                             tracker ? &*tracker : nullptr);
+  evaluator.set_metrics(&registry);
   evaluator.set_crash_after(config_.crash_after_evaluations);
   if (resuming) {
     // Reuse whatever record trails a previous (interrupted) run left in
@@ -117,7 +132,18 @@ WorkflowResult A4nnWorkflow::run() {
   result.search = search.run();
   result.resumed_evaluations = evaluator.resumed_count();
   result.schedules = evaluator.schedules();
-  result.summary.faults = analytics::fault_totals(result.schedules);
+  // The fault totals are read back from the registry (a derived view);
+  // because the scheduler adds its per-generation totals in schedule
+  // order, this equals fault_totals(result.schedules) bit-for-bit
+  // (test_trace_metrics asserts the two overloads agree).
+  result.summary.metrics = registry.snapshot();
+  result.summary.faults = analytics::fault_totals(result.summary.metrics);
+  result.summary.failed_evaluations = evaluator.failed_count();
+  if (result.summary.metrics.contains("counters")) {
+    result.summary.engine_overhead_seconds =
+        result.summary.metrics.at("counters").number_or(
+            "penguin.engine_overhead_seconds", 0.0);
+  }
   result.summary.resumed_evaluations = evaluator.resumed_count();
   result.summary.resumed_epochs = loop.resumed_epochs();
   result.summary.genome_mismatches = evaluator.genome_mismatches();

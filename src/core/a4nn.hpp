@@ -50,7 +50,21 @@ struct WorkflowConfig {
 
 /// Fault-tolerance and recovery accounting for one run().
 struct RunSummary {
+  /// Derived view of the run's metrics registry ("sched.*" counters); the
+  /// registry is populated in schedule order, so these equal
+  /// analytics::fault_totals over the run's schedules bit-for-bit.
   analytics::FaultTotals faults;
+  /// Evaluations whose training job exhausted its retries. Their records
+  /// carry failed=true, no fitness, and never reach selection, the Pareto
+  /// front, or the commons.
+  std::size_t failed_evaluations = 0;
+  /// Host seconds spent inside the prediction engine across every model
+  /// (derived from the "penguin.engine_overhead_seconds" counter, which is
+  /// accumulated in record order and bit-matches summing the history).
+  double engine_overhead_seconds = 0.0;
+  /// Full metrics-registry snapshot for this run: counters, gauges, and
+  /// histograms from every instrumented layer (see util/metrics.hpp).
+  util::Json metrics = util::Json::object();
   /// Evaluations reused whole from the commons when resuming.
   std::size_t resumed_evaluations = 0;
   /// Training epochs skipped by resuming partially-trained models from

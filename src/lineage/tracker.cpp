@@ -10,6 +10,8 @@
 #include "util/checksum.hpp"
 #include "util/frame.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::lineage {
 
@@ -163,6 +165,7 @@ LineageTracker::LineageTracker(TrackerConfig config)
 void LineageTracker::commit_locked(const fs::path& path,
                                    const std::string& payload,
                                    util::Durability durability) {
+  util::trace::Scope span("journal.commit", "lineage");
   if (!config_.durable) durability = util::Durability::kBuffered;
   const std::string framed = util::frame(payload);
   util::write_file(path, framed, durability);
@@ -173,9 +176,25 @@ void LineageTracker::commit_locked(const fs::path& path,
   entry.crc = util::crc32(framed);
   journal_text_ += manifest_line(entry);
   journal_text_ += '\n';
+  const util::Durability journal_durability = config_.durable
+                                                  ? util::Durability::kFsync
+                                                  : util::Durability::kBuffered;
+  util::Timer fsync_timer;
   util::write_file(config_.root / manifest_file_name(), journal_text_,
-                   config_.durable ? util::Durability::kFsync
-                                   : util::Durability::kBuffered);
+                   journal_durability);
+  const double journal_write_seconds = fsync_timer.seconds();
+
+  const double bytes =
+      static_cast<double>(framed.size() + journal_text_.size());
+  if (metrics_) {
+    metrics_->counter("journal.commits").add();
+    metrics_->counter("journal.bytes_written").add(bytes);
+    if (journal_durability == util::Durability::kFsync)
+      metrics_->counter("journal.fsync_seconds").add(journal_write_seconds);
+  }
+  span.arg("artifact_bytes", static_cast<double>(framed.size()));
+  span.arg("journal_bytes", static_cast<double>(journal_text_.size()));
+  span.arg("journal_write_seconds", journal_write_seconds);
 }
 
 void LineageTracker::record_search_config(const util::Json& config) {

@@ -27,6 +27,7 @@
 #include "nas/evaluator.hpp"
 #include "nn/model.hpp"
 #include "util/fsutil.hpp"
+#include "util/metrics.hpp"
 
 namespace a4nn::lineage {
 
@@ -71,6 +72,11 @@ class LineageTracker {
 
   const std::filesystem::path& root() const { return config_.root; }
 
+  /// Attach a metrics registry: journal commits, bytes written, and fsync
+  /// time are counted there. Pass nullptr to detach; the registry must
+  /// outlive the tracker.
+  void set_metrics(util::metrics::Registry* registry) { metrics_ = registry; }
+
  private:
   std::filesystem::path model_dir(int model_id) const;
   /// Frame `payload`, commit it to `path`, and append a manifest-journal
@@ -81,6 +87,7 @@ class LineageTracker {
   TrackerConfig config_;
   std::mutex mutex_;
   std::atomic<bool> sealed_{false};
+  util::metrics::Registry* metrics_ = nullptr;
   /// In-memory image of the manifest journal (valid lines only), appended
   /// on every commit and rewritten to disk atomically.
   std::string journal_text_;

@@ -39,6 +39,12 @@ util::Json EvaluationRecord::to_json() const {
   j["virtual_seconds"] = virtual_seconds;
   j["engine_overhead_seconds"] = engine_overhead_seconds;
   j["device_id"] = device_id;
+  // Only failed records carry the failure fields, so the serialized bytes
+  // of every successful record are unchanged from earlier journal formats.
+  if (failed) {
+    j["failed"] = true;
+    j["error"] = error;
+  }
   return j;
 }
 
@@ -66,6 +72,8 @@ EvaluationRecord EvaluationRecord::from_json(const util::Json& j) {
   r.virtual_seconds = j.at("virtual_seconds").as_number();
   r.engine_overhead_seconds = j.at("engine_overhead_seconds").as_number();
   r.device_id = static_cast<int>(j.at("device_id").as_int());
+  r.failed = j.bool_or("failed", false);
+  r.error = j.string_or("error", "");
   return r;
 }
 

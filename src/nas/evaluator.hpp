@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "nas/genome.hpp"
@@ -46,6 +47,12 @@ struct EvaluationRecord {
   double virtual_seconds = 0.0;  // simulated device time (scheduler clock)
   double engine_overhead_seconds = 0.0;  // measured time inside the engine
   int device_id = -1;            // simulated GPU the model trained on
+
+  /// True when evaluation did not complete (the job exhausted its retries).
+  /// A failed record carries no trustworthy fitness: selection, Pareto
+  /// analysis, and the data commons must all skip it.
+  bool failed = false;
+  std::string error;  // what the last attempt threw (empty when !failed)
 
   util::Json to_json() const;
   static EvaluationRecord from_json(const util::Json& j);

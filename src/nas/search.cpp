@@ -1,5 +1,6 @@
 #include "nas/search.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -94,9 +95,18 @@ SearchResult NsgaNetSearch::run() {
   };
 
   evaluate(population, 0);
-  // Indices into result.history of the current population.
-  std::vector<std::size_t> pop_indices(config_.population_size);
-  for (std::size_t i = 0; i < pop_indices.size(); ++i) pop_indices[i] = i;
+  // Indices into result.history of the current population. Failed
+  // evaluations stay in the history (model_id indexes into it) but never
+  // enter the breeding population: a record with no real fitness would
+  // otherwise win tournaments as a phantom 0%-accuracy / 0-FLOPs point.
+  std::vector<std::size_t> pop_indices;
+  pop_indices.reserve(config_.population_size);
+  for (std::size_t i = 0; i < config_.population_size; ++i) {
+    if (!result.history[i].failed) pop_indices.push_back(i);
+  }
+  if (pop_indices.empty())
+    throw std::runtime_error(
+        "NsgaNetSearch: every evaluation in the initial population failed");
 
   for (std::size_t gen = 1; gen < config_.generations; ++gen) {
     // Rank the current population for tournament selection.
@@ -134,16 +144,18 @@ SearchResult NsgaNetSearch::run() {
     const std::size_t base = result.history.size();
     evaluate(offspring, static_cast<int>(gen));
 
-    // Environmental selection over population + offspring.
+    // Environmental selection over population + offspring (failed
+    // offspring are skipped; pop_indices is already all-viable).
     std::vector<std::size_t> union_indices = pop_indices;
-    for (std::size_t i = 0; i < offspring.size(); ++i)
-      union_indices.push_back(base + i);
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      if (!result.history[base + i].failed) union_indices.push_back(base + i);
+    }
     std::vector<Objectives> union_obj;
     union_obj.reserve(union_indices.size());
     for (std::size_t idx : union_indices)
       union_obj.push_back(record_objectives(result.history[idx]));
-    const auto survivors =
-        environmental_selection(union_obj, config_.population_size);
+    const auto survivors = environmental_selection(
+        union_obj, std::min(config_.population_size, union_indices.size()));
     std::vector<std::size_t> next;
     next.reserve(survivors.size());
     for (std::size_t s : survivors) next.push_back(union_indices[s]);
@@ -152,12 +164,21 @@ SearchResult NsgaNetSearch::run() {
   }
 
   result.final_population = pop_indices;
-  // Pareto set over every network evaluated in the whole search.
+  // Pareto set over every network actually evaluated in the whole search;
+  // failed records contribute no point.
+  std::vector<std::size_t> viable;
+  viable.reserve(result.history.size());
   std::vector<Objectives> all_obj;
   all_obj.reserve(result.history.size());
-  for (const auto& r : result.history)
-    all_obj.push_back(record_objectives(r));
-  result.pareto = pareto_front(all_obj);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    if (result.history[i].failed) continue;
+    viable.push_back(i);
+    all_obj.push_back(record_objectives(result.history[i]));
+  }
+  const auto front = pareto_front(all_obj);
+  result.pareto.clear();
+  result.pareto.reserve(front.size());
+  for (std::size_t f : front) result.pareto.push_back(viable[f]);
   return result;
 }
 

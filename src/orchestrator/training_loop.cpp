@@ -11,6 +11,7 @@
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::orchestrator {
 
@@ -134,7 +135,11 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
     engine_timer.reset();
     engine.emplace(config_.engine);
     engine_overhead += engine_timer.seconds();
+    if (metrics_) engine->set_metrics(metrics_);
   }
+
+  util::trace::Scope model_span("train.model", "train");
+  model_span.arg("model_id", static_cast<double>(model_id));
 
   nas::EvaluationRecord record;
   record.model_id = model_id;
@@ -154,10 +159,21 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
   // so a restored already-converged state trains zero further epochs.
   for (std::size_t epoch = start_epoch;
        !converged && epoch <= config_.max_epochs; ++epoch) {
+    util::trace::Scope epoch_span("train.epoch", "train");
+    epoch_span.arg("model_id", static_cast<double>(model_id));
+    epoch_span.arg("epoch", static_cast<double>(epoch));
     opt.set_learning_rate(config_.lr_at(epoch));
-    const nn::EpochMetrics train_metrics =
-        model.train_epoch(*train_, config_.batch_size, opt, rng);
-    const nn::EpochMetrics val_metrics = model.evaluate(*validation_);
+    nn::EpochMetrics train_metrics;
+    {
+      util::trace::Scope span("epoch.train", "train");
+      train_metrics = model.train_epoch(*train_, config_.batch_size, opt, rng);
+    }
+    nn::EpochMetrics val_metrics;
+    {
+      util::trace::Scope span("epoch.eval", "train");
+      val_metrics = model.evaluate(*validation_);
+    }
+    if (metrics_) metrics_->counter("train.epochs").add();
 
     record.train_accuracy_history.push_back(train_metrics.accuracy);
     record.train_loss_history.push_back(train_metrics.loss);
@@ -169,6 +185,9 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
       lineage_->record_model_epoch(model_id, epoch, model);
 
     if (engine) {
+      util::trace::Scope engine_span("engine.step", "penguin");
+      engine_span.arg("model_id", static_cast<double>(model_id));
+      engine_span.arg("epoch", static_cast<double>(epoch));
       engine_timer.reset();
       // Predictor step: p_e from the fitness history.
       const std::optional<double> p_e =
@@ -182,6 +201,9 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
     // The training state is captured after the engine step so a resume
     // replays the epoch's prediction and convergence outcome exactly.
     if (lineage_ && lineage_->wants_snapshot(epoch)) {
+      util::trace::Scope ckpt_span("checkpoint.commit", "lineage");
+      ckpt_span.arg("model_id", static_cast<double>(model_id));
+      ckpt_span.arg("epoch", static_cast<double>(epoch));
       util::Json state = util::Json::object();
       state["model_id"] = model_id;
       state["epoch"] = epoch;
@@ -205,15 +227,24 @@ nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,
 
   record.early_terminated =
       converged && record.epochs_trained < config_.max_epochs;
-  // Algorithm 1 lines 17-21: converged -> P[-1], else the last measured
-  // fitness h_e.
+  // Algorithm 1 lines 17-21: stopped early -> P[-1], else the last measured
+  // fitness h_e. Convergence that only arrives on the final epoch saved no
+  // training, so the measured value — not the extrapolation — is reported
+  // (simulate_early_termination applies the identical rule).
   record.measured_fitness = record.fitness_history.back();
-  record.fitness = converged ? record.prediction_history.back()
-                             : record.measured_fitness;
+  record.fitness = record.early_terminated ? record.prediction_history.back()
+                                           : record.measured_fitness;
   record.engine_overhead_seconds = engine_overhead;
   record.wall_seconds = wall.seconds();
   record.virtual_seconds =
       epoch_virtual * static_cast<double>(record.epochs_trained);
+  if (metrics_) {
+    metrics_->counter("train.models").add();
+    if (record.early_terminated)
+      metrics_->counter("train.early_terminated").add();
+  }
+  model_span.arg("epochs_trained", static_cast<double>(record.epochs_trained));
+  model_span.arg("early_terminated", record.early_terminated ? 1.0 : 0.0);
 
   // Job boundary: drop this worker's kernel scratch so its footprint is
   // bounded by the current model, not the largest one it ever trained.

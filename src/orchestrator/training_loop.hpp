@@ -61,12 +61,15 @@ class TrainingLoop {
   /// Datasets must outlive the loop. `lineage` may be null (no tracking).
   TrainingLoop(const nn::Dataset& train, const nn::Dataset& validation,
                TrainerConfig config, lineage::LineageTracker* lineage = nullptr);
+  virtual ~TrainingLoop() = default;
 
   /// Train one genome (Algorithm 1). `model_id` labels lineage artifacts;
-  /// `seed` controls weight init and batch order.
-  nas::EvaluationRecord train_genome(const nas::Genome& genome,
-                                     const nas::SearchSpaceConfig& space,
-                                     int model_id, std::uint64_t seed) const;
+  /// `seed` controls weight init and batch order. Virtual so fault tests
+  /// can substitute a loop whose jobs throw on demand.
+  virtual nas::EvaluationRecord train_genome(const nas::Genome& genome,
+                                             const nas::SearchSpaceConfig& space,
+                                             int model_id,
+                                             std::uint64_t seed) const;
 
   /// Train an existing model the same way (used by tests and the
   /// prediction-trace bench, which needs a fixed architecture).
@@ -77,6 +80,11 @@ class TrainingLoop {
 
   /// Total epochs skipped so far by resuming from checkpoints.
   std::size_t resumed_epochs() const { return resumed_epochs_.load(); }
+
+  /// Attach a metrics registry: trained epochs/models and engine activity
+  /// are counted there, and every engine this loop constructs inherits it.
+  /// Pass nullptr to detach; the registry must outlive the loop.
+  void set_metrics(util::metrics::Registry* registry) { metrics_ = registry; }
 
  private:
   /// Restore the newest usable (checkpoint, training state) pair for this
@@ -90,6 +98,7 @@ class TrainingLoop {
   const nn::Dataset* validation_;
   TrainerConfig config_;
   lineage::LineageTracker* lineage_;
+  util::metrics::Registry* metrics_ = nullptr;
   mutable std::atomic<std::size_t> resumed_epochs_{0};
 };
 

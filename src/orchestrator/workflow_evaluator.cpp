@@ -1,6 +1,7 @@
 #include "orchestrator/workflow_evaluator.hpp"
 
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::orchestrator {
 
@@ -33,6 +34,9 @@ void WorkflowEvaluator::flush_record(const nas::EvaluationRecord& record) {
 
 std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     std::span<const nas::Genome> genomes, int generation) {
+  util::trace::Scope gen_span("generation", "nas");
+  gen_span.arg("generation", static_cast<double>(generation));
+  gen_span.arg("genomes", static_cast<double>(genomes.size()));
   std::vector<nas::EvaluationRecord> records(genomes.size());
 
   // One job per genome. Each job owns a slot in `records`; jobs never touch
@@ -53,19 +57,25 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     // Resume hit: identical model id and genome from a previous run.
     const auto cached = resume_pool_.find(model_id);
     if (cached != resume_pool_.end()) {
-      if (cached->second.genome.key() == genome.key()) {
+      if (cached->second.failed) {
+        // A failed record holds no training result worth replaying (and
+        // should never have reached the commons anyway): retrain.
+        util::log_warn("resume: model ", model_id,
+                       " stored record is a failure marker; retraining");
+      } else if (cached->second.genome.key() == genome.key()) {
         *slot = cached->second;
         slot->generation = generation;
         ++resumed_;
         jobs.push_back(sched::Job{[slot] { return slot->virtual_seconds; }});
         continue;
+      } else {
+        // Stale commons (different seed or search config): the stored trail
+        // is for another architecture, so it cannot be reused.
+        util::log_warn("resume: model ", model_id, " genome mismatch (stored key=",
+                       cached->second.genome.key(),
+                       ", requested key=", genome.key(), "); retraining");
+        ++genome_mismatches_;
       }
-      // Stale commons (different seed or search config): the stored trail
-      // is for another architecture, so it cannot be reused.
-      util::log_warn("resume: model ", model_id,
-                     " genome mismatch (stored key=", cached->second.genome.key(),
-                     ", requested key=", genome.key(), "); retraining");
-      ++genome_mismatches_;
     }
 
     // Per-model deterministic seed independent of execution order.
@@ -83,19 +93,49 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
 
   const sched::GenerationSchedule schedule =
       cluster_->run_generation(std::move(jobs));
+  // Single-threaded accounting pass, in record order: metric counters here
+  // bit-match any ad-hoc sum over the history in the same order.
+  namespace trace = util::trace;
   for (std::size_t i = 0; i < records.size(); ++i) {
     records[i].generation = generation;
     records[i].device_id = schedule.placements[i].device_id;
-    if (schedule.placements[i].failed)
+    if (schedule.placements[i].failed) {
+      // The job never produced a result: mark the record failed instead of
+      // letting a default-constructed trail masquerade as a fitness-0.0,
+      // 0-FLOPs evaluation in selection and the commons.
+      records[i].failed = true;
+      records[i].error = schedule.placements[i].error;
+      ++failed_;
       util::log_error("model ", records[i].model_id,
                       " failed permanently after retries: ",
                       schedule.placements[i].error);
+    }
+    if (metrics_) {
+      metrics_->counter("nas.evaluations").add();
+      if (records[i].failed) metrics_->counter("nas.failed_evaluations").add();
+      metrics_->counter("penguin.engine_overhead_seconds")
+          .add(records[i].engine_overhead_seconds);
+    }
+    if (trace::enabled()) {
+      trace::emit_instant(
+          "record.accounting", "nas", trace::now_us(), trace::kHostPid,
+          trace::current_tid(),
+          {{"model_id", static_cast<double>(records[i].model_id)},
+           {"failed", records[i].failed ? 1.0 : 0.0},
+           {"engine_overhead_seconds", records[i].engine_overhead_seconds},
+           {"retries", static_cast<double>(schedule.placements[i].retries)},
+           {"wasted_seconds", schedule.placements[i].wasted_seconds}});
+    }
   }
   schedules_.push_back(schedule);
 
   if (lineage_) {
-    // Re-record with the device placement stamped in. No-ops when sealed.
-    for (const auto& record : records) lineage_->record_evaluation(record);
+    // Re-record with the device placement stamped in (no-ops when sealed).
+    // Failed records never reach the commons: a journaled failure would be
+    // replayed on resume and fed to analytics as a real evaluation.
+    for (const auto& record : records) {
+      if (!record.failed) lineage_->record_evaluation(record);
+    }
   }
 
   if (crashed_.load())

@@ -44,6 +44,15 @@ class WorkflowEvaluator : public nas::Evaluator {
   /// one (stale commons from a different seed/config): retrained instead.
   std::size_t genome_mismatches() const { return genome_mismatches_; }
 
+  /// Evaluations whose job exhausted its retries. The records exist (with
+  /// failed=true) but carry no fitness and are excluded from the commons.
+  std::size_t failed_count() const { return failed_; }
+
+  /// Attach a metrics registry: evaluation and engine-overhead counters are
+  /// accumulated there (in record order, so they bit-match the RunSummary
+  /// ad-hoc totals). Pass nullptr to detach; must outlive the evaluator.
+  void set_metrics(util::metrics::Registry* registry) { metrics_ = registry; }
+
   /// Fault injection: simulate process death after `n` freshly-trained
   /// records have been flushed to the commons (0 disables). The tracker is
   /// sealed at that point and evaluate_generation throws
@@ -74,6 +83,8 @@ class WorkflowEvaluator : public nas::Evaluator {
   std::map<int, nas::EvaluationRecord> resume_pool_;
   std::size_t resumed_ = 0;
   std::size_t genome_mismatches_ = 0;
+  std::size_t failed_ = 0;
+  util::metrics::Registry* metrics_ = nullptr;
   std::size_t crash_after_ = 0;
   std::atomic<std::size_t> flushed_{0};
   std::atomic<bool> crashed_{false};

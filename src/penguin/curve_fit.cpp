@@ -86,8 +86,11 @@ std::optional<FitResult> fit_curve(const ParametricFunction& f,
 
   std::vector<double> jtj(np * np), jtr(np), grad(np);
   std::vector<double> lhs, rhs, candidate(np);
-  std::size_t iter = 0;
-  for (; iter < options.max_iterations; ++iter) {
+  std::size_t performed = 0;
+  bool converged = false;
+  for (std::size_t iter = 0; iter < options.max_iterations && !converged;
+       ++iter) {
+    ++performed;
     // Assemble normal equations J^T J and J^T r.
     std::fill(jtj.begin(), jtj.end(), 0.0);
     std::fill(jtr.begin(), jtr.end(), 0.0);
@@ -126,7 +129,7 @@ std::optional<FitResult> fit_curve(const ParametricFunction& f,
         sse = new_sse;
         lambda = std::max(lambda * options.lambda_down, 1e-12);
         improved = true;
-        if (rel < options.tolerance) iter = options.max_iterations;  // done
+        if (rel < options.tolerance) converged = true;
         break;
       }
       lambda *= options.lambda_up;
@@ -138,7 +141,8 @@ std::optional<FitResult> fit_curve(const ParametricFunction& f,
   FitResult result;
   result.params = std::move(params);
   result.sse = sse;
-  result.iterations = iter;
+  result.iterations = performed;
+  result.converged = converged;
   return result;
 }
 

@@ -26,7 +26,13 @@ struct FitOptions {
 struct FitResult {
   std::vector<double> params;
   double sse = 0.0;         // final sum of squared residuals
+  /// Levenberg-Marquardt passes actually performed. On early convergence
+  /// this is the true count, not max_iterations — the engine-overhead and
+  /// convergence analytics downstream depend on it being honest.
   std::size_t iterations = 0;
+  /// True when the relative SSE improvement dropped below `tolerance`
+  /// (as opposed to stalling or exhausting the iteration budget).
+  bool converged = false;
 };
 
 /// Fit `f` to (xs, ys) starting from the family's initial_guess. Returns

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::penguin {
 
@@ -44,16 +45,37 @@ PredictionEngine::PredictionEngine(EngineConfig config)
     throw std::invalid_argument("PredictionEngine: tolerance must be >= 0");
 }
 
+void PredictionEngine::set_metrics(util::metrics::Registry* registry) {
+  if (!registry) {
+    fits_ = lm_iterations_ = predictions_ = convergence_checks_ = nullptr;
+    return;
+  }
+  fits_ = &registry->counter("penguin.fits");
+  lm_iterations_ = &registry->counter("penguin.lm_iterations");
+  predictions_ = &registry->counter("penguin.predictions");
+  convergence_checks_ = &registry->counter("penguin.convergence_checks");
+}
+
 std::optional<FitResult> PredictionEngine::fit(
     std::span<const double> fitness_history) const {
   if (fitness_history.size() < config_.c_min) return std::nullopt;
+  util::trace::Scope span("engine.fit", "penguin");
   std::vector<double> xs(fitness_history.size());
   std::iota(xs.begin(), xs.end(), 1.0);  // epochs are 1-based
-  return fit_curve(*config_.function, xs, fitness_history, config_.fit);
+  auto result = fit_curve(*config_.function, xs, fitness_history, config_.fit);
+  if (fits_) fits_->add();
+  if (result) {
+    if (lm_iterations_)
+      lm_iterations_->add(static_cast<double>(result->iterations));
+    span.arg("iterations", static_cast<double>(result->iterations));
+    span.arg("sse", result->sse);
+  }
+  return result;
 }
 
 std::optional<double> PredictionEngine::predict(
     std::span<const double> fitness_history) const {
+  if (predictions_) predictions_->add();
   if (!config_.ensemble.empty()) {
     if (fitness_history.size() < config_.c_min) return std::nullopt;
     std::vector<double> xs(fitness_history.size());
@@ -73,6 +95,7 @@ std::optional<double> PredictionEngine::predict(
 
 bool PredictionEngine::converged(
     std::span<const double> prediction_history) const {
+  if (convergence_checks_) convergence_checks_->add();
   if (prediction_history.size() < config_.window) return false;
   const auto recent =
       prediction_history.subspan(prediction_history.size() - config_.window);
@@ -95,7 +118,11 @@ SimulatedTermination simulate_early_termination(
     if (p) out.prediction_history.push_back(*p);
     if (engine.converged(out.prediction_history)) {
       out.early_terminated = out.epochs_trained < fitness_curve.size();
-      out.reported_fitness = out.prediction_history.back();
+      // Convergence on the very last epoch saves no training, so the
+      // measured fitness — not the extrapolation — is what the NAS sees.
+      out.reported_fitness = out.early_terminated
+                                 ? out.prediction_history.back()
+                                 : history.back();
       return out;
     }
   }

@@ -15,6 +15,7 @@
 
 #include "penguin/curve_fit.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 
 namespace a4nn::penguin {
 
@@ -58,8 +59,17 @@ class PredictionEngine {
 
   const EngineConfig& config() const { return config_; }
 
+  /// Attach a metrics registry: fits, LM iterations, predictions, and
+  /// convergence checks are counted there. Pass nullptr to detach. The
+  /// registry must outlive the engine.
+  void set_metrics(util::metrics::Registry* registry);
+
  private:
   EngineConfig config_;
+  util::metrics::Counter* fits_ = nullptr;
+  util::metrics::Counter* lm_iterations_ = nullptr;
+  util::metrics::Counter* predictions_ = nullptr;
+  util::metrics::Counter* convergence_checks_ = nullptr;
 };
 
 /// Offline replay of Algorithm 1 over a fully recorded fitness curve:
@@ -70,7 +80,11 @@ class PredictionEngine {
 struct SimulatedTermination {
   std::size_t epochs_trained = 0;   // e_t, or the full curve length
   bool early_terminated = false;
-  double reported_fitness = 0.0;    // P.back() if converged, else last h_e
+  /// P.back() when training actually stopped early; the measured final
+  /// fitness otherwise. Convergence that lands exactly on the last epoch
+  /// saves nothing, so the measured value wins — TrainingLoop applies the
+  /// same rule and a shared test keeps the two in lockstep.
+  double reported_fitness = 0.0;
   std::vector<double> prediction_history;
 };
 SimulatedTermination simulate_early_termination(

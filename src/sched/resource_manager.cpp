@@ -6,10 +6,15 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::sched {
 
 namespace {
+
+namespace trace = util::trace;
+
+constexpr double kSecToUs = 1e6;  // virtual seconds -> trace microseconds
 
 /// Outcome of really executing one job (host side), with exception
 /// containment: a throwing job is re-run up to max_retries times and, if it
@@ -56,6 +61,10 @@ std::size_t ResourceManager::quarantined_devices() const {
       std::count(quarantined_.begin(), quarantined_.end(), true));
 }
 
+void ResourceManager::set_metrics(util::metrics::Registry* registry) {
+  metrics_ = registry;
+}
+
 GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
   GenerationSchedule schedule;
   schedule.placements.resize(jobs.size());
@@ -71,16 +80,24 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
   // generation.
   std::vector<ExecResult> results(jobs.size());
   const std::size_t max_retries = config_.fault.max_retries;
+  auto execute_traced = [max_retries](const Job& job, std::size_t index) {
+    trace::Scope span("job.execute", "sched");
+    span.arg("job", static_cast<double>(index));
+    ExecResult result = execute_contained(job, max_retries);
+    span.arg("real_retries", static_cast<double>(result.real_retries));
+    span.arg("ok", result.ok ? 1.0 : 0.0);
+    return result;
+  };
   if (pool_) {
     std::vector<std::future<ExecResult>> futures;
     futures.reserve(jobs.size());
-    for (auto& job : jobs)
+    for (std::size_t i = 0; i < jobs.size(); ++i)
       futures.push_back(pool_->submit(
-          [&job, max_retries] { return execute_contained(job, max_retries); }));
+          [&jobs, i, &execute_traced] { return execute_traced(jobs[i], i); }));
     for (std::size_t i = 0; i < futures.size(); ++i) results[i] = futures[i].get();
   } else {
     for (std::size_t i = 0; i < jobs.size(); ++i)
-      results[i] = execute_contained(jobs[i], max_retries);
+      results[i] = execute_traced(jobs[i], i);
   }
 
   // Phase 2: FIFO list scheduling against virtual device clocks, with
@@ -101,6 +118,16 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
         --healthy;
       }
     }
+  }
+
+  // The simulated timeline goes into the trace as its own pseudo-process,
+  // one lane per GPU, so scheduler gaps/retries read straight off the file.
+  const bool tracing = trace::enabled();
+  if (tracing) {
+    trace::name_process(trace::kVirtualPid, "simulated cluster (virtual time)");
+    for (std::size_t d = 0; d < config_.num_gpus; ++d)
+      trace::name_thread(trace::kVirtualPid, static_cast<int>(d),
+                         "gpu " + std::to_string(d));
   }
 
   std::vector<double> device_free(config_.num_gpus, barrier_);
@@ -146,9 +173,11 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
 
     const std::size_t attempt = ++attempts[job];
     double duration = results[job].duration;
+    bool straggled = false;
     if (injector_.straggler_multiplier(generation, job, attempt) > 1.0) {
       duration *= config_.fault.straggler_slowdown;
       ++schedule.straggler_events;
+      straggled = true;
     }
 
     if (dies_this_generation[dev]) {
@@ -166,6 +195,15 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
       ++schedule.placements[job].retries;
       earliest_start[job] = start + consumed;
       queue.push_front(job);
+      if (tracing) {
+        trace::emit_complete("device.failure", "fault", start * kSecToUs,
+                             consumed * kSecToUs, trace::kVirtualPid, device,
+                             {{"job", static_cast<double>(job)},
+                              {"attempt", static_cast<double>(attempt)}});
+        trace::emit_instant("quarantine", "fault", (start + consumed) * kSecToUs,
+                            trace::kVirtualPid, device,
+                            {{"device", static_cast<double>(device)}});
+      }
       util::log_warn("sched: device ", device, " failed permanently at t=",
                      start + consumed, "s; requeueing job ", job);
       continue;
@@ -196,6 +234,14 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
         ++schedule.transient_faults;
       else
         ++schedule.job_crashes;
+      if (tracing) {
+        trace::emit_complete(transient ? "fault.transient" : "fault.crash",
+                             "fault", start * kSecToUs, consumed * kSecToUs,
+                             trace::kVirtualPid, device,
+                             {{"job", static_cast<double>(job)},
+                              {"attempt", static_cast<double>(attempt)},
+                              {"backoff_seconds", backoff}});
+      }
       queue.push_back(job);
       continue;
     }
@@ -206,6 +252,18 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
     p.duration_seconds = duration;
     p.end_seconds = start + duration;
     device_free[dev] = p.end_seconds;
+    if (tracing) {
+      // wasted[job] is final here: every failed attempt precedes the
+      // successful one, so summing these args over a generation reproduces
+      // schedule.wasted_seconds exactly (test_trace_metrics checks this).
+      trace::emit_complete("job " + std::to_string(job), "sched",
+                           start * kSecToUs, duration * kSecToUs,
+                           trace::kVirtualPid, device,
+                           {{"job", static_cast<double>(job)},
+                            {"retries", static_cast<double>(p.retries)},
+                            {"wasted_seconds", wasted[job]},
+                            {"straggler", straggled ? 1.0 : 0.0}});
+    }
   }
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -224,6 +282,27 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
     schedule.idle_seconds += schedule.makespan_end - device_free[d];
   }
   barrier_ = schedule.makespan_end;
+
+  // Schedule totals land on the metrics registry generation by generation,
+  // in the same order analytics::fault_totals walks the schedules, so the
+  // two double sums are bit-identical.
+  if (metrics_) {
+    auto add_count = [&](const char* name, std::size_t n) {
+      metrics_->counter(name).add(static_cast<double>(n));
+    };
+    add_count("sched.jobs", schedule.placements.size());
+    add_count("sched.retries", schedule.total_retries);
+    add_count("sched.transient_faults", schedule.transient_faults);
+    add_count("sched.job_crashes", schedule.job_crashes);
+    add_count("sched.straggler_events", schedule.straggler_events);
+    add_count("sched.device_quarantines", schedule.newly_quarantined.size());
+    add_count("sched.failed_jobs", schedule.failed_jobs);
+    metrics_->counter("sched.wasted_virtual_seconds")
+        .add(schedule.wasted_seconds);
+    metrics_->counter("sched.idle_virtual_seconds").add(schedule.idle_seconds);
+    metrics_->counter("sched.generations").add();
+    metrics_->gauge("sched.virtual_now_seconds").set(barrier_);
+  }
   return schedule;
 }
 

@@ -24,6 +24,7 @@
 
 #include "sched/cost_model.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace a4nn::sched {
@@ -109,6 +110,13 @@ class ResourceManager {
   /// experiment on the same cluster).
   void reset();
 
+  /// Attach a metrics registry: every generation's schedule totals are
+  /// added to the "sched.*" counters, in schedule order, so the counter
+  /// values agree bit-exactly with analytics::fault_totals over the same
+  /// schedules. Pass nullptr to detach; the registry must outlive the
+  /// manager.
+  void set_metrics(util::metrics::Registry* registry);
+
  private:
   ClusterConfig config_;
   util::FaultInjector injector_;
@@ -117,6 +125,7 @@ class ResourceManager {
   std::uint64_t generation_index_ = 0;
   std::vector<bool> quarantined_;
   std::unique_ptr<util::ThreadPool> pool_;
+  util::metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace a4nn::sched

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "tensor/scratch.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn::tensor {
 
@@ -229,6 +231,17 @@ void small_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
 void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
                  bool at, const float* b, bool bt, float* c, bool accumulate,
                  const Epilogue* ep) {
+  // GEMM is the innermost hot path, so per-call accounting is gated on
+  // tracing being live; a bare run pays only one relaxed atomic load.
+  if (util::trace::enabled()) {
+    auto& registry = util::metrics::global();
+    registry.counter("gemm.calls").add();
+    registry.counter("gemm.flops")
+        .add(2.0 * static_cast<double>(m) * static_cast<double>(k) *
+             static_cast<double>(n));
+    registry.gauge("gemm.scratch_high_water_floats")
+        .update_max(static_cast<double>(ScratchArena::tls().high_water()));
+  }
   if (m == 0 || n == 0) return;
   if (k == 0) {
     if (!accumulate) std::memset(c, 0, m * n * sizeof(float));

@@ -1,0 +1,92 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+
+namespace a4nn::util::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins) {
+  if (!(hi_ > lo_)) hi_ = lo_ + 1.0;
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  const double span = hi_ - lo_;
+  double pos = (v - lo_) / span * static_cast<double>(counts_.size());
+  std::size_t bin;
+  if (pos <= 0.0) {
+    bin = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(pos);
+  }
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, bins);
+  return *slot;
+}
+
+Json Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json hj = Json::object();
+    hj["lo"] = h->lo();
+    hj["hi"] = h->hi();
+    Json counts = Json::array();
+    for (std::size_t b = 0; b < h->bins(); ++b)
+      counts.push_back(Json(static_cast<double>(h->count(b))));
+    hj["counts"] = std::move(counts);
+    histograms[name] = std::move(hj);
+  }
+  Json j = Json::object();
+  j["counters"] = std::move(counters);
+  j["gauges"] = std::move(gauges);
+  j["histograms"] = std::move(histograms);
+  return j;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // In-place zeroing: references handed out earlier must stay valid.
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace a4nn::util::metrics

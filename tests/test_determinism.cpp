@@ -14,6 +14,7 @@
 #include "nn/model.hpp"
 #include "tensor/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace a4nn {
 namespace {
@@ -140,6 +141,24 @@ SearchFingerprint run_mini_search(std::size_t kernel_threads) {
   fp.pareto = result.search.pareto;
   fp.final_population = result.search.final_population;
   return fp;
+}
+
+TEST(Determinism, TracingDoesNotPerturbSearchResults) {
+  // The tracing layer's zero-interference guarantee: a fully-instrumented
+  // run (spans + metrics recording everywhere) produces bit-identical
+  // search results to a bare one. Recording must never touch RNG streams,
+  // float accumulation order, or scheduling.
+  IntraOpGuard guard;
+  const SearchFingerprint off = run_mini_search(1);
+
+  util::trace::start();
+  const SearchFingerprint on = run_mini_search(1);
+  util::trace::stop();
+  EXPECT_GT(util::trace::event_count(), 0u)
+      << "tracing was supposed to be capturing during the second run";
+  util::trace::clear();
+
+  EXPECT_TRUE(off == on) << "tracing changed the search results";
 }
 
 TEST(Determinism, SeededSearchBitIdenticalAtPoolSizes128) {

@@ -2,6 +2,8 @@
 // generation-level evaluator with FIFO placement.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "orchestrator/workflow_evaluator.hpp"
 #include "xfel/dataset.hpp"
 
@@ -104,6 +106,65 @@ TEST(TrainingLoop, EngineTerminatesEarlyOnSaturatingCurve) {
     }
   }
   EXPECT_TRUE(any_early);
+}
+
+TEST(SimulatedTermination, FinalEpochConvergenceReportsMeasuredFitness) {
+  // Regression: convergence that lands exactly on the last epoch of the
+  // curve saves no training, so the measured fitness — not the engine's
+  // extrapolation — is what gets reported. The old code handed back the
+  // prediction, silently re-scoring fully-trained models.
+  penguin::EngineConfig ecfg = penguin::default_engine_config();
+  ecfg.c_min = 10;     // first prediction only at the final epoch
+  ecfg.window = 1;     // ...which immediately satisfies convergence
+  ecfg.tolerance = 5.0;
+  ecfg.e_pred = 25.0;  // extrapolates past the curve, so the plateau
+                       // estimate differs from the last measured value
+  const penguin::PredictionEngine engine(ecfg);
+
+  std::vector<double> curve;  // y = 80 - 1.3^(5 - x), plateau at 80
+  for (int e = 1; e <= 10; ++e)
+    curve.push_back(80.0 - std::pow(1.3, 5.0 - static_cast<double>(e)));
+
+  const penguin::SimulatedTermination sim =
+      penguin::simulate_early_termination(curve, engine);
+  EXPECT_EQ(sim.epochs_trained, 10u);
+  EXPECT_FALSE(sim.early_terminated);
+  ASSERT_EQ(sim.prediction_history.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.reported_fitness, curve.back());
+  EXPECT_NE(sim.reported_fitness, sim.prediction_history.back());
+}
+
+TEST(TrainingLoop, TerminationSemanticsMatchSimulateOnIdenticalCurve) {
+  // The shared contract between the live loop and the ablation-bench
+  // simulator: replaying an engine over the standalone run's full fitness
+  // curve must reproduce exactly what the engine-enabled loop did on the
+  // same genome/seed — same stop epoch, same early/full decision, same
+  // reported fitness, same prediction trail.
+  Fixture f;
+  util::Rng rng(17);
+  const nas::Genome g = nas::random_genome(3, 4, rng);
+
+  TrainerConfig standalone = fast_trainer(false);
+  standalone.max_epochs = 20;
+  TrainingLoop bare(f.data.train, f.data.validation, standalone);
+  const nas::EvaluationRecord full = bare.train_genome(g, f.space, 0, 77);
+  ASSERT_EQ(full.fitness_history.size(), 20u);
+
+  TrainerConfig with_engine = fast_trainer(true);
+  with_engine.max_epochs = 20;
+  with_engine.engine.e_pred = 20.0;
+  TrainingLoop live(f.data.train, f.data.validation, with_engine);
+  const nas::EvaluationRecord r = live.train_genome(g, f.space, 0, 77);
+
+  const penguin::PredictionEngine engine(with_engine.engine);
+  const penguin::SimulatedTermination sim =
+      penguin::simulate_early_termination(full.fitness_history, engine);
+  EXPECT_EQ(r.early_terminated, sim.early_terminated);
+  EXPECT_EQ(r.epochs_trained, sim.epochs_trained);
+  EXPECT_DOUBLE_EQ(r.fitness, sim.reported_fitness);
+  ASSERT_EQ(r.prediction_history.size(), sim.prediction_history.size());
+  for (std::size_t i = 0; i < sim.prediction_history.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.prediction_history[i], sim.prediction_history[i]);
 }
 
 TEST(TrainerConfig, LrSchedules) {

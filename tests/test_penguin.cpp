@@ -216,6 +216,37 @@ TEST(FitCurve, HandlesNoisyCurve) {
   EXPECT_NEAR(f->eval(fit->params, 25.0), 90.0, 3.0);
 }
 
+TEST(FitCurve, ReportsHonestIterationCountAndConvergence) {
+  // Regression: the iteration counter used to report max_iterations (or
+  // worse, max_iterations + 1) even when LM converged on the second pass,
+  // making the engine-overhead accounting claim ~50x the work actually
+  // done. A clean, exactly-representable curve converges almost instantly;
+  // the result must say so.
+  const FunctionPtr f = make_pow_exp();
+  const auto ys = sample_pow_exp(95.0, 1.5, 1.0, 10);
+  FitOptions options;
+  options.max_iterations = 100;
+  const auto fit = fit_curve(*f, epochs(10), ys, options);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_GE(fit->iterations, 1u);
+  EXPECT_LT(fit->iterations, options.max_iterations);
+
+  // With the budget capped below what the fit needs, the count equals the
+  // budget exactly and the converged flag stays honest.
+  util::Rng rng(11);
+  auto noisy = sample_pow_exp(90.0, 1.4, 2.0, 15);
+  for (auto& y : noisy) y += rng.normal(0.0, 0.5);
+  FitOptions tight;
+  tight.max_iterations = 1;
+  tight.tolerance = 0.0;  // never declare convergence
+  const auto capped = fit_curve(*f, epochs(15), noisy, tight);
+  if (capped.has_value()) {
+    EXPECT_EQ(capped->iterations, 1u);
+    EXPECT_FALSE(capped->converged);
+  }
+}
+
 TEST(FitCurve, UnderDeterminedReturnsNull) {
   const FunctionPtr f = make_pow_exp();
   const std::vector<double> ys{50.0, 60.0};

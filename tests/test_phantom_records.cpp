@@ -1,0 +1,192 @@
+// Regression suite for the phantom zero-fitness bug: a training job that
+// exhausts its retries used to leave a default-constructed record (fitness
+// 0.0, 0 FLOPs) that was journaled to the commons and fed to NSGA-II as a
+// real evaluation — a free "0-cost" point that could win tournaments and
+// poison the Pareto front. A failed evaluation must instead be flagged,
+// kept out of selection/Pareto/journal, and surfaced in the counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "analytics/analyzer.hpp"
+#include "nas/search.hpp"
+#include "orchestrator/workflow_evaluator.hpp"
+#include "util/fsutil.hpp"
+#include "util/rng.hpp"
+#include "xfel/dataset.hpp"
+
+namespace a4nn::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A TrainingLoop whose jobs throw permanently for chosen model ids —
+/// the "always-crashing architecture" every retry re-hits.
+class FlakyLoop : public TrainingLoop {
+ public:
+  using TrainingLoop::TrainingLoop;
+
+  nas::EvaluationRecord train_genome(const nas::Genome& genome,
+                                     const nas::SearchSpaceConfig& space,
+                                     int model_id,
+                                     std::uint64_t seed) const override {
+    if (poisoned.count(model_id))
+      throw std::runtime_error("injected permanent failure");
+    return TrainingLoop::train_genome(genome, space, model_id, seed);
+  }
+
+  std::set<int> poisoned;
+};
+
+struct PhantomFixture : ::testing::Test {
+  void SetUp() override {
+    xfel::XfelDatasetConfig cfg;
+    cfg.images_per_class = 40;
+    cfg.detector.pixels = 8;
+    cfg.intensity = xfel::BeamIntensity::kHigh;
+    data = xfel::generate_xfel_dataset(cfg);
+    space.input_shape = {1, 8, 8};
+    space.stem_channels = 4;
+    root = util::make_temp_dir("a4nn-phantom");
+  }
+  void TearDown() override { fs::remove_all(root); }
+
+  TrainerConfig trainer() const {
+    TrainerConfig cfg;
+    cfg.max_epochs = 3;
+    cfg.batch_size = 16;
+    cfg.use_prediction_engine = false;
+    return cfg;
+  }
+
+  nas::NsgaNetConfig search_config() const {
+    nas::NsgaNetConfig cfg;
+    cfg.population_size = 4;
+    cfg.offspring_per_generation = 4;
+    cfg.generations = 2;
+    cfg.max_epochs = 3;
+    cfg.space = space;
+    return cfg;
+  }
+
+  xfel::XfelDataset data;
+  nas::SearchSpaceConfig space;
+  fs::path root;
+};
+
+TEST_F(PhantomFixture, FailedJobNeverBecomesAPhantomRecord) {
+  lineage::LineageTracker tracker({root, 0});
+  FlakyLoop loop(data.train, data.validation, trainer(), &tracker);
+  loop.poisoned = {1};  // one initial-population member always crashes
+
+  sched::ClusterConfig cluster_cfg;
+  cluster_cfg.num_gpus = 2;
+  sched::ResourceManager cluster(cluster_cfg);
+  WorkflowEvaluator evaluator(loop, cluster, space, 2023, &tracker);
+
+  nas::NsgaNetSearch search(search_config(), evaluator);
+  const nas::SearchResult result = search.run();
+  ASSERT_EQ(result.history.size(), 8u);
+
+  // The failed evaluation is flagged, carries the error, and was never
+  // placed on a device.
+  const nas::EvaluationRecord& failed = result.history[1];
+  EXPECT_TRUE(failed.failed);
+  EXPECT_NE(failed.error.find("injected permanent failure"), std::string::npos);
+  EXPECT_EQ(failed.device_id, -1);
+  EXPECT_DOUBLE_EQ(failed.fitness, 0.0);
+  EXPECT_EQ(failed.epochs_trained, 0u);
+  EXPECT_EQ(evaluator.failed_count(), 1u);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    if (i != 1) {
+      EXPECT_FALSE(result.history[i].failed) << "record " << i;
+    }
+  }
+
+  // A fitness-0.0 / 0-FLOPs point would Pareto-dominate on the FLOPs axis;
+  // it must appear neither on the front nor in the surviving population.
+  for (std::size_t idx : result.pareto) EXPECT_NE(idx, 1u);
+  for (std::size_t idx : result.final_population) EXPECT_NE(idx, 1u);
+  for (std::size_t idx : analytics::pareto_indices(result.history))
+    EXPECT_NE(idx, 1u);
+  EXPECT_FALSE(result.pareto.empty());
+  EXPECT_FALSE(result.final_population.empty());
+
+  // The commons holds record trails for every success and NONE for the
+  // failure — a journaled phantom would be replayed on resume.
+  EXPECT_FALSE(
+      fs::exists(root / "models" / lineage::model_dir_name(1) / "record.json"));
+  for (int id : {0, 2, 3, 4, 5, 6, 7}) {
+    EXPECT_TRUE(fs::exists(root / "models" / lineage::model_dir_name(id) /
+                           "record.json"))
+        << "model " << id;
+  }
+}
+
+TEST_F(PhantomFixture, AllFailedInitialPopulationThrows) {
+  FlakyLoop loop(data.train, data.validation, trainer());
+  loop.poisoned = {0, 1, 2, 3};
+  sched::ClusterConfig cluster_cfg;
+  cluster_cfg.num_gpus = 2;
+  sched::ResourceManager cluster(cluster_cfg);
+  WorkflowEvaluator evaluator(loop, cluster, space, 2023);
+  nas::NsgaNetSearch search(search_config(), evaluator);
+  EXPECT_THROW(search.run(), std::runtime_error);
+}
+
+TEST_F(PhantomFixture, FailedPreloadedRecordIsRetrained) {
+  // A failure marker must never satisfy a resume hit: the retrained record
+  // replaces it and the resumed count stays at the genuine reuses.
+  lineage::LineageTracker tracker({root, 0});
+  FlakyLoop loop(data.train, data.validation, trainer(), &tracker);
+
+  sched::ClusterConfig cluster_cfg;
+  cluster_cfg.num_gpus = 2;
+  sched::ResourceManager cluster(cluster_cfg);
+  WorkflowEvaluator evaluator(loop, cluster, space, 2023, &tracker);
+
+  nas::EvaluationRecord stale;
+  stale.model_id = 0;
+  stale.failed = true;
+  stale.error = "from a previous run";
+  evaluator.preload_records({stale});
+
+  nas::NsgaNetConfig cfg = search_config();
+  cfg.generations = 1;
+  nas::NsgaNetSearch search(cfg, evaluator);
+  const nas::SearchResult result = search.run();
+  EXPECT_EQ(evaluator.resumed_count(), 0u);
+  EXPECT_FALSE(result.history[0].failed);
+  EXPECT_GT(result.history[0].epochs_trained, 0u);
+}
+
+TEST(PhantomRecordJson, FailureFieldsRoundTripAndStayOptional) {
+  util::Rng rng(3);
+  nas::EvaluationRecord ok;
+  ok.genome = nas::random_genome(3, 4, rng);
+  ok.model_id = 4;
+  ok.fitness = 71.5;
+  ok.measured_fitness = 71.5;
+  ok.fitness_history = {50.0, 71.5};
+  ok.epochs_trained = 2;
+  // Successful records serialize exactly as before this field existed, so
+  // pre-existing commons bytes remain byte-identical.
+  const util::Json j_ok = ok.to_json();
+  EXPECT_FALSE(j_ok.contains("failed"));
+  EXPECT_FALSE(j_ok.contains("error"));
+  EXPECT_FALSE(nas::EvaluationRecord::from_json(j_ok).failed);
+
+  nas::EvaluationRecord bad = ok;
+  bad.failed = true;
+  bad.error = "device on fire";
+  const util::Json j_bad = bad.to_json();
+  ASSERT_TRUE(j_bad.contains("failed"));
+  const nas::EvaluationRecord back = nas::EvaluationRecord::from_json(j_bad);
+  EXPECT_TRUE(back.failed);
+  EXPECT_EQ(back.error, "device on fire");
+}
+
+}  // namespace
+}  // namespace a4nn::orchestrator
