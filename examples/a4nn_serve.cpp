@@ -1,0 +1,164 @@
+// In situ serving driver: point it at a data commons written by a4nn_run,
+// and it publishes the Pareto champion through the model registry, stands
+// up the micro-batching inference engine, and drives it with a closed-loop
+// synthetic client fleet (XFEL diffraction shots regenerated at the
+// champion's detector size, so reported accuracy is meaningful).
+//
+//   ./a4nn_run --commons runs/demo ...         # train + populate commons
+//   ./a4nn_serve --commons runs/demo --clients 8 --max-batch 16
+//       --slo-ms 50 --stats-out serve_stats.json
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "util/args.hpp"
+#include "util/fsutil.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+#include "xfel/dataset.hpp"
+
+using namespace a4nn;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("a4nn_serve",
+                       "Serve the commons champion with micro-batching");
+  args.add_option("commons", "a4nn_commons", "data commons root to serve");
+  args.add_option("policy", "best-fitness",
+                  "champion policy: best-fitness | min-flops | balanced");
+  args.add_option("max-flops", "0", "FLOPs-per-image budget (0 = unlimited)");
+  args.add_option("max-batch", "8", "micro-batch width");
+  args.add_option("max-delay-ms", "2", "max batching delay before flush");
+  args.add_option("queue-capacity", "256", "request queue bound");
+  args.add_option("workers", "2", "inference worker threads");
+  args.add_option("slo-ms", "0", "latency SLO for shedding (0 = off)");
+  args.add_option("requests", "2000", "total requests to drive");
+  args.add_option("clients", "8", "closed-loop client threads");
+  args.add_option("stats-out", "", "write engine stats JSON here");
+  args.add_option("trace-out", "", "write a Chrome trace of the run here");
+  try {
+    args.parse(argc, argv);
+  } catch (const util::ArgError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), args.usage().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty()) util::trace::start();
+
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.commons_root = args.get("commons");
+  reg_cfg.policy = serve::champion_policy_from_name(args.get("policy"));
+  reg_cfg.max_flops = args.get_size("max-flops");
+  serve::ModelRegistry registry(reg_cfg);
+  try {
+    registry.refresh();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "a4nn_serve: %s\n", e.what());
+    return 1;
+  }
+  auto champion = registry.active();
+  {
+    util::AsciiTable t({"champion", "epoch", "fitness", "MFLOPs", "classes"});
+    t.add_row({std::to_string(champion->info.model_id),
+               std::to_string(champion->info.epoch),
+               util::AsciiTable::num(champion->info.fitness, 2),
+               util::AsciiTable::num(
+                   static_cast<double>(champion->info.flops) / 1e6, 3),
+               std::to_string(champion->num_classes)});
+    std::printf("%s", t.render().c_str());
+  }
+
+  // Regenerate diffraction shots at the champion's input geometry so the
+  // request stream has ground-truth labels.
+  const tensor::Shape& in = champion->input_shape;
+  if (in.size() != 3 || in[0] != 1 || in[1] != in[2]) {
+    std::fprintf(stderr, "a4nn_serve: champion input %s is not a square "
+                 "single-channel detector\n",
+                 tensor::shape_to_string(in).c_str());
+    return 1;
+  }
+  xfel::XfelDatasetConfig data_cfg;
+  data_cfg.detector.pixels = in[1];
+  data_cfg.conformations = champion->num_classes;
+  data_cfg.images_per_class = 64;
+  const xfel::XfelDataset data = xfel::generate_xfel_dataset(data_cfg);
+  const nn::Dataset& pool = data.validation;
+
+  serve::EngineConfig cfg;
+  cfg.max_batch = args.get_size("max-batch");
+  cfg.max_delay_ms = args.get_double("max-delay-ms");
+  cfg.queue_capacity = args.get_size("queue-capacity");
+  cfg.workers = args.get_size("workers");
+  cfg.slo_ms = args.get_double("slo-ms");
+  serve::InferenceEngine engine(registry, cfg);
+
+  const std::size_t total = args.get_size("requests");
+  const std::size_t clients = std::max<std::size_t>(args.get_size("clients"), 1);
+  std::atomic<std::size_t> correct{0}, answered{0}, dropped{0};
+  util::Timer wall;
+  {
+    std::vector<std::thread> fleet;
+    for (std::size_t c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c] {
+        // Closed loop: one outstanding request per client.
+        for (std::size_t i = c; i < total; i += clients) {
+          const std::size_t sample = i % pool.size();
+          auto image = pool.image(sample);
+          auto res = engine.submit({image.begin(), image.end()});
+          if (res.admission != serve::Admission::kAccepted) {
+            dropped.fetch_add(1);
+            continue;
+          }
+          const serve::Prediction p = res.prediction.get();
+          answered.fetch_add(1);
+          if (static_cast<std::int64_t>(p.label) == pool.label(sample))
+            correct.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+  }
+  engine.drain();
+  const double seconds = wall.seconds();
+
+  const util::Json stats = engine.stats();
+  const double rps = seconds > 0.0
+                         ? static_cast<double>(answered.load()) / seconds
+                         : 0.0;
+  std::printf(
+      "served %zu/%zu requests (%zu shed/rejected) in %.2fs — %.0f req/s, "
+      "accuracy %.1f%%\n",
+      answered.load(), total, dropped.load(), seconds, rps,
+      answered.load() > 0
+          ? 100.0 * static_cast<double>(correct.load()) /
+                static_cast<double>(answered.load())
+          : 0.0);
+  std::printf("latency p50 %.2fms  p95 %.2fms  p99 %.2fms  mean batch %.2f\n",
+              stats.at("latency_ms").at("p50").as_number(),
+              stats.at("latency_ms").at("p95").as_number(),
+              stats.at("latency_ms").at("p99").as_number(),
+              stats.at("batches").at("mean_size").as_number());
+
+  if (!args.get("stats-out").empty()) {
+    util::Json doc = stats;
+    doc["wall_seconds"] = seconds;
+    doc["throughput_rps"] = rps;
+    util::write_file(args.get("stats-out"), doc.dump(2));
+    std::printf("wrote %s\n", args.get("stats-out").c_str());
+  }
+  if (!trace_out.empty()) {
+    util::trace::stop();
+    util::trace::write(trace_out);
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
+  return 0;
+}

@@ -35,7 +35,12 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Forward pass on a batch (N x ...). `training` toggles dropout /
-  /// batch-norm statistics. Layers cache what backward needs.
+  /// batch-norm statistics and backward caching: with training=true layers
+  /// cache what backward needs; with training=false the pass is pure — no
+  /// member state is written (temporaries live on the thread's
+  /// ScratchArena), so concurrent inference on a shared model is safe and
+  /// per-sample results are batch-size invariant. backward() is only valid
+  /// after a forward(training=true) on the same thread.
   virtual Tensor forward(const Tensor& x, bool training) = 0;
 
   /// Backward pass: gradient w.r.t. this layer's output in, gradient

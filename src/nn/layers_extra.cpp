@@ -39,31 +39,40 @@ Shape SeparableConv2d::output_shape(const Shape& in) const {
   return {out_channels_, oh, ow};
 }
 
-Tensor SeparableConv2d::forward(const Tensor& x, bool /*training*/) {
+Tensor SeparableConv2d::forward(const Tensor& x, bool training) {
   if (x.rank() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("SeparableConv2d: bad input shape");
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = h + 2 * pad_ - kernel_ + 1;
   const std::size_t ow = w + 2 * pad_ - kernel_ + 1;
-  input_cache_ = x;
-  in_shape_cache_ = x.shape();
+  const std::size_t cells = oh * ow;
+  if (training) {
+    input_cache_ = x;
+    in_shape_cache_ = x.shape();
+    // Depthwise stage output persists until backward. Inference keeps one
+    // image's worth on the executing thread's scratch arena instead.
+    depthwise_out_cache_ = Tensor({batch, in_channels_, oh, ow});
+  }
 
   // Depthwise stage: each channel convolved with its own KxK filter.
   // Images are independent, so both stages chunk over the batch.
-  depthwise_out_cache_ = Tensor({batch, in_channels_, oh, ow});
-  const std::size_t cells = oh * ow;
   tensor::Epilogue ep;
   ep.bias = tensor::Epilogue::Bias::kPerRow;  // row = output channel
   ep.bias_data = bias_.data();
   Tensor out({batch, out_channels_, oh, ow});
   tensor::parallel_chunks(batch, [&](std::size_t, std::size_t chunk_begin,
                                      std::size_t chunk_end) {
+  tensor::ScratchScope scratch;
+  std::span<float> eval_dw;
+  if (!training) eval_dw = scratch.alloc(in_channels_ * cells);
   for (std::size_t n = chunk_begin; n < chunk_end; ++n) {
+    float* dw_image = training
+                          ? depthwise_out_cache_.data() + n * in_channels_ * cells
+                          : eval_dw.data();
     for (std::size_t c = 0; c < in_channels_; ++c) {
       const float* plane = x.data() + (n * in_channels_ + c) * h * w;
       const float* filt = dw_weight_.data() + c * kernel_ * kernel_;
-      float* out_plane =
-          depthwise_out_cache_.data() + (n * in_channels_ + c) * oh * ow;
+      float* out_plane = dw_image + c * oh * ow;
       for (std::size_t oy = 0; oy < oh; ++oy) {
         for (std::size_t ox = 0; ox < ow; ++ox) {
           float acc = 0.0f;
@@ -89,8 +98,7 @@ Tensor SeparableConv2d::forward(const Tensor& x, bool /*training*/) {
     // Pointwise stage with fused bias:
     // out(oc x cells) = PW(oc x in) * dw(in x cells) + bias.
     tensor::gemm_ex(out_channels_, in_channels_, cells, pw_weight_.data(),
-                    depthwise_out_cache_.data() + n * in_channels_ * cells,
-                    out.data() + n * out_channels_ * cells, ep);
+                    dw_image, out.data() + n * out_channels_ * cells, ep);
   }
   });
   return out;
@@ -233,14 +241,14 @@ AvgPool2d::AvgPool2d(std::size_t window) : window_(window) {
   if (window == 0) throw std::invalid_argument("AvgPool2d: window must be > 0");
 }
 
-Tensor AvgPool2d::forward(const Tensor& x, bool /*training*/) {
+Tensor AvgPool2d::forward(const Tensor& x, bool training) {
   if (x.rank() != 4)
     throw std::invalid_argument("AvgPool2d: expected NCHW input");
   const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h < window_ || w < window_)
     throw std::invalid_argument("AvgPool2d: input smaller than window");
   const std::size_t oh = h / window_, ow = w / window_;
-  in_shape_cache_ = x.shape();
+  if (training) in_shape_cache_ = x.shape();
   Tensor out({batch, ch, oh, ow});
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (std::size_t n = 0; n < batch; ++n) {

@@ -92,8 +92,14 @@ std::size_t PhaseBlock::active_nodes() const {
 }
 
 Tensor PhaseBlock::forward(const Tensor& x, bool training) {
-  input_cache_ = x;
-  node_out_cache_.assign(spec_.nodes, Tensor());
+  // Inference keeps the node dataflow in a local buffer so the member
+  // caches (needed only by backward) stay untouched — see Layer::forward's
+  // purity contract.
+  std::vector<Tensor> local_out;
+  std::vector<Tensor>& node_out =
+      training ? node_out_cache_ : local_out;
+  if (training) input_cache_ = x;
+  node_out.assign(spec_.nodes, Tensor());
   for (std::size_t j = 0; j < spec_.nodes; ++j) {
     if (!active_[j]) continue;
     const auto inputs = node_inputs(j);
@@ -101,13 +107,13 @@ Tensor PhaseBlock::forward(const Tensor& x, bool training) {
     if (inputs.empty()) {
       node_in = x;
     } else {
-      node_in = node_out_cache_[inputs[0]];
+      node_in = node_out[inputs[0]];
       for (std::size_t k = 1; k < inputs.size(); ++k)
-        node_in = tensor::add(node_in, node_out_cache_[inputs[k]]);
+        node_in = tensor::add(node_in, node_out[inputs[k]]);
     }
     Tensor h = nodes_[j].op->forward(node_in, training);
     h = nodes_[j].bn->forward(h, training);
-    node_out_cache_[j] = nodes_[j].relu->forward(h, training);
+    node_out[j] = nodes_[j].relu->forward(h, training);
   }
 
   const auto consumed = consumed_flags();
@@ -116,10 +122,10 @@ Tensor PhaseBlock::forward(const Tensor& x, bool training) {
   for (std::size_t j = 0; j < spec_.nodes; ++j) {
     if (!active_[j] || consumed[j]) continue;
     if (!have_out) {
-      out = node_out_cache_[j];
+      out = node_out[j];
       have_out = true;
     } else {
-      out = tensor::add(out, node_out_cache_[j]);
+      out = tensor::add(out, node_out[j]);
     }
   }
   if (!have_out) out = x;  // unreachable after repair, kept for safety

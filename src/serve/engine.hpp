@@ -1,0 +1,164 @@
+// Dynamic micro-batching inference engine with SLO-aware admission
+// control — the serving half of the in situ loop: the NAS writes champions
+// into the data commons, the registry publishes them, and this engine
+// answers classification requests against the live generation.
+//
+// Request path:
+//   submit() — admission control under one lock: reject when the bounded
+//   queue is full (backpressure), shed when the EMA service-time estimate
+//   says the request would land past the latency SLO, else enqueue.
+//   batcher thread — collects up to `max_batch` requests, flushing early
+//   when the oldest request has waited `max_delay_ms`, and hands the batch
+//   to a capacity-bounded worker pool (a slow pool backs the queue up into
+//   admission instead of growing it without bound).
+//   worker — one forward pass per batch on the shared generation; fused
+//   GEMM epilogues and per-thread scratch arenas do the heavy lifting.
+//
+// Determinism: eval-mode forward is pure and per-sample batch-size
+// invariant (see Layer::forward), so a request's scores are bit-identical
+// whether it was served alone or packed into a batch of 32, at any worker
+// count. Hot-swaps never drop work: a batch keeps a shared_ptr to the
+// generation it started on.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace a4nn::serve {
+
+struct EngineConfig {
+  /// Largest batch one forward pass serves.
+  std::size_t max_batch = 8;
+  /// Oldest-request age that forces a partial batch out.
+  double max_delay_ms = 2.0;
+  /// Bounded request queue: submissions beyond this are rejected.
+  std::size_t queue_capacity = 256;
+  /// Inference workers (0 = run batches inline on the batcher thread).
+  std::size_t workers = 1;
+  /// Latency SLO driving load shedding; 0 disables shedding.
+  double slo_ms = 0.0;
+  /// Upper edge of the latency histograms (ms).
+  double latency_hi_ms = 250.0;
+  /// Instruments land here when set (serve.*); must outlive the engine.
+  /// When null the engine keeps a private registry (stats() still works).
+  util::metrics::Registry* metrics = nullptr;
+};
+
+/// Admission-control verdict for one submission.
+enum class Admission {
+  kAccepted,  ///< queued; the future will carry a Prediction
+  kShed,      ///< would miss the SLO — dropped at admission
+  kRejected,  ///< queue full — backpressure
+};
+
+const char* admission_name(Admission admission);
+
+struct Prediction {
+  std::vector<float> scores;     ///< raw logits, one per class
+  std::size_t label = 0;         ///< argmax of scores
+  std::uint64_t generation = 0;  ///< registry generation that served it
+  double queue_ms = 0.0;         ///< admission → batch dispatch
+  double latency_ms = 0.0;       ///< admission → prediction ready
+};
+
+struct SubmitResult {
+  Admission admission = Admission::kRejected;
+  /// Valid only when admission == kAccepted.
+  std::future<Prediction> prediction;
+};
+
+class InferenceEngine {
+ public:
+  /// The registry must already hold an active generation (refresh() first)
+  /// and must outlive the engine.
+  InferenceEngine(ModelRegistry& registry, EngineConfig config);
+
+  /// Drains accepted requests, then stops all threads.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Submit one image (flattened C*H*W floats matching the champion's
+  /// input shape; throws std::invalid_argument on a size mismatch).
+  SubmitResult submit(std::vector<float> image);
+
+  /// Hold dispatch: accepted requests stay queued (admission keeps
+  /// running) until resume(). Lets tests fill the queue deterministically.
+  void pause();
+  void resume();
+
+  /// Block until every accepted request has been answered. The engine
+  /// must not be paused.
+  void drain();
+
+  /// Seed the per-item service-time EMA (ms) that the shedding estimate
+  /// uses, instead of waiting for the first measured batch. Deterministic
+  /// tests and benches use this to make shed decisions time-independent.
+  void hint_service_time_ms(double per_item_ms);
+
+  std::size_t queue_depth() const;
+
+  /// One JSON document: admission counts, batch stats, p50/p95/p99
+  /// latency, queue depth, EMA, and the champion identity.
+  util::Json stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> image;
+    std::promise<Prediction> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void batcher_loop();
+  void run_batch(std::vector<Request> batch,
+                 std::shared_ptr<ServableGeneration> generation);
+  void shutdown();
+
+  ModelRegistry& registry_;
+  EngineConfig config_;
+
+  util::metrics::Registry own_metrics_;
+  util::metrics::Registry* metrics_ = nullptr;  // external or &own_metrics_
+
+  // Instruments resolved once at construction (references are stable for
+  // the registry's lifetime), so the hot path skips the name lookup.
+  util::metrics::Counter* c_total_ = nullptr;
+  util::metrics::Counter* c_accepted_ = nullptr;
+  util::metrics::Counter* c_shed_ = nullptr;
+  util::metrics::Counter* c_rejected_ = nullptr;
+  util::metrics::Counter* c_ok_ = nullptr;
+  util::metrics::Counter* c_batches_ = nullptr;
+  util::metrics::Counter* c_items_ = nullptr;
+  util::metrics::Histogram* h_latency_ = nullptr;
+  util::metrics::Histogram* h_queue_ = nullptr;
+  util::metrics::Histogram* h_batch_ = nullptr;
+  util::metrics::Gauge* g_depth_ = nullptr;
+  util::metrics::Gauge* g_ema_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        // batcher wake-ups
+  std::condition_variable drained_cv_;
+  std::deque<Request> queue_;
+  std::size_t in_flight_ = 0;         // requests dispatched, not yet answered
+  double ema_item_ms_ = 0.0;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::unique_ptr<util::ThreadPool> exec_pool_;
+  std::thread batcher_;
+};
+
+}  // namespace a4nn::serve

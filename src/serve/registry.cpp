@@ -1,0 +1,233 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "analytics/analyzer.hpp"
+#include "util/frame.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
+
+namespace a4nn::serve {
+
+namespace fs = std::filesystem;
+
+const char* champion_policy_name(ChampionPolicy policy) {
+  switch (policy) {
+    case ChampionPolicy::kBestFitness:
+      return "best-fitness";
+    case ChampionPolicy::kMinFlops:
+      return "min-flops";
+    case ChampionPolicy::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+ChampionPolicy champion_policy_from_name(const std::string& name) {
+  if (name == "best-fitness") return ChampionPolicy::kBestFitness;
+  if (name == "min-flops") return ChampionPolicy::kMinFlops;
+  if (name == "balanced") return ChampionPolicy::kBalanced;
+  throw std::invalid_argument("unknown champion policy: " + name);
+}
+
+ServableGeneration::ServableGeneration(ChampionInfo champion, nn::Model loaded)
+    : info(champion),
+      model(std::move(loaded)),
+      input_shape(model.input_shape()),
+      input_numel(tensor::shape_numel(model.input_shape())),
+      num_classes(tensor::shape_numel(
+          model.trunk().output_shape(model.input_shape()))) {}
+
+namespace {
+
+/// Fitness per doubling of compute: rewards accuracy but charges a log
+/// price for FLOPs, so a 2x cheaper model wins unless it costs accuracy.
+double balanced_score(const nas::EvaluationRecord& r) {
+  return r.fitness / std::log2(2.0 + static_cast<double>(r.flops));
+}
+
+/// Strict ordering "a is a better champion than b" under `policy`.
+/// Model id breaks final ties so the choice is deterministic.
+bool better_champion(ChampionPolicy policy, const nas::EvaluationRecord& a,
+                     const nas::EvaluationRecord& b) {
+  switch (policy) {
+    case ChampionPolicy::kBestFitness:
+      if (a.fitness != b.fitness) return a.fitness > b.fitness;
+      if (a.flops != b.flops) return a.flops < b.flops;
+      break;
+    case ChampionPolicy::kMinFlops:
+      if (a.flops != b.flops) return a.flops < b.flops;
+      if (a.fitness != b.fitness) return a.fitness > b.fitness;
+      break;
+    case ChampionPolicy::kBalanced: {
+      const double sa = balanced_score(a);
+      const double sb = balanced_score(b);
+      if (sa != sb) return sa > sb;
+      break;
+    }
+  }
+  return a.model_id < b.model_id;
+}
+
+/// Move a damaged artifact into <root>/quarantine/<relative path> — same
+/// convention as DataCommons::fsck, so one later fsck pass sees both.
+void quarantine_artifact(const fs::path& root, const fs::path& file,
+                         const std::string& reason) {
+  const fs::path rel = fs::relative(file, root);
+  const fs::path target = root / "quarantine" / rel;
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  fs::rename(file, target, ec);
+  if (ec) fs::remove(file, ec);  // cross-device or racing writer: drop it
+  util::log_warn("registry: quarantined ", rel.string(), " (", reason, ")");
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(RegistryConfig config)
+    : config_(std::move(config)) {}
+
+std::shared_ptr<ServableGeneration> ModelRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+std::size_t ModelRegistry::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
+}
+
+bool ModelRegistry::refresh() {
+  util::trace::Scope span("registry.refresh", "serve");
+  if (config_.metrics) config_.metrics->counter("serve.registry.refreshes").add();
+  lineage::DataCommons commons(config_.commons_root);
+
+  // Scan record trails one by one (a corrupt record must cost only itself,
+  // not the whole scan the way DataCommons::load_records would).
+  std::size_t newly_quarantined = 0;
+  std::vector<nas::EvaluationRecord> eligible;
+  for (int id : commons.model_ids()) {
+    const fs::path record_path = config_.commons_root / "models" /
+                                 lineage::model_dir_name(id) / "record.json";
+    if (!fs::exists(record_path)) continue;
+    nas::EvaluationRecord record;
+    try {
+      record = nas::EvaluationRecord::from_json(
+          util::Json::parse(lineage::read_artifact(record_path)));
+    } catch (const std::exception& e) {
+      quarantine_artifact(config_.commons_root, record_path, e.what());
+      ++newly_quarantined;
+      continue;
+    }
+    if (record.failed) continue;  // no trustworthy fitness
+    if (config_.max_flops != 0 && record.flops > config_.max_flops) continue;
+    if (commons.snapshot_epochs(id).empty()) continue;  // nothing to load
+    eligible.push_back(std::move(record));
+  }
+
+  // Champion order: Pareto-front members first (policy-sorted), then the
+  // dominated records as deeper fallbacks — a fully corrupt front should
+  // still leave something servable.
+  std::vector<std::size_t> order = analytics::pareto_indices(eligible);
+  {
+    std::vector<char> on_front(eligible.size(), 0);
+    for (std::size_t i : order) on_front[i] = 1;
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < eligible.size(); ++i)
+      if (!on_front[i]) rest.push_back(i);
+    auto by_policy = [&](std::size_t a, std::size_t b) {
+      return better_champion(config_.policy, eligible[a], eligible[b]);
+    };
+    std::sort(order.begin(), order.end(), by_policy);
+    std::sort(rest.begin(), rest.end(), by_policy);
+    order.insert(order.end(), rest.begin(), rest.end());
+  }
+
+  // Walk candidates best-first, newest snapshot first; quarantine whatever
+  // fails its frame or no longer parses and keep walking.
+  for (std::size_t idx : order) {
+    const nas::EvaluationRecord& record = eligible[idx];
+    std::vector<std::size_t> epochs = commons.snapshot_epochs(record.model_id);
+    for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (active_ && active_->info.model_id == record.model_id &&
+            active_->info.epoch == *it) {
+          quarantined_ += newly_quarantined;
+          if (config_.metrics && newly_quarantined > 0)
+            config_.metrics->counter("serve.registry.quarantined")
+                .add(static_cast<double>(newly_quarantined));
+          return false;  // champion unchanged; keep the live generation
+        }
+      }
+      try {
+        nn::Model model = commons.load_model(record.model_id, *it);
+        ChampionInfo info;
+        info.model_id = record.model_id;
+        info.epoch = *it;
+        info.fitness = record.fitness;
+        info.flops = record.flops;
+        auto generation = std::make_shared<ServableGeneration>(
+            info, std::move(model));
+        std::lock_guard<std::mutex> lock(mutex_);
+        generation->info.generation = next_generation_++;
+        active_ = std::move(generation);
+        quarantined_ += newly_quarantined;
+        if (config_.metrics) {
+          auto& m = *config_.metrics;
+          m.counter("serve.registry.publishes").add();
+          if (newly_quarantined > 0)
+            m.counter("serve.registry.quarantined")
+                .add(static_cast<double>(newly_quarantined));
+          m.gauge("serve.registry.generation")
+              .set(static_cast<double>(active_->info.generation));
+          m.gauge("serve.registry.champion_model_id")
+              .set(static_cast<double>(active_->info.model_id));
+          m.gauge("serve.registry.champion_epoch")
+              .set(static_cast<double>(active_->info.epoch));
+          m.gauge("serve.registry.champion_fitness").set(active_->info.fitness);
+          m.gauge("serve.registry.champion_flops")
+              .set(static_cast<double>(active_->info.flops));
+        }
+        util::trace::emit_instant(
+            "registry.publish", "serve", util::trace::now_us(),
+            util::trace::kHostPid, util::trace::current_tid(),
+            {{"model_id", static_cast<double>(active_->info.model_id)},
+             {"epoch", static_cast<double>(active_->info.epoch)},
+             {"generation", static_cast<double>(active_->info.generation)}});
+        util::log_info("registry: published model_",
+                       active_->info.model_id, " epoch ",
+                       active_->info.epoch, " as generation ",
+                       active_->info.generation, " (policy ",
+                       champion_policy_name(config_.policy), ")");
+        return true;
+      } catch (const std::exception& e) {
+        const fs::path snapshot = config_.commons_root / "models" /
+                                  lineage::model_dir_name(record.model_id) /
+                                  lineage::snapshot_file_name(*it);
+        quarantine_artifact(config_.commons_root, snapshot, e.what());
+        ++newly_quarantined;
+      }
+    }
+  }
+
+  // Every candidate failed (or the commons is empty): keep serving the
+  // previous generation if there is one, never a damaged model.
+  std::lock_guard<std::mutex> lock(mutex_);
+  quarantined_ += newly_quarantined;
+  if (config_.metrics && newly_quarantined > 0)
+    config_.metrics->counter("serve.registry.quarantined")
+        .add(static_cast<double>(newly_quarantined));
+  if (active_) {
+    util::log_warn("registry: refresh found no loadable champion; keeping "
+                   "generation ", active_->info.generation);
+    return false;
+  }
+  throw std::runtime_error("ModelRegistry: no servable model in " +
+                           config_.commons_root.string());
+}
+
+}  // namespace a4nn::serve

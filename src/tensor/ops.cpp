@@ -74,9 +74,16 @@ typedef float vf16 __attribute__((vector_size(64)));
 static_assert(NR * sizeof(float) == 64);
 #endif
 
-// Below this many multiply-adds the pack/writeback overhead dominates;
-// plain loops win. Chosen by shape only, so determinism is unaffected.
-constexpr std::size_t kSmallProblemFlops = 8192;
+// Below this many multiply-adds PER OUTPUT ROW (n*k) the pack/writeback
+// overhead dominates; plain loops win. The predicate deliberately ignores
+// m: a row's accumulation order then never depends on how many rows share
+// the call (the small path single-sweeps k; the blocked path's k-panel
+// partials are m-independent), so one output row is bit-identical whether
+// it was computed alone or inside any larger batch. The serving engine's
+// batch-size-invariance guarantee rests on this. Kept tighter than the
+// old m*n*k cutoff so many-row calls with mid-sized rows (conv im2col
+// shapes) stay on the packed kernel.
+constexpr std::size_t kSmallProblemRowFlops = 2048;
 
 inline std::size_t round_up(std::size_t x, std::size_t to) {
   return (x + to - 1) / to * to;
@@ -248,7 +255,7 @@ void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
     if (ep) epilogue_pass(c, m, n, *ep);
     return;
   }
-  if (m * n * k <= kSmallProblemFlops) {
+  if (n * k <= kSmallProblemRowFlops) {
     small_gemm(m, k, n, a, at, b, bt, c, accumulate, ep);
     return;
   }

@@ -30,6 +30,29 @@ std::uint64_t Histogram::total() const {
   return n;
 }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t n = total();
+  if (n == 0) return lo_;
+  // Target rank in (0, n]; walk bins until the cumulative count covers it,
+  // then interpolate within the covering bin.
+  const double rank = q * static_cast<double>(n);
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double c =
+        static_cast<double>(counts_[b].load(std::memory_order_relaxed));
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double frac = (rank - cum) / c;
+      return lo_ + (static_cast<double>(b) + frac) * bin_width;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -67,6 +90,11 @@ Json Registry::snapshot() const {
     for (std::size_t b = 0; b < h->bins(); ++b)
       counts.push_back(Json(static_cast<double>(h->count(b))));
     hj["counts"] = std::move(counts);
+    // Quantile snapshot rides along so RunSummary.metrics and the serve
+    // stats endpoint expose tail latency without re-deriving it.
+    hj["p50"] = h->quantile(0.50);
+    hj["p95"] = h->quantile(0.95);
+    hj["p99"] = h->quantile(0.99);
     histograms[name] = std::move(hj);
   }
   Json j = Json::object();

@@ -80,6 +80,15 @@ class Histogram {
     return counts_[bin].load(std::memory_order_relaxed);
   }
   std::uint64_t total() const;
+
+  /// q-quantile (q in [0,1]) estimated from the bin counts with linear
+  /// interpolation inside the containing bin — the usual
+  /// Prometheus-histogram estimator, so p99 error is bounded by one bin
+  /// width. Observations sit on the clamped range [lo, hi]; an empty
+  /// histogram returns lo. The serving layer reads p50/p95/p99 latency
+  /// off this.
+  double quantile(double q) const;
+
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   }

@@ -4,7 +4,8 @@
 
 namespace a4nn::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -17,6 +18,7 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -38,6 +40,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (capacity_ > 0) space_cv_.notify_one();
     }
     task();
     {

@@ -1,7 +1,9 @@
 // Fixed-size worker pool. The resource manager maps each simulated GPU to
 // one pool worker, so model trainings genuinely run concurrently (the
 // virtual clock decides *reported* wall time, the pool exercises the real
-// concurrent code path).
+// concurrent code path). The serving engine runs its inference workers on
+// a capacity-bounded pool: submit() then exerts backpressure instead of
+// letting the queue grow without bound.
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +13,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -20,8 +23,11 @@ class ThreadPool {
  public:
   /// Spawns `num_threads` workers. A pool of 0 workers spawns no threads
   /// and runs each task inline at submit() — callers can treat "no
-  /// concurrency" as just another pool size.
-  explicit ThreadPool(std::size_t num_threads);
+  /// concurrency" as just another pool size. `queue_capacity` bounds the
+  /// number of queued (not yet running) tasks: 0 means unbounded; a
+  /// nonzero bound makes submit() block until a slot frees (backpressure)
+  /// and try_submit() refuse instead.
+  explicit ThreadPool(std::size_t num_threads, std::size_t queue_capacity = 0);
 
   /// Drains the queue and joins all workers.
   ~ThreadPool();
@@ -30,9 +36,17 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Queued (not yet running) tasks right now.
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
 
   /// Enqueue a task; FIFO dispatch (matches Ray's FIFO dynamic scheduling
-  /// that the paper's resource manager relies on).
+  /// that the paper's resource manager relies on). On a capacity-bounded
+  /// pool this blocks until the queue has room.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -44,8 +58,36 @@ class ThreadPool {
       return fut;
     }
     {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (capacity_ > 0)
+        space_cv_.wait(lock, [this] {
+          return stopping_ || queue_.size() < capacity_;
+        });
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Like submit(), but never blocks: returns nullopt when a
+  /// capacity-bounded queue is full. The admission-control layer of the
+  /// serving engine uses this to reject work instead of queueing it.
+  template <typename F>
+  auto try_submit(F&& f)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      if (capacity_ > 0 && queue_.size() >= capacity_) return std::nullopt;
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -60,9 +102,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable space_cv_;  // capacity slots freeing up
+  std::size_t capacity_ = 0;          // 0 = unbounded
   std::size_t active_ = 0;
   bool stopping_ = false;
 };

@@ -77,6 +77,46 @@ TEST(Metrics, RegistryReturnsStableInstruments) {
   EXPECT_EQ(&reg.histogram("lat", 0.0, 99.0, 17), &h);
 }
 
+TEST(Metrics, QuantilesMatchAKnownDistribution) {
+  // 100 observations 0.5, 1.5, ..., 99.5 into 100 unit-wide bins over
+  // [0, 100]: one count per bin, so the interpolated q-quantile is exactly
+  // 100q and every estimate is exact, not just bin-accurate.
+  metrics::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.observe(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // q=0 sits at the bottom of the first occupied bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+
+  // Skewed distribution: 90 fast requests in [0,10), 10 slow in [90,100).
+  // The median lands in the fast band, p99 deep in the slow tail.
+  metrics::Histogram skew(0.0, 100.0, 100);
+  for (int i = 0; i < 90; ++i) skew.observe(5.0);
+  for (int i = 0; i < 10; ++i) skew.observe(95.0);
+  EXPECT_NEAR(skew.quantile(0.50), 5.5, 1.0);   // within the [5,6) bin
+  EXPECT_NEAR(skew.quantile(0.95), 95.5, 1.0);  // within the [95,96) bin
+  EXPECT_GT(skew.quantile(0.99), 95.0);
+  EXPECT_LE(skew.quantile(0.99), 96.0);
+
+  // Empty histogram answers lo (a server that has seen no traffic).
+  metrics::Histogram empty(2.0, 8.0, 4);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 2.0);
+}
+
+TEST(Metrics, SnapshotCarriesQuantiles) {
+  metrics::Registry reg;
+  metrics::Histogram& h = reg.histogram("serve.latency_ms", 0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.observe(i + 0.5);
+  const Json snap = reg.snapshot();
+  const Json& hj = snap.at("histograms").at("serve.latency_ms");
+  EXPECT_DOUBLE_EQ(hj.at("p50").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(hj.at("p95").as_number(), 9.5);
+  EXPECT_DOUBLE_EQ(hj.at("p99").as_number(), 9.9);
+}
+
 TEST(Metrics, SnapshotSerializesEveryInstrumentKind) {
   metrics::Registry reg;
   reg.counter("jobs").add(7.0);
