@@ -27,6 +27,27 @@ import sys
 
 HOST_PID = 1
 VIRTUAL_PID = 2
+CLUSTER_PID = 3
+
+# Every cluster counter increments alongside exactly one pid-3 trace event
+# (Master::note / the job.remote completion span), so trace and metrics
+# must agree event-for-event, not just in aggregate.
+CLUSTER_PAIRS = [
+    ("cluster.remote_results", "job.remote", "X"),
+    ("cluster.local_fallbacks", "job.local_fallback", "i"),
+    ("cluster.dispatches", "job.dispatch", "i"),
+    ("cluster.redispatches", "job.redispatch", "i"),
+    ("cluster.worker_failures", "worker.failure", "i"),
+    ("cluster.worker_quarantines", "worker.quarantine", "i"),
+    ("cluster.heartbeat_timeouts", "worker.heartbeat_timeout", "i"),
+    ("cluster.stale_results", "result.stale", "i"),
+    ("cluster.corrupt_frames", "frame.corrupt", "i"),
+    ("cluster.corrupt_results", "result.corrupt", "i"),
+    ("cluster.worker_connects", "worker.connect", "i"),
+    ("cluster.worker_rejects", "worker.reject", "i"),
+    ("cluster.injected_partitions", "fault.partition", "i"),
+    ("cluster.injected_torn_frames", "fault.torn_frame", "i"),
+]
 # Everything crossing JSON is an IEEE-754 round-trippable double, so the
 # sums should match exactly; the epsilon only absorbs the associativity of
 # Python summing in event order vs C++ summing in placement order.
@@ -141,6 +162,52 @@ def check_metrics_agreement(doc, events):
         print(f"check_trace: ok: {source} match {counter_name} = {expected}")
 
 
+def check_cluster_agreement(doc, events):
+    """Cross-check pid-3 (cluster master) lanes against cluster.* counters.
+
+    Passes trivially for solo runs: with no cluster counters and no pid-3
+    events there is nothing to disagree about.
+    """
+    counters = doc.get("metrics", {}).get("counters", {})
+    cluster_events = [e for e in events if e["pid"] == CLUSTER_PID]
+    has_counters = any(name.startswith("cluster.") for name in counters)
+    if not cluster_events and not has_counters:
+        print("check_trace: ok: no cluster activity (skipping pid-3 cross-check)")
+        return
+
+    by_name = {}
+    for e in cluster_events:
+        by_name.setdefault((e["name"], e["ph"]), []).append(e)
+
+    checked = 0
+    for counter_name, event_name, phase in CLUSTER_PAIRS:
+        expected = counters.get(counter_name, 0.0)
+        observed = len(by_name.get((event_name, phase), []))
+        if not close(expected, observed):
+            fail(
+                f"pid-3 {event_name!r} events number {observed} but the "
+                f"{counter_name} counter says {expected}"
+            )
+        checked += 1
+    # Remote completions must also balance the scheduler's view: every
+    # sched.remote_job the scheduler handed out came back as a result.
+    if "sched.remote_jobs" in counters:
+        if not close(
+            counters["sched.remote_jobs"],
+            counters.get("cluster.remote_results", 0.0),
+        ):
+            fail(
+                "sched.remote_jobs "
+                f"({counters['sched.remote_jobs']}) disagrees with "
+                f"cluster.remote_results "
+                f"({counters.get('cluster.remote_results', 0.0)})"
+            )
+    print(
+        f"check_trace: ok: {len(cluster_events)} pid-3 events match "
+        f"{checked} cluster counters"
+    )
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -156,6 +223,7 @@ def main():
     print(f"check_trace: ok: {len(real)} events parse as Chrome trace format")
     check_nesting(events)
     check_metrics_agreement(doc, real)
+    check_cluster_agreement(doc, real)
     print("check_trace: PASS")
 
 

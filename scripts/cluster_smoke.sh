@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Loopback cluster smoke test: a master with two workers on 127.0.0.1, one
+# worker SIGKILLed mid-generation, must finish the search and produce a
+# Pareto front BIT-identical (hexfloat dump) to the same binary run with
+# zero workers (pure local fallback = the solo path). Exercises dispatch,
+# heartbeat-loss detection, re-dispatch, and the degraded mode in one go.
+#
+# Usage: cluster_smoke.sh <path-to-a4nn_cluster-binary> [workdir]
+set -euo pipefail
+
+BIN=${1:?usage: cluster_smoke.sh <a4nn_cluster binary> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+# Calibrated so the solo run takes a few seconds: long enough that the
+# mid-run SIGKILL lands while jobs are in flight, short enough for CI.
+FLAGS=(--population 4 --offspring 4 --generations 3 --epochs 6
+       --images 80 --pixels 12 --intensity medium --no-engine
+       --gpus 2 --seed 7)
+PORT=7517
+KILL_AFTER_S=2.2
+
+echo "=== solo baseline (zero workers -> local fallback) ==="
+"$BIN" --master --port 0 "${FLAGS[@]}" \
+    --pareto-out "$WORK/solo.pareto" | tail -n 6
+
+echo "=== cluster run: master + 2 workers, one SIGKILLed mid-run ==="
+"$BIN" --master --port "$PORT" --min-workers 2 --wait-workers-ms 15000 \
+    --heartbeat-interval-ms 100 --heartbeat-timeout-ms 500 \
+    "${FLAGS[@]}" \
+    --pareto-out "$WORK/cluster.pareto" \
+    --trace-out "$WORK/cluster_trace.json" > "$WORK/master.log" 2>&1 &
+MASTER_PID=$!
+
+sleep 0.3
+"$BIN" --worker --connect "127.0.0.1:$PORT" --worker-name w0 \
+    "${FLAGS[@]}" > "$WORK/w0.log" 2>&1 &
+W0_PID=$!
+"$BIN" --worker --connect "127.0.0.1:$PORT" --worker-name w1 \
+    "${FLAGS[@]}" > "$WORK/w1.log" 2>&1 &
+W1_PID=$!
+
+cleanup() { kill -9 "$MASTER_PID" "$W0_PID" "$W1_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# SIGKILL one worker while its jobs are in flight: the master must detect
+# the silence, re-dispatch, and still finish bit-identically.
+sleep "$KILL_AFTER_S"
+if kill -9 "$W0_PID" 2>/dev/null; then
+    echo "killed worker w0 (pid $W0_PID) after ${KILL_AFTER_S}s"
+else
+    echo "WARNING: worker w0 already exited before the kill" >&2
+fi
+
+if ! wait "$MASTER_PID"; then
+    echo "FAIL: master exited nonzero" >&2
+    tail -n 30 "$WORK/master.log" >&2
+    exit 1
+fi
+wait "$W1_PID" || true
+trap - EXIT
+cleanup
+
+grep -E "^cluster:" "$WORK/master.log" || true
+
+echo "=== comparing Pareto fronts (must be bit-identical) ==="
+if ! diff -u "$WORK/solo.pareto" "$WORK/cluster.pareto"; then
+    echo "FAIL: cluster Pareto front differs from the solo baseline" >&2
+    exit 1
+fi
+echo "PARETO BIT-IDENTICAL ($(wc -l < "$WORK/solo.pareto") model(s))"
+
+# The trace's pid-3 lanes must agree with the cluster counters exactly.
+if command -v python3 > /dev/null; then
+    python3 "$(dirname "$0")/check_trace.py" "$WORK/cluster_trace.json"
+fi
+
+echo "cluster_smoke: PASS (artifacts in $WORK)"

@@ -1,0 +1,180 @@
+#include "cluster/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace a4nn::cluster {
+
+namespace {
+
+bool wait_fd(int fd, short events, int timeout_ms) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (r == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("transport: bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpConn::TcpConn(int fd) : fd_(fd) {}
+
+TcpConn::~TcpConn() { close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConn TcpConn::connect(const std::string& host, std::uint16_t port,
+                         int timeout_ms) {
+  sockaddr_in addr;
+  try {
+    addr = make_addr(host, port);
+  } catch (const std::exception&) {
+    return TcpConn();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return TcpConn();
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return TcpConn();
+  }
+  if (rc != 0) {
+    if (!wait_fd(fd, POLLOUT, timeout_ms)) {
+      ::close(fd);
+      return TcpConn();
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return TcpConn();
+    }
+  }
+  // Back to blocking mode: reads/writes are driven by poll() deadlines.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  set_nodelay(fd);
+  return TcpConn(fd);
+}
+
+bool TcpConn::send_all(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpConn::send_torn(std::string_view bytes, std::size_t prefix) {
+  if (prefix > bytes.size()) prefix = bytes.size();
+  send_all(bytes.substr(0, prefix));
+  close();
+}
+
+int TcpConn::recv_some(char* buf, std::size_t cap, int timeout_ms) {
+  if (fd_ < 0) return -1;
+  if (!wait_fd(fd_, POLLIN, timeout_ms)) return 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n > 0) return static_cast<int>(n);
+    if (n == 0) return -1;  // orderly shutdown by the peer
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+TcpListener::TcpListener(const std::string& bind_addr, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(bind_addr, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("transport: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("transport: bind " + bind_addr + ":" +
+                             std::to_string(port) + " failed: " + err);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("transport: listen failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConn TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0) return TcpConn();
+  if (!wait_fd(fd_, POLLIN, timeout_ms)) return TcpConn();
+  const int c = ::accept(fd_, nullptr, nullptr);
+  if (c < 0) return TcpConn();
+  set_nodelay(c);
+  return TcpConn(c);
+}
+
+}  // namespace a4nn::cluster

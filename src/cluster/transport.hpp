@@ -1,0 +1,81 @@
+// Minimal TCP transport for the cluster: a listener and a connection, both
+// thin RAII wrappers over POSIX sockets. No framing here — byte streams in
+// and out; framing/integrity lives in util/frame + cluster/protocol.
+//
+// Failure philosophy: a transport error is never an exception on the hot
+// path. send_all()/recv_some() report dead connections through their
+// return values and the caller (master or worker) treats the peer as
+// failed — that is the normal, survivable event this layer exists for.
+// Only setup (bind/listen) throws, because a master that cannot listen has
+// no degraded mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace a4nn::cluster {
+
+/// One connected TCP stream. Move-only; closes on destruction.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd);
+  ~TcpConn();
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connect to host:port, waiting at most `timeout_ms`. Returns an
+  /// invalid conn on failure (reconnect loops treat that as one attempt).
+  static TcpConn connect(const std::string& host, std::uint16_t port,
+                         int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write every byte (retrying short writes). False: the peer is gone.
+  bool send_all(std::string_view bytes);
+
+  /// Torn-frame fault injection: write only `prefix` bytes, then close.
+  /// Always leaves the connection invalid.
+  void send_torn(std::string_view bytes, std::size_t prefix);
+
+  /// Read up to `cap` bytes, waiting at most `timeout_ms` for readability.
+  /// Returns bytes read (> 0), 0 on timeout, or -1 when the peer closed or
+  /// the connection errored.
+  int recv_some(char* buf, std::size_t cap, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket. Throws std::runtime_error when the address cannot be
+/// bound — there is no degraded mode for a master that cannot listen.
+class TcpListener {
+ public:
+  /// Bind and listen on `bind_addr:port`; port 0 picks an ephemeral port
+  /// (read it back with port()).
+  TcpListener(const std::string& bind_addr, std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  /// Accept one pending connection, waiting at most `timeout_ms`. Returns
+  /// an invalid conn on timeout.
+  TcpConn accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace a4nn::cluster

@@ -1,0 +1,219 @@
+#include "cluster/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "cluster/transport.hpp"
+#include "util/frame.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace a4nn::cluster {
+
+std::uint64_t detect_ram_bytes() {
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGESIZE)
+  const long pages = ::sysconf(_SC_PHYS_PAGES);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page > 0)
+    return static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+#endif
+  return 0;
+}
+
+Worker::Worker(WorkerOptions options)
+    : options_(std::move(options)), injector_([&] {
+        util::FaultConfig fc = options_.fault;
+        if (fc.seed == 0) fc.seed = options_.seed;
+        return fc;
+      }()) {
+  if (options_.ram_bytes == 0) options_.ram_bytes = detect_ram_bytes();
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+WorkerStats Worker::run(const Handler& handler) {
+  WorkerStats stats;
+  // Pool threads bump these concurrently when `threads > 1`; folded back
+  // into `stats` before run() returns.
+  std::atomic<std::size_t> jobs_completed{0};
+  std::atomic<std::size_t> injected_crashes{0};
+  std::atomic<std::size_t> injected_torn_frames{0};
+  std::atomic<std::size_t> injected_slow_links{0};
+  const auto fold_stats = [&] {
+    stats.jobs_completed = jobs_completed.load();
+    stats.injected_crashes = injected_crashes.load();
+    stats.injected_torn_frames = injected_torn_frames.load();
+    stats.injected_slow_links = injected_slow_links.load();
+  };
+  std::size_t consecutive_failures = 0;
+  bool ever_connected = false;
+  std::size_t worker_index = 0;  // assigned by the first Welcome
+
+  while (!stop_.load()) {
+    if (consecutive_failures >= options_.max_reconnects) {
+      util::log_error("worker '", options_.name, "': giving up after ",
+                      consecutive_failures, " failed connection attempts");
+      break;
+    }
+    if (consecutive_failures > 0) {
+      double delay = options_.reconnect_base_ms;
+      for (std::size_t i = 1; i < consecutive_failures; ++i)
+        delay *= options_.reconnect_multiplier;
+      delay = std::min(delay, options_.reconnect_cap_ms);
+      // Jitter from the seeded hash stream, so reconnect timelines replay.
+      delay *= injector_.jittered_backoff_seconds(jobs_completed.load(),
+                                                  worker_index,
+                                                  consecutive_failures) /
+               std::max(1e-12, injector_.backoff_seconds(consecutive_failures));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+      if (stop_.load()) break;
+    }
+
+    TcpConn conn = TcpConn::connect(options_.host, options_.port,
+                                    options_.connect_timeout_ms);
+    if (!conn.valid()) {
+      ++consecutive_failures;
+      continue;
+    }
+
+    Hello hello;
+    hello.worker = options_.name;
+    hello.ram_bytes = options_.ram_bytes;
+    hello.threads = options_.threads;
+    hello.config_crc = options_.config_crc;
+    if (!conn.send_all(cluster::encode(MsgType::kHello, hello.to_json()))) {
+      ++consecutive_failures;
+      continue;
+    }
+
+    // Serve this connection. Sends are serialized: results from pool
+    // threads and heartbeat acks from the recv loop share the stream.
+    std::mutex send_mutex;
+    std::atomic<bool> conn_dead{false};
+    // Always at least one real pool thread: jobs must run OFF the recv
+    // thread, or a long training would starve heartbeat acks and get this
+    // worker declared dead mid-job.
+    util::ThreadPool pool(options_.threads);
+    util::StreamDecoder decoder;
+    bool welcomed = false;
+    char buf[16 * 1024];
+
+    while (!stop_.load() && !conn_dead.load()) {
+      const int n = conn.recv_some(buf, sizeof(buf), 50);
+      if (n < 0) break;
+      if (n == 0) continue;
+      decoder.feed(buf, static_cast<std::size_t>(n));
+
+      util::WireFrame frame;
+      while (!conn_dead.load() && decoder.next(frame)) {
+        if (!known_type(frame.type)) continue;  // resync landed in garbage
+        const auto type = static_cast<MsgType>(frame.type);
+        try {
+          switch (type) {
+            case MsgType::kWelcome: {
+              const Welcome w = Welcome::from_json(parse_body(frame));
+              worker_index = w.worker_index;
+              if (ever_connected) ++stats.reconnects;
+              ever_connected = true;
+              welcomed = true;
+              consecutive_failures = 0;
+              util::log_info("worker '", options_.name,
+                             "': connected as index ", worker_index);
+              break;
+            }
+            case MsgType::kReject: {
+              const Reject r = Reject::from_json(parse_body(frame));
+              stats.reject_reason = r.reason;
+              util::log_error("worker '", options_.name,
+                              "': rejected by master: ", r.reason);
+              pool.wait_idle();
+              fold_stats();
+              return stats;
+            }
+            case MsgType::kHeartbeat: {
+              std::lock_guard<std::mutex> lock(send_mutex);
+              if (!conn.send_all(cluster::encode(MsgType::kHeartbeatAck)))
+                conn_dead.store(true);
+              break;
+            }
+            case MsgType::kJobRequest: {
+              if (!welcomed) break;
+              const JobRequest req = JobRequest::from_json(parse_body(frame));
+              pool.submit([&, req] {
+                util::Json record;
+                try {
+                  record = handler(req);
+                } catch (const std::exception& e) {
+                  util::log_error("worker '", options_.name, "': job ",
+                                  req.job, " (model ", req.model_id,
+                                  ") threw: ", e.what());
+                  conn_dead.store(true);  // master re-dispatches elsewhere
+                  return;
+                }
+                const std::size_t done = ++jobs_completed;
+
+                // Deterministic worker-side faults, keyed on progress.
+                if (injector_.slow_link(done, worker_index, 1)) {
+                  ++injected_slow_links;
+                  std::this_thread::sleep_for(
+                      std::chrono::duration<double, std::milli>(
+                          injector_.config().slow_link_delay_ms));
+                }
+                JobResult res;
+                res.job = req.job;
+                res.record = std::move(record);
+                const std::string bytes =
+                    cluster::encode(MsgType::kJobResult, res.to_json());
+                if (injector_.worker_crash(done, worker_index, 1)) {
+                  // Die with the result unsent: the canonical lost-work
+                  // case the master's re-dispatch exists for.
+                  ++injected_crashes;
+                  std::lock_guard<std::mutex> lock(send_mutex);
+                  conn.close();
+                  conn_dead.store(true);
+                  return;
+                }
+                if (injector_.torn_frame(done, worker_index, 1)) {
+                  ++injected_torn_frames;
+                  std::lock_guard<std::mutex> lock(send_mutex);
+                  conn.send_torn(bytes, bytes.size() / 2);
+                  conn_dead.store(true);
+                  return;
+                }
+                std::lock_guard<std::mutex> lock(send_mutex);
+                if (!conn.send_all(bytes)) conn_dead.store(true);
+              });
+              break;
+            }
+            case MsgType::kShutdown:
+              stats.clean_shutdown = true;
+              pool.wait_idle();
+              fold_stats();
+              return stats;
+            default:
+              break;  // worker-bound streams ignore worker->master types
+          }
+        } catch (const std::exception& e) {
+          util::log_warn("worker '", options_.name, "': dropping bad '",
+                         type_name(type), "' message: ", e.what());
+        }
+      }
+    }
+    pool.wait_idle();
+    conn.close();
+    if (stop_.load()) break;
+    // Dropped connection (real or injected): come back like a restarted
+    // process — one backoff step, then a fresh handshake.
+    consecutive_failures = std::max<std::size_t>(consecutive_failures, 1);
+  }
+  stats.clean_shutdown = stats.clean_shutdown || stop_.load();
+  fold_stats();
+  return stats;
+}
+
+}  // namespace a4nn::cluster

@@ -1,0 +1,91 @@
+// The cluster worker: connects to the master, reports its capacity, and
+// turns JobRequests into JobResults until told to shut down.
+//
+// Survivability is the worker's whole job description:
+//   - connect (and reconnect after any drop) with capped exponential
+//     backoff, giving up only after `max_reconnects` consecutive failures;
+//   - resume cleanly after a re-dispatch: the job handler runs the same
+//     deterministic training path as a local run, and with a lineage
+//     commons + resume_partial configured it continues from the model's
+//     last epoch checkpoint instead of epoch 0;
+//   - inject its own deterministic faults (crash-after-job, slow link,
+//     torn result frame) keyed on the completed-job count, so a test run
+//     replays the identical failure sequence every time.
+//
+// Concurrency: `threads` jobs run on an internal pool; the Hello capacity
+// report tells the master exactly how many to keep in flight. Sends are
+// serialized by a mutex (results and heartbeat acks share the stream).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/protocol.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::cluster {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Stable identity across reconnects; the master quarantines by it.
+  std::string name = "worker";
+  /// Concurrent jobs (reported to the master as capacity).
+  std::size_t threads = 1;
+  /// Reported RAM; 0 autodetects from the OS.
+  std::uint64_t ram_bytes = 0;
+  /// Digest of the run-configuration JSON; must match the master's.
+  std::uint32_t config_crc = 0;
+  int connect_timeout_ms = 2000;
+  /// Capped exponential reconnect backoff (host milliseconds).
+  double reconnect_base_ms = 100.0;
+  double reconnect_multiplier = 2.0;
+  double reconnect_cap_ms = 2000.0;
+  /// Consecutive failed connection attempts before run() gives up.
+  std::size_t max_reconnects = 10;
+  /// Worker-side fault injection (crash / slow link / torn result frame),
+  /// keyed on the completed-job count. `fault.seed` falls back to `seed`.
+  util::FaultConfig fault;
+  std::uint64_t seed = 0;
+};
+
+struct WorkerStats {
+  std::size_t jobs_completed = 0;
+  std::size_t reconnects = 0;       // successful connections after the first
+  std::size_t injected_crashes = 0;
+  std::size_t injected_torn_frames = 0;
+  std::size_t injected_slow_links = 0;
+  /// True when run() ended because the master said Shutdown (as opposed to
+  /// exhausting reconnect attempts or being rejected).
+  bool clean_shutdown = false;
+  std::string reject_reason;  // set when the master rejected the handshake
+};
+
+class Worker {
+ public:
+  /// `handler` turns one JobRequest into the evaluation-record JSON the
+  /// master commits. It runs on pool threads and must be thread-safe; a
+  /// throwing handler drops the connection (the master re-dispatches).
+  using Handler = std::function<util::Json(const JobRequest&)>;
+
+  explicit Worker(WorkerOptions options);
+
+  /// Serve until Shutdown, rejection, or reconnect exhaustion.
+  WorkerStats run(const Handler& handler);
+
+  /// Ask a running run() to wind down after the current jobs finish.
+  void request_stop() { stop_.store(true); }
+
+ private:
+  WorkerOptions options_;
+  util::FaultInjector injector_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Total system RAM in bytes (sysconf), 0 when undeterminable.
+std::uint64_t detect_ram_bytes();
+
+}  // namespace a4nn::cluster

@@ -28,6 +28,22 @@ util::Json WorkflowConfig::to_json() const {
   return j;
 }
 
+util::Json ClusterTotals::to_json() const {
+  util::Json j = util::Json::object();
+  j["remote_jobs"] = remote_jobs;
+  j["remote_fallbacks"] = remote_fallbacks;
+  j["dispatches"] = dispatches;
+  j["redispatches"] = redispatches;
+  j["worker_failures"] = worker_failures;
+  j["worker_quarantines"] = worker_quarantines;
+  j["heartbeat_timeouts"] = heartbeat_timeouts;
+  j["stale_results"] = stale_results;
+  j["corrupt_frames"] = corrupt_frames;
+  j["corrupt_results"] = corrupt_results;
+  j["local_fallbacks"] = local_fallbacks;
+  return j;
+}
+
 util::Json RunSummary::to_json() const {
   util::Json j = util::Json::object();
   j["faults"] = faults.to_json();
@@ -41,6 +57,7 @@ util::Json RunSummary::to_json() const {
   j["fsck_tmp_removed"] = fsck_tmp_removed;
   j["fsck_crc_mismatches"] = fsck_crc_mismatches;
   j["fsck_journal_repairs"] = fsck_journal_repairs;
+  j["cluster"] = cluster.to_json();
   return j;
 }
 
@@ -111,6 +128,15 @@ WorkflowResult A4nnWorkflow::run() {
                                   config_.trainer,
                                   tracker ? &*tracker : nullptr);
   loop.set_metrics(&registry);
+  // The remote backend (cluster master) outlives this run but the registry
+  // does not: detach on every exit path, including WorkflowInterrupted.
+  struct RemoteMetricsGuard {
+    sched::RemoteExecutor* remote;
+    ~RemoteMetricsGuard() {
+      if (remote) remote->set_metrics(nullptr);
+    }
+  } remote_guard{config_.cluster.remote};
+  if (config_.cluster.remote) config_.cluster.remote->set_metrics(&registry);
   sched::ResourceManager cluster(config_.cluster);
   cluster.set_metrics(&registry);
   orchestrator::WorkflowEvaluator evaluator(loop, cluster, config_.nas.space,
@@ -147,6 +173,24 @@ WorkflowResult A4nnWorkflow::run() {
   result.summary.resumed_evaluations = evaluator.resumed_count();
   result.summary.resumed_epochs = loop.resumed_epochs();
   result.summary.genome_mismatches = evaluator.genome_mismatches();
+  if (result.summary.metrics.contains("counters")) {
+    const util::Json& counters = result.summary.metrics.at("counters");
+    const auto count = [&counters](const char* name) {
+      return static_cast<std::size_t>(counters.number_or(name, 0.0));
+    };
+    ClusterTotals& ct = result.summary.cluster;
+    ct.remote_jobs = count("sched.remote_jobs");
+    ct.remote_fallbacks = count("sched.remote_fallbacks");
+    ct.dispatches = count("cluster.dispatches");
+    ct.redispatches = count("cluster.redispatches");
+    ct.worker_failures = count("cluster.worker_failures");
+    ct.worker_quarantines = count("cluster.worker_quarantines");
+    ct.heartbeat_timeouts = count("cluster.heartbeat_timeouts");
+    ct.stale_results = count("cluster.stale_results");
+    ct.corrupt_frames = count("cluster.corrupt_frames");
+    ct.corrupt_results = count("cluster.corrupt_results");
+    ct.local_fallbacks = count("cluster.local_fallbacks");
+  }
   result.virtual_wall_seconds = cluster.virtual_now();
   result.measured_wall_seconds = wall.seconds();
   if (config_.lineage) result.commons_root = config_.lineage->root;

@@ -48,6 +48,25 @@ struct WorkflowConfig {
   util::Json to_json() const;
 };
 
+/// Remote-execution accounting for one run(), derived from the registry's
+/// "sched.remote_*" and "cluster.*" counters. All zeros for purely local
+/// runs (and for cluster runs that degraded to local the whole way).
+struct ClusterTotals {
+  std::size_t remote_jobs = 0;       // jobs served by cluster workers
+  std::size_t remote_fallbacks = 0;  // offered remotely, ran locally
+  std::size_t dispatches = 0;        // first sends of a job to a worker
+  std::size_t redispatches = 0;      // re-sends after a worker failure
+  std::size_t worker_failures = 0;   // drops, timeouts, corrupt streams
+  std::size_t worker_quarantines = 0;
+  std::size_t heartbeat_timeouts = 0;
+  std::size_t stale_results = 0;     // replies racing their own re-dispatch
+  std::size_t corrupt_frames = 0;    // wire frames failing CRC/structure
+  std::size_t corrupt_results = 0;   // CRC-valid but wrong-model records
+  std::size_t local_fallbacks = 0;   // declines answered by local execution
+
+  util::Json to_json() const;
+};
+
 /// Fault-tolerance and recovery accounting for one run().
 struct RunSummary {
   /// Derived view of the run's metrics registry ("sched.*" counters); the
@@ -81,6 +100,8 @@ struct RunSummary {
   /// Journal repairs: torn lines dropped, missing entries pruned, and
   /// unjournaled artifacts adopted back.
   std::size_t fsck_journal_repairs = 0;
+  /// Remote-execution accounting (all zeros without a cluster backend).
+  ClusterTotals cluster;
 
   util::Json to_json() const;
 };

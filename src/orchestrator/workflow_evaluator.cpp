@@ -1,9 +1,25 @@
 #include "orchestrator/workflow_evaluator.hpp"
 
+#include <charconv>
+#include <memory>
+
 #include "util/log.hpp"
 #include "util/trace.hpp"
 
 namespace a4nn::orchestrator {
+
+namespace {
+
+/// u64 as lowercase hex text: per-model seeds exceed 2^53, so they cannot
+/// ride a JSON number (doubles) to a remote worker.
+std::string seed_to_hex(std::uint64_t v) {
+  char buf[17];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v, 16);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+}  // namespace
 
 WorkflowEvaluator::WorkflowEvaluator(const TrainingLoop& loop,
                                      sched::ResourceManager& cluster,
@@ -81,13 +97,44 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     // Per-model deterministic seed independent of execution order.
     const std::uint64_t model_seed =
         seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(model_id + 1));
-    jobs.push_back(
-        sched::Job{[this, genome, model_id, model_seed, generation, slot] {
-          *slot = loop_->train_genome(genome, space_, model_id, model_seed);
-          slot->generation = generation;
-          flush_record(*slot);
-          return slot->virtual_seconds;
-        }});
+    sched::Job job{[this, genome, model_id, model_seed, generation, slot] {
+      *slot = loop_->train_genome(genome, space_, model_id, model_seed);
+      slot->generation = generation;
+      flush_record(*slot);
+      return slot->virtual_seconds;
+    }};
+
+    // Remote offering: what a cluster worker needs to reproduce this job
+    // bit-exactly (cluster::JobRequest schema), and how to install its
+    // result. Training is deterministic given (genome, space, model_id,
+    // seed), so a remote record is byte-identical to a local one.
+    util::Json payload = util::Json::object();
+    payload["job"] = 0.0;  // dispatch id, stamped by the master
+    payload["model_id"] = model_id;
+    payload["generation"] = generation;
+    payload["seed"] = seed_to_hex(model_seed);
+    payload["genome"] = genome.to_json();
+    job.remote_payload =
+        std::make_shared<const util::Json>(std::move(payload));
+    job.apply_remote = [this, genome, model_id, generation,
+                        slot](const util::Json& doc) {
+      nas::EvaluationRecord record = nas::EvaluationRecord::from_json(doc);
+      if (record.model_id != model_id)
+        throw std::runtime_error("remote record names model " +
+                                 std::to_string(record.model_id) +
+                                 ", expected " + std::to_string(model_id));
+      if (record.genome.key() != genome.key())
+        throw std::runtime_error("remote record genome mismatch for model " +
+                                 std::to_string(model_id));
+      if (record.failed)
+        throw std::runtime_error("remote record is a failure marker: " +
+                                 record.error);
+      *slot = std::move(record);
+      slot->generation = generation;
+      flush_record(*slot);
+      return slot->virtual_seconds;
+    };
+    jobs.push_back(std::move(job));
   }
   next_model_id_ += static_cast<int>(genomes.size());
 

@@ -1,0 +1,37 @@
+// The seam between the scheduler and a real cluster backend.
+//
+// ResourceManager's phase-1 execution runs each job's closure on a host
+// thread pool. When a RemoteExecutor is attached, jobs that carry a remote
+// payload are offered to it first: the executor ships the payload to a
+// remote worker process and returns the worker's result document, or
+// nullopt when no worker could run it (no workers connected, all
+// quarantined, or the job exhausted its dispatch attempts). On nullopt the
+// scheduler falls back to local in-process execution, so a cluster with
+// zero reachable workers degrades to exactly the single-process run —
+// results are bit-identical either way, which is what keeps cluster and
+// solo Pareto fronts interchangeable.
+#pragma once
+
+#include <optional>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace a4nn::sched {
+
+class RemoteExecutor {
+ public:
+  virtual ~RemoteExecutor() = default;
+
+  /// Evaluate `payload` on some remote worker. Blocking; safe to call from
+  /// multiple scheduler threads concurrently. Returns the worker's result
+  /// document, or nullopt when the job could not be served remotely (the
+  /// caller must then execute locally).
+  virtual std::optional<util::Json> evaluate(const util::Json& payload) = 0;
+
+  /// Attach/detach a metrics registry for cluster counters ("cluster.*").
+  /// Default: no-op for executors that do not report metrics.
+  virtual void set_metrics(util::metrics::Registry* /*registry*/) {}
+};
+
+}  // namespace a4nn::sched

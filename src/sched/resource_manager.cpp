@@ -23,6 +23,8 @@ struct ExecResult {
   double duration = 0.0;
   bool ok = false;
   std::size_t real_retries = 0;
+  bool remote = false;          // served by a cluster worker
+  bool remote_declined = false; // offered remotely, fell back to local
   std::string error;
 };
 
@@ -42,6 +44,40 @@ ExecResult execute_contained(const Job& job, std::size_t max_retries) {
   }
   result.real_retries = max_retries;
   return result;
+}
+
+/// Remote-first execution: offer the job to the cluster backend, fall back
+/// to the contained local path when the backend declines or its result
+/// document is unusable. The backend does its own re-dispatch/quarantine
+/// dance internally, so one offer is enough here.
+ExecResult execute_with_remote(const Job& job, RemoteExecutor* remote,
+                               std::size_t max_retries) {
+  if (remote && job.remote_payload && job.apply_remote) {
+    std::optional<util::Json> reply;
+    try {
+      reply = remote->evaluate(*job.remote_payload);
+    } catch (const std::exception& e) {
+      util::log_warn("sched: remote backend threw (", e.what(),
+                     "); running job locally");
+      reply.reset();
+    }
+    if (reply) {
+      try {
+        ExecResult result;
+        result.duration = job.apply_remote(*reply);
+        result.ok = true;
+        result.remote = true;
+        return result;
+      } catch (const std::exception& e) {
+        util::log_warn("sched: remote result rejected (", e.what(),
+                       "); running job locally");
+      }
+    }
+    ExecResult local = execute_contained(job, max_retries);
+    local.remote_declined = true;
+    return local;
+  }
+  return execute_contained(job, max_retries);
 }
 
 }  // namespace
@@ -80,12 +116,15 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
   // generation.
   std::vector<ExecResult> results(jobs.size());
   const std::size_t max_retries = config_.fault.max_retries;
-  auto execute_traced = [max_retries](const Job& job, std::size_t index) {
+  RemoteExecutor* remote = config_.remote;
+  auto execute_traced = [max_retries, remote](const Job& job,
+                                              std::size_t index) {
     trace::Scope span("job.execute", "sched");
     span.arg("job", static_cast<double>(index));
-    ExecResult result = execute_contained(job, max_retries);
+    ExecResult result = execute_with_remote(job, remote, max_retries);
     span.arg("real_retries", static_cast<double>(result.real_retries));
     span.arg("ok", result.ok ? 1.0 : 0.0);
+    span.arg("remote", result.remote ? 1.0 : 0.0);
     return result;
   };
   if (pool_) {
@@ -136,6 +175,8 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
     JobPlacement& p = schedule.placements[i];
     p.retries = results[i].real_retries;
     schedule.total_retries += results[i].real_retries;
+    if (results[i].remote) ++schedule.remote_jobs;
+    if (results[i].remote_declined) ++schedule.remote_fallbacks;
     if (!results[i].ok) {
       // Real execution never succeeded: the job is dropped from the
       // virtual timeline but stays in the schedule as a failed placement.
@@ -224,7 +265,8 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
           transient
               ? injector_.fail_fraction(generation, job, attempt) * duration
               : duration;
-      const double backoff = injector_.backoff_seconds(attempt);
+      const double backoff =
+          injector_.jittered_backoff_seconds(generation, job, attempt);
       device_free[dev] = start + consumed;
       earliest_start[job] = start + consumed + backoff;
       wasted[job] += consumed + backoff;
@@ -297,6 +339,10 @@ GenerationSchedule ResourceManager::run_generation(std::vector<Job> jobs) {
     add_count("sched.straggler_events", schedule.straggler_events);
     add_count("sched.device_quarantines", schedule.newly_quarantined.size());
     add_count("sched.failed_jobs", schedule.failed_jobs);
+    if (config_.remote) {
+      add_count("sched.remote_jobs", schedule.remote_jobs);
+      add_count("sched.remote_fallbacks", schedule.remote_fallbacks);
+    }
     metrics_->counter("sched.wasted_virtual_seconds")
         .add(schedule.wasted_seconds);
     metrics_->counter("sched.idle_virtual_seconds").add(schedule.idle_seconds);

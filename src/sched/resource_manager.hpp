@@ -20,9 +20,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sched/cost_model.hpp"
+#include "sched/remote.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -37,13 +39,31 @@ struct ClusterConfig {
   bool parallel_execution = true;
   /// Seeded fault injection (disabled by default).
   util::FaultConfig fault;
+  /// Optional real-cluster backend: jobs carrying a remote payload are
+  /// offered here first and only run locally when the executor declines
+  /// (no reachable workers, dispatch attempts exhausted). Not owned; must
+  /// outlive the manager. Null: everything runs in-process.
+  RemoteExecutor* remote = nullptr;
 };
 
 /// A unit of schedulable work. Runs to completion and reports its virtual
 /// duration (sum of per-epoch costs).
 struct Job {
-  /// Executes the work (training a model) and returns virtual seconds.
+  Job() = default;
+  /// Local-only job (the overwhelmingly common construction).
+  Job(std::function<double()> run_fn) : run(std::move(run_fn)) {}
+
+  /// Executes the work (training a model) locally and returns virtual
+  /// seconds. Always set — the local path is also the remote fallback.
   std::function<double()> run;
+  /// What a remote worker needs to run this job (genome, ids, seed). Null:
+  /// the job is local-only and never offered to the remote backend.
+  std::shared_ptr<const util::Json> remote_payload;
+  /// Installs a remote result document (the worker's evaluation record)
+  /// and returns its virtual seconds. Must be set when remote_payload is.
+  /// A throw here means the document was unusable; the scheduler falls
+  /// back to running the job locally.
+  std::function<double(const util::Json&)> apply_remote;
 };
 
 /// Where and when each job of a generation ran (virtual time).
@@ -77,6 +97,10 @@ struct GenerationSchedule {
   std::size_t job_crashes = 0;
   std::size_t straggler_events = 0;
   std::size_t failed_jobs = 0;
+  /// Jobs whose real execution was served by a remote cluster worker, and
+  /// jobs that were offered remotely but fell back to local execution.
+  std::size_t remote_jobs = 0;
+  std::size_t remote_fallbacks = 0;
   double wasted_seconds = 0.0;
   /// Devices quarantined during this generation (permanent failures).
   std::vector<int> newly_quarantined;

@@ -18,6 +18,12 @@ util::Json FaultConfig::to_json() const {
   j["backoff_base_seconds"] = backoff_base_seconds;
   j["backoff_multiplier"] = backoff_multiplier;
   j["backoff_cap_seconds"] = backoff_cap_seconds;
+  j["backoff_jitter"] = backoff_jitter;
+  j["partition_prob"] = partition_prob;
+  j["worker_crash_prob"] = worker_crash_prob;
+  j["slow_link_prob"] = slow_link_prob;
+  j["slow_link_delay_ms"] = slow_link_delay_ms;
+  j["torn_frame_prob"] = torn_frame_prob;
   j["seed"] = seed;
   return j;
 }
@@ -41,6 +47,11 @@ constexpr std::uint64_t kTagTransient = 0xFA11;
 constexpr std::uint64_t kTagCrash = 0xC4A5;
 constexpr std::uint64_t kTagFraction = 0xF4AC;
 constexpr std::uint64_t kTagStraggler = 0x510E;
+constexpr std::uint64_t kTagJitter = 0x717E;
+constexpr std::uint64_t kTagPartition = 0x9A87;
+constexpr std::uint64_t kTagWorkerCrash = 0xA0CC;
+constexpr std::uint64_t kTagSlowLink = 0x510C;
+constexpr std::uint64_t kTagTornFrame = 0x70F4;
 
 }  // namespace
 
@@ -54,8 +65,14 @@ FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {
   probability(config_.permanent_failure_prob, "permanent_failure_prob");
   probability(config_.job_crash_prob, "job_crash_prob");
   probability(config_.straggler_prob, "straggler_prob");
+  probability(config_.partition_prob, "partition_prob");
+  probability(config_.worker_crash_prob, "worker_crash_prob");
+  probability(config_.slow_link_prob, "slow_link_prob");
+  probability(config_.torn_frame_prob, "torn_frame_prob");
   if (config_.straggler_slowdown < 1.0)
     throw std::invalid_argument("FaultInjector: straggler_slowdown must be >= 1");
+  if (config_.backoff_jitter < 0.0 || config_.backoff_jitter > 1.0)
+    throw std::invalid_argument("FaultInjector: backoff_jitter must be in [0, 1]");
 }
 
 double FaultInjector::draw(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
@@ -107,6 +124,42 @@ double FaultInjector::backoff_seconds(std::size_t attempt) const {
   const double backoff = config_.backoff_base_seconds *
                          std::pow(config_.backoff_multiplier, exponent);
   return std::min(backoff, config_.backoff_cap_seconds);
+}
+
+double FaultInjector::jittered_backoff_seconds(std::uint64_t generation,
+                                               std::size_t job,
+                                               std::size_t attempt) const {
+  const double base = backoff_seconds(attempt);
+  if (config_.backoff_jitter <= 0.0) return base;
+  // Uniform in [1 - jitter, 1 + jitter]; a pure hash of the coordinates so
+  // the same retry gets the same jitter on every replay.
+  const double u = draw(kTagJitter, generation, job, attempt);
+  return base * (1.0 + config_.backoff_jitter * (2.0 * u - 1.0));
+}
+
+bool FaultInjector::network_partition(std::uint64_t epoch, std::size_t peer,
+                                      std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagPartition, epoch, peer, attempt) < config_.partition_prob;
+}
+
+bool FaultInjector::worker_crash(std::uint64_t epoch, std::size_t peer,
+                                 std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagWorkerCrash, epoch, peer, attempt) <
+         config_.worker_crash_prob;
+}
+
+bool FaultInjector::slow_link(std::uint64_t epoch, std::size_t peer,
+                              std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagSlowLink, epoch, peer, attempt) < config_.slow_link_prob;
+}
+
+bool FaultInjector::torn_frame(std::uint64_t epoch, std::size_t peer,
+                               std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagTornFrame, epoch, peer, attempt) < config_.torn_frame_prob;
 }
 
 }  // namespace a4nn::util

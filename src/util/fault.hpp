@@ -46,6 +46,29 @@ struct FaultConfig {
   double backoff_base_seconds = 5.0;
   double backoff_multiplier = 2.0;
   double backoff_cap_seconds = 120.0;
+  /// Multiplicative jitter applied to each backoff: the delay is scaled by
+  /// a factor uniform in [1 - jitter, 1 + jitter]. The draw is a pure hash
+  /// of (seed, generation, job, attempt) — never a wall-clock or sequential
+  /// RNG source — so jittered retry timelines replay bit-identically.
+  double backoff_jitter = 0.0;
+
+  // Network fault kinds (cluster master/worker runs). Probabilities are
+  // drawn per (generation/epoch, peer, event) coordinate, deterministic on
+  // both ends of a connection sharing the seed.
+  /// Probability that a dispatch hits a simulated network partition: the
+  /// master drops the connection to the worker mid-flight.
+  double partition_prob = 0.0;
+  /// Probability that a worker "dies" (abruptly closes and stops) right
+  /// after finishing a job, before its result reaches the master.
+  double worker_crash_prob = 0.0;
+  /// Probability that a result is sent over a slow link (delayed by
+  /// slow_link_delay_ms of real time — a straggler link, not a failure).
+  double slow_link_prob = 0.0;
+  double slow_link_delay_ms = 200.0;
+  /// Probability that a frame is torn mid-send: only a prefix of the bytes
+  /// is written before the connection closes.
+  double torn_frame_prob = 0.0;
+
   /// Fault stream seed; the workflow derives it from the run seed when 0.
   std::uint64_t seed = 0;
 
@@ -83,6 +106,24 @@ class FaultInjector {
   /// Virtual seconds of capped exponential backoff before retry number
   /// `attempt` (1-based attempt that just failed).
   double backoff_seconds(std::size_t attempt) const;
+
+  /// backoff_seconds(attempt) scaled by the deterministic jitter factor for
+  /// (generation, job, attempt). Equal to backoff_seconds(attempt) when
+  /// backoff_jitter is 0.
+  double jittered_backoff_seconds(std::uint64_t generation, std::size_t job,
+                                  std::size_t attempt) const;
+
+  // Network fault oracles (cluster transport). `epoch` is whatever
+  // monotonic coordinate the caller replays deterministically — the
+  // master's dispatch count, the worker's completed-job count.
+  bool network_partition(std::uint64_t epoch, std::size_t peer,
+                         std::size_t attempt) const;
+  bool worker_crash(std::uint64_t epoch, std::size_t peer,
+                    std::size_t attempt) const;
+  bool slow_link(std::uint64_t epoch, std::size_t peer,
+                 std::size_t attempt) const;
+  bool torn_frame(std::uint64_t epoch, std::size_t peer,
+                  std::size_t attempt) const;
 
  private:
   /// Uniform [0, 1) draw from the hash of the given coordinates.

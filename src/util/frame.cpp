@@ -78,4 +78,133 @@ UnframeResult unframe_or_legacy(std::string_view content) {
   return {std::string(parse_frame(content)), true};
 }
 
+// --- Wire framing ----------------------------------------------------------
+
+namespace {
+
+/// Bytes before the payload: u32 length + u8 type.
+constexpr std::size_t kWireHeaderBytes = 5;
+
+inline std::uint32_t load_u32le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+std::string encode_wire_frame(std::uint8_t type, std::string_view payload) {
+  const std::string framed = frame(payload);
+  const std::uint32_t len = static_cast<std::uint32_t>(framed.size());
+  std::string out;
+  out.reserve(kWireHeaderBytes + framed.size());
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>(type));
+  out.append(framed);
+  return out;
+}
+
+StreamDecoder::StreamDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void StreamDecoder::feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+}
+
+void StreamDecoder::reset() {
+  buffer_.clear();
+  resyncing_ = false;
+}
+
+void StreamDecoder::drop_front(std::size_t n) {
+  buffer_.erase(0, n);
+}
+
+StreamDecoder::Parse StreamDecoder::try_parse(std::size_t offset,
+                                              WireFrame& out) const {
+  if (buffer_.size() - offset < kWireHeaderBytes) return Parse::kNeedMore;
+  const std::uint32_t len = load_u32le(buffer_.data() + offset);
+  if (len > max_frame_bytes_) return Parse::kBad;
+  if (buffer_.size() - offset - kWireHeaderBytes < len) return Parse::kNeedMore;
+  const std::string_view framed(buffer_.data() + offset + kWireHeaderBytes,
+                                len);
+  try {
+    out.payload = unframe(framed);
+  } catch (const FrameError&) {
+    return Parse::kBad;
+  }
+  out.type = static_cast<std::uint8_t>(
+      static_cast<unsigned char>(buffer_[offset + kWireHeaderBytes - 1]));
+  return Parse::kOk;
+}
+
+bool StreamDecoder::next(WireFrame& out) {
+  while (true) {
+    if (!resyncing_) {
+      switch (try_parse(0, out)) {
+        case Parse::kOk: {
+          const std::uint32_t len = load_u32le(buffer_.data());
+          drop_front(kWireHeaderBytes + len);
+          ++frames_decoded_;
+          return true;
+        }
+        case Parse::kNeedMore:
+          return false;
+        case Parse::kBad:
+          // Corruption somewhere in (at least) the frame at offset 0: the
+          // length field cannot be trusted, so scan forward for the next
+          // position that parses as a complete valid frame.
+          ++corrupt_frames_;
+          ++resyncs_;
+          resyncing_ = true;
+          ++bytes_discarded_;
+          drop_front(1);
+          break;
+      }
+    }
+
+    // Resync: candidate frame starts are positions whose payload begins
+    // with the inner-frame magic kWireHeaderBytes later. Scanning for the
+    // magic (instead of brute-forcing every offset) keeps this linear.
+    while (resyncing_) {
+      const std::size_t magic_pos = buffer_.find(
+          kFrameMagic.data(), kWireHeaderBytes, kFrameMagic.size());
+      if (magic_pos == std::string::npos) {
+        // No candidate in the buffer. Keep only the bytes that could still
+        // be the prefix of a future candidate (header + partial magic).
+        const std::size_t keep =
+            std::min(buffer_.size(), kWireHeaderBytes + kFrameMagic.size() - 1);
+        bytes_discarded_ += buffer_.size() - keep;
+        drop_front(buffer_.size() - keep);
+        return false;
+      }
+      const std::size_t candidate = magic_pos - kWireHeaderBytes;
+      bytes_discarded_ += candidate;
+      drop_front(candidate);
+      switch (try_parse(0, out)) {
+        case Parse::kOk: {
+          const std::uint32_t len = load_u32le(buffer_.data());
+          drop_front(kWireHeaderBytes + len);
+          ++frames_decoded_;
+          resyncing_ = false;
+          return true;
+        }
+        case Parse::kNeedMore:
+          return false;
+        case Parse::kBad:
+          // False candidate (magic bytes inside garbage): skip past the
+          // magic occurrence and keep scanning.
+          bytes_discarded_ += 1;
+          drop_front(1);
+          break;
+      }
+    }
+  }
+}
+
 }  // namespace a4nn::util

@@ -15,6 +15,8 @@
 // legacy — it means the tree was written by a newer build.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -49,5 +51,72 @@ struct UnframeResult {
 /// and unwrapped; unframed content is treated as a legacy artifact and
 /// returned verbatim.
 UnframeResult unframe_or_legacy(std::string_view content);
+
+// --- Wire framing (cluster TCP protocol) -----------------------------------
+//
+// A wire frame is `[u32 length, little-endian][u8 type][payload]` where the
+// payload is itself an A4NNF1 integrity frame (header + CRC-32) wrapping the
+// message text. The length covers the payload only, not the type byte. The
+// inner frame makes every message self-validating, so a receiver can detect
+// torn writes, bit flips, and truncation without trusting the outer length
+// field — and can *resynchronize* after corruption by scanning for the next
+// payload that starts with the A4NNF magic and passes its CRC.
+
+/// One decoded wire frame: the type byte plus the verified (unframed)
+/// message text.
+struct WireFrame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Frames a message for the wire: `[u32 len][u8 type][A4NNF1(payload)]`.
+std::string encode_wire_frame(std::uint8_t type, std::string_view payload);
+
+/// Incremental wire-frame decoder. Feed it bytes in whatever chunks the
+/// socket delivers; next() yields complete, CRC-verified frames as they
+/// become available. A frame that fails validation (bad length field,
+/// payload CRC mismatch, truncated inner frame) is counted and the decoder
+/// enters resync mode: it scans forward for the next byte position that
+/// parses as a complete valid frame, discarding garbage in between. The
+/// stream therefore survives torn frames and mid-stream corruption at the
+/// cost of the corrupted message(s) only.
+class StreamDecoder {
+ public:
+  /// `max_frame_bytes` bounds the payload length a header may claim; a
+  /// larger claim is treated as corruption (protects against a flipped
+  /// length bit demanding gigabytes of buffer).
+  explicit StreamDecoder(std::size_t max_frame_bytes = 64u << 20);
+
+  /// Append raw bytes from the transport.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Decode the next complete frame into `out`. Returns false when the
+  /// buffered bytes do not (yet) contain one; feed more and retry.
+  bool next(WireFrame& out);
+
+  /// Drop all buffered bytes and resync state (fresh connection).
+  void reset();
+
+  /// Lifetime accounting (never reset by reset()).
+  std::size_t frames_decoded() const { return frames_decoded_; }
+  std::size_t corrupt_frames() const { return corrupt_frames_; }
+  std::size_t resyncs() const { return resyncs_; }
+  std::size_t bytes_discarded() const { return bytes_discarded_; }
+
+ private:
+  /// Try to parse a complete frame at `offset` into `out`.
+  enum class Parse { kOk, kNeedMore, kBad };
+  Parse try_parse(std::size_t offset, WireFrame& out) const;
+  void drop_front(std::size_t n);
+
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool resyncing_ = false;
+  std::size_t frames_decoded_ = 0;
+  std::size_t corrupt_frames_ = 0;
+  std::size_t resyncs_ = 0;
+  std::size_t bytes_discarded_ = 0;
+};
 
 }  // namespace a4nn::util

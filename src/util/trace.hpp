@@ -34,9 +34,12 @@
 
 namespace a4nn::util::trace {
 
-/// Pseudo-process ids: real host spans vs the simulated device timeline.
+/// Pseudo-process ids: real host spans, the simulated device timeline, and
+/// the cluster master's per-worker lanes (host microseconds; dispatches,
+/// re-dispatches, heartbeat losses, quarantines).
 inline constexpr int kHostPid = 1;
 inline constexpr int kVirtualPid = 2;
+inline constexpr int kClusterPid = 3;
 
 /// True while the recorder is capturing. Hot paths gate on this.
 bool enabled();

@@ -338,6 +338,85 @@ TEST(FaultTolerance, StragglersSlowDownWithoutFailing) {
   EXPECT_DOUBLE_EQ(s.makespan_end, 250.0);
 }
 
+// Backoff jitter draws from the seeded hash stream, never the wall clock:
+// the same (seed, generation, job, attempt) coordinate always yields the
+// same delay, different seeds yield different ones, and the factor stays
+// inside the configured [1 - jitter, 1 + jitter] band.
+TEST(FaultTolerance, BackoffJitterIsSeededNotWallClock) {
+  util::FaultConfig fc;
+  fc.enabled = true;
+  fc.backoff_base_seconds = 2.0;
+  fc.backoff_multiplier = 2.0;
+  fc.backoff_cap_seconds = 64.0;
+  fc.backoff_jitter = 0.25;
+  fc.seed = 42;
+  const util::FaultInjector a(fc);
+  const util::FaultInjector b(fc);  // same seed, constructed later
+  fc.seed = 43;
+  const util::FaultInjector other(fc);
+
+  bool any_diverged = false;
+  for (std::uint64_t gen = 0; gen < 4; ++gen) {
+    for (std::size_t job = 0; job < 8; ++job) {
+      for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+        const double base = a.backoff_seconds(attempt);
+        const double da = a.jittered_backoff_seconds(gen, job, attempt);
+        // Bit-identical across injector instances: pure hash, no state.
+        EXPECT_EQ(da, b.jittered_backoff_seconds(gen, job, attempt));
+        EXPECT_GE(da, base * (1.0 - fc.backoff_jitter));
+        EXPECT_LE(da, base * (1.0 + fc.backoff_jitter));
+        if (da != other.jittered_backoff_seconds(gen, job, attempt))
+          any_diverged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diverged);  // the seed actually feeds the stream
+
+  // jitter = 0 degenerates to the exact unjittered delay.
+  fc.backoff_jitter = 0.0;
+  fc.seed = 42;
+  const util::FaultInjector plain(fc);
+  for (std::size_t attempt = 1; attempt <= 4; ++attempt)
+    EXPECT_EQ(plain.jittered_backoff_seconds(1, 2, attempt),
+              plain.backoff_seconds(attempt));
+}
+
+// A faulty generation with jittered backoff replays bit-identically:
+// every placement's timeline, retry count, and the makespan are equal
+// across two runs of the same configuration.
+TEST(FaultTolerance, JitteredFaultyScheduleReplaysBitIdentically) {
+  sched::ClusterConfig cc;
+  cc.num_gpus = 2;
+  cc.parallel_execution = false;
+  cc.fault.enabled = true;
+  cc.fault.transient_failure_prob = 0.5;
+  cc.fault.job_crash_prob = 0.2;
+  cc.fault.straggler_prob = 0.3;
+  cc.fault.backoff_base_seconds = 3.0;
+  cc.fault.backoff_jitter = 0.4;
+  cc.fault.seed = 99;
+
+  sched::ResourceManager rm1(cc);
+  sched::ResourceManager rm2(cc);
+  const sched::GenerationSchedule s1 = rm1.run_generation(fixed_jobs(6, 50.0));
+  const sched::GenerationSchedule s2 = rm2.run_generation(fixed_jobs(6, 50.0));
+
+  EXPECT_GT(s1.total_retries, 0u);  // faults (and thus jitter) were active
+  ASSERT_EQ(s1.placements.size(), s2.placements.size());
+  for (std::size_t i = 0; i < s1.placements.size(); ++i) {
+    const auto& p1 = s1.placements[i];
+    const auto& p2 = s2.placements[i];
+    EXPECT_EQ(p1.device_id, p2.device_id) << "job " << i;
+    EXPECT_EQ(p1.retries, p2.retries) << "job " << i;
+    EXPECT_EQ(p1.start_seconds, p2.start_seconds) << "job " << i;
+    EXPECT_EQ(p1.duration_seconds, p2.duration_seconds) << "job " << i;
+    EXPECT_EQ(p1.wasted_seconds, p2.wasted_seconds) << "job " << i;
+  }
+  EXPECT_EQ(s1.makespan_end, s2.makespan_end);
+  EXPECT_EQ(s1.total_retries, s2.total_retries);
+  EXPECT_EQ(s1.transient_faults, s2.transient_faults);
+}
+
 // fsck quarantines a corrupt record file (so resume survives it) and
 // removes stale tmp files from crashed writers.
 TEST(FaultTolerance, FsckQuarantinesCorruptRecords) {
