@@ -16,16 +16,21 @@
 //   # workers (terminals 2, 3)
 //   ./a4nn_cluster --worker --connect 127.0.0.1:7501 --worker-name w0
 //                  --population 4 --generations 3 --epochs 4
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "cluster/master.hpp"
 #include "cluster/worker.hpp"
 #include "core/a4nn.hpp"
+#include "orchestrator/workflow_evaluator.hpp"
 #include "tensor/parallel.hpp"
 #include "util/args.hpp"
 #include "util/checksum.hpp"
+#include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
 using namespace a4nn;
@@ -105,6 +110,21 @@ int run_master(const util::ArgParser& args, core::WorkflowConfig cfg,
   try {
     core::A4nnWorkflow workflow(std::move(cfg));
     result = workflow.run();
+  } catch (const orchestrator::WorkflowInterrupted& e) {
+    if (!util::shutdown_requested()) {
+      std::fprintf(stderr, "a4nn_cluster: %s\n", e.what());
+      return 1;
+    }
+    // Graceful SIGINT/SIGTERM: completed records already reached the
+    // commons; tell the workers to shut down and flush the trace.
+    master.stop();
+    if (!trace_out.empty()) {
+      util::trace::stop();
+      util::trace::write(trace_out);
+    }
+    std::printf("a4nn_cluster: stopped cleanly on signal %d (%s)\n",
+                util::shutdown_signal(), e.what());
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "a4nn_cluster: %s\n", e.what());
     return 1;
@@ -219,6 +239,18 @@ int run_worker(const util::ArgParser& args, core::WorkflowConfig cfg,
 
   const nas::SearchSpaceConfig space = cfg.nas.space;
   cluster::Worker worker(opts);
+  // Relay SIGINT/SIGTERM into the worker's stop flag: run() winds down
+  // after the in-flight jobs finish, so nothing is lost mid-training.
+  std::atomic<bool> watcher_done{false};
+  std::thread watcher([&] {
+    while (!watcher_done.load()) {
+      if (util::shutdown_requested()) {
+        worker.request_stop();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
   const cluster::WorkerStats stats =
       worker.run([&](const cluster::JobRequest& req) {
         const nas::Genome genome = nas::Genome::from_json(req.genome);
@@ -228,6 +260,11 @@ int run_worker(const util::ArgParser& args, core::WorkflowConfig cfg,
         record.generation = req.generation;
         return record.to_json();
       });
+  watcher_done.store(true);
+  watcher.join();
+  if (util::shutdown_requested())
+    std::printf("worker '%s': stopped cleanly on signal %d\n",
+                opts.name.c_str(), util::shutdown_signal());
 
   std::printf(
       "worker '%s': %zu job(s) completed, %zu reconnect(s), %s\n",
@@ -329,6 +366,7 @@ int main(int argc, char** argv) {
   }
   if (args.get_size("intra-op-threads") > 0)
     tensor::set_intra_op_threads(args.get_size("intra-op-threads"));
+  util::install_shutdown_handlers();
 
   core::WorkflowConfig cfg = build_config(args);
   // Digest over the canonical configuration JSON: both sides compute it

@@ -12,9 +12,11 @@
 
 #include "analytics/dot_export.hpp"
 #include "core/a4nn.hpp"
+#include "orchestrator/workflow_evaluator.hpp"
 #include "tensor/parallel.hpp"
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
 
@@ -193,12 +195,28 @@ int main(int argc, char** argv) {
     if (const char* env = std::getenv("A4NN_TRACE")) trace_out = env;
   }
   if (!trace_out.empty()) util::trace::start();
+  util::install_shutdown_handlers();
 
   std::optional<core::A4nnWorkflow> workflow_holder;
   core::WorkflowResult result;
   try {
     workflow_holder.emplace(std::move(cfg));
     result = workflow_holder->run();
+  } catch (const orchestrator::WorkflowInterrupted& e) {
+    if (!util::shutdown_requested()) {
+      std::fprintf(stderr, "a4nn_run: %s\n", e.what());
+      return 1;
+    }
+    // Graceful SIGINT/SIGTERM: completed records are already flushed to
+    // the commons. Flush the trace and exit cleanly; --resume continues.
+    if (!trace_out.empty()) {
+      util::trace::stop();
+      util::trace::write(trace_out);
+    }
+    std::printf("a4nn_run: stopped cleanly on signal %d (%s); rerun with "
+                "--resume to continue\n",
+                util::shutdown_signal(), e.what());
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "a4nn_run: %s\n", e.what());
     return 1;

@@ -17,6 +17,7 @@
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   util::set_log_level(util::LogLevel::kInfo);
+  util::install_shutdown_handlers();
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) util::trace::start();
 
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
       fleet.emplace_back([&, c] {
         // Closed loop: one outstanding request per client.
         for (std::size_t i = c; i < total; i += clients) {
+          if (util::shutdown_requested()) break;
           const std::size_t sample = i % pool.size();
           auto image = pool.image(sample);
           auto res = engine.submit({image.begin(), image.end()});
@@ -160,5 +163,8 @@ int main(int argc, char** argv) {
     util::trace::write(trace_out);
     std::printf("wrote %s\n", trace_out.c_str());
   }
+  if (util::shutdown_requested())
+    std::printf("stopped cleanly on signal %d (in-flight requests drained)\n",
+                util::shutdown_signal());
   return 0;
 }

@@ -28,6 +28,7 @@ import sys
 HOST_PID = 1
 VIRTUAL_PID = 2
 CLUSTER_PID = 3
+STREAM_PID = 4
 
 # Every cluster counter increments alongside exactly one pid-3 trace event
 # (Master::note / the job.remote completion span), so trace and metrics
@@ -47,6 +48,21 @@ CLUSTER_PAIRS = [
     ("cluster.worker_rejects", "worker.reject", "i"),
     ("cluster.injected_partitions", "fault.partition", "i"),
     ("cluster.injected_torn_frames", "fault.torn_frame", "i"),
+]
+# Every stream counter increments alongside exactly one pid-4 instant
+# (Supervisor::note / StreamScenario::note fire both at the same point),
+# so the streaming loop's self-reported counts are held to the trace.
+STREAM_PAIRS = [
+    ("stream.windows", "drift.window"),
+    ("stream.triggers_fired", "trigger.fired"),
+    ("stream.triggers_acked", "trigger.acked"),
+    ("stream.triggers_completed", "trigger.completed"),
+    ("stream.triggers_shed", "trigger.shed"),
+    ("stream.corrupt_frames", "frame.corrupt_drop"),
+    ("stream.child_restarts", "child.restart"),
+    ("stream.child_crashes", "child.crash"),
+    ("stream.watchdog_stalls", "child.stall"),
+    ("stream.degraded_entries", "child.degraded"),
 ]
 # Everything crossing JSON is an IEEE-754 round-trippable double, so the
 # sums should match exactly; the epsilon only absorbs the associativity of
@@ -208,6 +224,50 @@ def check_cluster_agreement(doc, events):
     )
 
 
+def check_stream_agreement(doc, events):
+    """Cross-check pid-4 (streaming loop) instants against stream.* counters.
+
+    Passes trivially when the stream scenario never ran: no stream
+    counters and no pid-4 events means nothing to disagree about.
+    """
+    counters = doc.get("metrics", {}).get("counters", {})
+    stream_events = [e for e in events if e["pid"] == STREAM_PID]
+    has_counters = any(name.startswith("stream.") for name in counters)
+    if not stream_events and not has_counters:
+        print("check_trace: ok: no stream activity (skipping pid-4 cross-check)")
+        return
+
+    by_name = {}
+    for e in stream_events:
+        if e["ph"] == "i":
+            by_name.setdefault(e["name"], []).append(e)
+
+    checked = 0
+    for counter_name, event_name in STREAM_PAIRS:
+        expected = counters.get(counter_name, 0.0)
+        observed = len(by_name.get(event_name, []))
+        if not close(expected, observed):
+            fail(
+                f"pid-4 {event_name!r} instants number {observed} but the "
+                f"{counter_name} counter says {expected}"
+            )
+        checked += 1
+    # The trigger ladder only moves forward: a trigger must be fired
+    # before it is acked, and acked before it completes.
+    fired = counters.get("stream.triggers_fired", 0.0)
+    acked = counters.get("stream.triggers_acked", 0.0)
+    completed = counters.get("stream.triggers_completed", 0.0)
+    if not (fired >= acked >= completed):
+        fail(
+            f"trigger ladder runs backwards: fired={fired} "
+            f"acked={acked} completed={completed}"
+        )
+    print(
+        f"check_trace: ok: {len(stream_events)} pid-4 events match "
+        f"{checked} stream counters"
+    )
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -224,6 +284,7 @@ def main():
     check_nesting(events)
     check_metrics_agreement(doc, real)
     check_cluster_agreement(doc, real)
+    check_stream_agreement(doc, real)
     print("check_trace: PASS")
 
 

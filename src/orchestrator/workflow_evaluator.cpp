@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/log.hpp"
+#include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
 namespace a4nn::orchestrator {
@@ -50,6 +51,12 @@ void WorkflowEvaluator::flush_record(const nas::EvaluationRecord& record) {
 
 std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     std::span<const nas::Genome> genomes, int generation) {
+  if (util::shutdown_requested()) {
+    // Graceful stop (SIGINT/SIGTERM): every completed record is already
+    // flushed to the commons, so a --resume run picks up exactly here.
+    throw WorkflowInterrupted("shutdown requested before generation " +
+                              std::to_string(generation));
+  }
   util::trace::Scope gen_span("generation", "nas");
   gen_span.arg("generation", static_cast<double>(generation));
   gen_span.arg("genomes", static_cast<double>(genomes.size()));

@@ -48,6 +48,8 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineConfig config)
   c_items_ = &metrics_->counter("serve.batch_items");
   h_latency_ = &metrics_->histogram("serve.latency_ms", 0.0,
                                     config_.latency_hi_ms, 256);
+  h_latency_window_ = &metrics_->histogram("serve.latency_window_ms", 0.0,
+                                           config_.latency_hi_ms, 256);
   h_queue_ = &metrics_->histogram("serve.queue_ms", 0.0, config_.latency_hi_ms,
                                   256);
   h_batch_ = &metrics_->histogram("serve.batch_size", 0.0,
@@ -199,6 +201,7 @@ void InferenceEngine::run_batch(std::vector<Request> batch,
       p.latency_ms = ms_between(batch[i].enqueued, done);
       h_queue_->observe(p.queue_ms);
       h_latency_->observe(p.latency_ms);
+      h_latency_window_->observe(p.latency_ms);
       batch[i].promise.set_value(std::move(p));
     }
     c_ok_->add(static_cast<double>(count));
@@ -256,6 +259,10 @@ void InferenceEngine::hint_service_time_ms(double per_item_ms) {
 std::size_t InferenceEngine::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+util::metrics::Histogram::WindowSnapshot InferenceEngine::latency_window() {
+  return h_latency_window_->window_snapshot();
 }
 
 util::Json InferenceEngine::stats() const {

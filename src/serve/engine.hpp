@@ -115,6 +115,11 @@ class InferenceEngine {
   /// latency, queue depth, EMA, and the champion identity.
   util::Json stats() const;
 
+  /// Latency quantiles over requests answered since the previous call,
+  /// then reset (Histogram::window_snapshot). The drift monitor reads
+  /// per-window p99 off this; cumulative stats() latency is unaffected.
+  util::metrics::Histogram::WindowSnapshot latency_window();
+
  private:
   struct Request {
     std::vector<float> image;
@@ -143,6 +148,7 @@ class InferenceEngine {
   util::metrics::Counter* c_batches_ = nullptr;
   util::metrics::Counter* c_items_ = nullptr;
   util::metrics::Histogram* h_latency_ = nullptr;
+  util::metrics::Histogram* h_latency_window_ = nullptr;
   util::metrics::Histogram* h_queue_ = nullptr;
   util::metrics::Histogram* h_batch_ = nullptr;
   util::metrics::Gauge* g_depth_ = nullptr;

@@ -1,0 +1,69 @@
+#include "stream/drift.hpp"
+
+#include <stdexcept>
+
+namespace a4nn::stream {
+
+DriftMonitor::DriftMonitor(DriftConfig config)
+    : config_(config),
+      labels_(0.0, static_cast<double>(config.num_classes),
+              config.num_classes == 0 ? 1 : config.num_classes),
+      latency_(0.0, config.latency_hi_ms <= 0.0 ? 1.0 : config.latency_hi_ms,
+               256) {
+  if (config_.window_frames == 0)
+    throw std::invalid_argument("DriftMonitor: window_frames must be > 0");
+  if (config_.sustain_windows == 0)
+    throw std::invalid_argument("DriftMonitor: sustain_windows must be > 0");
+  if (config_.rearm_above < config_.fire_below)
+    throw std::invalid_argument(
+        "DriftMonitor: rearm_above must be >= fire_below");
+}
+
+std::optional<WindowStats> DriftMonitor::observe(std::int64_t predicted,
+                                                 std::int64_t truth,
+                                                 double latency_ms) {
+  labels_.observe(static_cast<double>(truth) + 0.5);
+  latency_.observe(latency_ms);
+  if (predicted == truth) ++correct_;
+  if (++frames_ < config_.window_frames) return std::nullopt;
+
+  WindowStats w;
+  w.index = window_index_;
+  w.frames = frames_;
+  w.correct = correct_;
+  w.accuracy = 100.0 * static_cast<double>(correct_) /
+               static_cast<double>(frames_);
+  auto label_win = labels_.window_snapshot();
+  w.label_counts = std::move(label_win.counts);
+  w.p99_latency_ms = latency_.window_snapshot().p99;
+
+  // Trigger state machine — advances exactly once per window boundary.
+  if (cooldown_ > 0) {
+    --cooldown_;
+    bad_ = 0;
+  } else if (pending_ || w.index < disarm_until_) {
+    bad_ = 0;
+  } else if (w.accuracy < config_.fire_below) {
+    if (++bad_ >= config_.sustain_windows) {
+      w.fired = true;
+      ++fires_;
+      bad_ = 0;
+      cooldown_ = config_.cooldown_windows;
+    }
+  } else if (w.accuracy >= config_.rearm_above) {
+    bad_ = 0;
+  }
+  // accuracy in [fire_below, rearm_above): hold the streak (hysteresis).
+
+  frames_ = 0;
+  correct_ = 0;
+  ++window_index_;
+  history_.push_back(w);
+  return w;
+}
+
+void DriftMonitor::disarm_until(std::size_t window_index) {
+  if (window_index > disarm_until_) disarm_until_ = window_index;
+}
+
+}  // namespace a4nn::stream

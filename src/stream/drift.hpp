@@ -1,0 +1,95 @@
+// Drift monitor: windowed accuracy / label-distribution / tail-latency
+// statistics over the served stream, with a hysteresis + cooldown trigger
+// state machine.
+//
+// The serving pump feeds every validated frame's (prediction, ground
+// truth, latency) into observe(); every `window_frames` observations close
+// a window. A window whose accuracy falls below `fire_below` increments a
+// bad-window streak; `sustain_windows` consecutive bad windows fire the
+// re-search/fine-tune trigger. Firing opens a `cooldown_windows` circuit
+// breaker, and accuracy must climb back above `rearm_above` to clear a
+// partial streak — the hysteresis band keeps a champion oscillating around
+// the threshold from machine-gunning recovery actions.
+//
+// Determinism: the state machine advances only on window boundaries, which
+// are frame-count boundaries, so the fire/no-fire decision per window is a
+// pure function of the frame stream. Resumed runs suppress re-fires with
+// disarm_until() (computed from the trigger journal) and set_pending()
+// (while a recovery action is in flight), not wall-clock state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace a4nn::stream {
+
+struct DriftConfig {
+  std::size_t window_frames = 64;
+  /// Accuracy (percent) below which a window counts toward the streak.
+  double fire_below = 70.0;
+  /// Accuracy (percent) at or above which a partial streak resets; the
+  /// band [fire_below, rearm_above) holds the streak (hysteresis).
+  double rearm_above = 85.0;
+  /// Consecutive bad windows required to fire.
+  std::size_t sustain_windows = 2;
+  /// Windows the trigger stays open (no fires) after firing.
+  std::size_t cooldown_windows = 3;
+  std::size_t num_classes = 2;
+  /// Range ceiling for the per-window latency histogram.
+  double latency_hi_ms = 250.0;
+};
+
+/// One closed drift window.
+struct WindowStats {
+  std::size_t index = 0;
+  std::size_t frames = 0;
+  std::size_t correct = 0;
+  double accuracy = 0.0;  ///< percent
+  std::vector<std::uint64_t> label_counts;
+  double p99_latency_ms = 0.0;
+  bool fired = false;
+};
+
+/// Single-threaded (one consumer — the serving pump owns it).
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config);
+
+  /// Feed one served frame; returns the closed window at each boundary
+  /// (with `fired` set when this boundary fires the trigger).
+  std::optional<WindowStats> observe(std::int64_t predicted,
+                                     std::int64_t truth, double latency_ms);
+
+  /// Replay suppression: windows with index < `window_index` never fire
+  /// (streak held at zero). Monotonic (max wins).
+  void disarm_until(std::size_t window_index);
+  /// While a recovery action is in flight the streak is held at zero; the
+  /// journal, not the monitor, decides what happens to in-flight actions.
+  void set_pending(bool pending) { pending_ = pending; }
+
+  std::size_t windows_closed() const { return window_index_; }
+  std::size_t fires() const { return fires_; }
+  std::size_t bad_streak() const { return bad_; }
+  std::size_t cooldown_remaining() const { return cooldown_; }
+  const std::vector<WindowStats>& history() const { return history_; }
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  DriftConfig config_;
+  util::metrics::Histogram labels_;
+  util::metrics::Histogram latency_;
+  std::size_t frames_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t window_index_ = 0;
+  std::size_t bad_ = 0;
+  std::size_t cooldown_ = 0;
+  std::size_t disarm_until_ = 0;
+  std::size_t fires_ = 0;
+  bool pending_ = false;
+  std::vector<WindowStats> history_;
+};
+
+}  // namespace a4nn::stream

@@ -1,0 +1,229 @@
+#include "stream/journal.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/checksum.hpp"
+#include "util/fsutil.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::stream {
+
+namespace {
+
+/// `<crc32 of body, 8 hex> <body>\n` — the lineage manifest convention, so
+/// a torn or bit-flipped line is deterministically detectable.
+std::string journal_line(const std::string& body) {
+  char crc[12];
+  std::snprintf(crc, sizeof(crc), "%08x ", util::crc32(body));
+  return crc + body + "\n";
+}
+
+bool parse_line(std::string_view line, std::string& body_out) {
+  if (line.size() < 9 || line[8] != ' ') return false;
+  std::uint32_t crc = 0;
+  auto [p, ec] = std::from_chars(line.data(), line.data() + 8, crc, 16);
+  if (ec != std::errc{} || p != line.data() + 8) return false;
+  const std::string_view body = line.substr(9);
+  if (util::crc32(body) != crc) return false;
+  body_out.assign(body);
+  return true;
+}
+
+ActionState state_from_name(const std::string& name) {
+  if (name == "fired") return ActionState::kFired;
+  if (name == "acked") return ActionState::kAcked;
+  if (name == "completed") return ActionState::kCompleted;
+  throw std::runtime_error("TriggerJournal: unknown state " + name);
+}
+
+}  // namespace
+
+const char* action_state_name(ActionState s) {
+  switch (s) {
+    case ActionState::kFired: return "fired";
+    case ActionState::kAcked: return "acked";
+    case ActionState::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+TriggerJournal::TriggerJournal(std::filesystem::path file, bool durable)
+    : file_(std::move(file)), durable_(durable) {
+  std::error_code ec;
+  if (!std::filesystem::exists(file_, ec)) return;
+  const std::string disk = util::read_file(file_);
+  // Replay valid lines (furthest state wins per action); drop torn ones.
+  // The rebuilt in-memory image keeps only the valid lines, so the first
+  // append after a power-cut truncation also repairs the file on disk.
+  std::size_t pos = 0;
+  while (pos < disk.size()) {
+    const std::size_t nl = disk.find('\n', pos);
+    const bool terminated = nl != std::string::npos;
+    const std::string_view line(disk.data() + pos,
+                                (terminated ? nl : disk.size()) - pos);
+    pos = terminated ? nl + 1 : disk.size();
+    if (line.empty()) continue;
+    std::string body;
+    if (!terminated || !parse_line(line, body)) {
+      ++torn_lines_;
+      continue;
+    }
+    util::Json j;
+    try {
+      j = util::Json::parse(body);
+    } catch (const std::exception&) {
+      ++torn_lines_;
+      continue;
+    }
+    if (j.contains("genesis")) {
+      has_genesis_ = true;
+      genesis_model_ = static_cast<int>(j.at("genesis").at("model").as_int());
+      genesis_epoch_ =
+          static_cast<std::size_t>(j.at("genesis").at("epoch").as_int());
+    } else if (j.contains("action")) {
+      ActionRecord rec;
+      rec.action_id = static_cast<std::uint64_t>(j.at("action").as_int());
+      rec.state = state_from_name(j.at("state").as_string());
+      if (j.contains("window"))
+        rec.window_index = static_cast<std::size_t>(j.at("window").as_int());
+      if (j.contains("champion")) {
+        rec.champion_model_id = static_cast<int>(j.at("champion").as_int());
+        rec.champion_epoch =
+            static_cast<std::size_t>(j.at("epoch").as_int());
+      }
+      auto [it, inserted] = actions_.emplace(rec.action_id, rec);
+      if (!inserted && rec.state >= it->second.state) {
+        // Later states carry strictly more fields; keep the fired window.
+        rec.window_index = it->second.window_index;
+        it->second = rec;
+      }
+    } else {
+      ++torn_lines_;
+    }
+    text_.append(journal_line(body));
+  }
+  if (torn_lines_ > 0 && !disk.empty())
+    util::write_file(file_, text_,
+                     durable_ ? util::Durability::kFsync
+                              : util::Durability::kBuffered);
+}
+
+bool TriggerJournal::has_genesis() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_genesis_;
+}
+
+void TriggerJournal::write_genesis(int model_id, std::size_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (has_genesis_) return;
+  util::Json g = util::Json::object();
+  g["model"] = model_id;
+  g["epoch"] = epoch;
+  util::Json j = util::Json::object();
+  j["genesis"] = std::move(g);
+  append_locked(j.dump());
+  has_genesis_ = true;
+  genesis_model_ = model_id;
+  genesis_epoch_ = epoch;
+}
+
+int TriggerJournal::genesis_model_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return genesis_model_;
+}
+
+std::size_t TriggerJournal::genesis_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return genesis_epoch_;
+}
+
+bool TriggerJournal::fire(std::uint64_t action_id, std::size_t window_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (actions_.count(action_id)) return false;
+  util::Json j = util::Json::object();
+  j["action"] = action_id;
+  j["state"] = "fired";
+  j["window"] = window_index;
+  append_locked(j.dump());
+  ActionRecord rec;
+  rec.action_id = action_id;
+  rec.window_index = window_index;
+  rec.state = ActionState::kFired;
+  actions_[action_id] = rec;
+  return true;
+}
+
+bool TriggerJournal::ack(std::uint64_t action_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = actions_.find(action_id);
+  if (it == actions_.end())
+    throw std::runtime_error("TriggerJournal: ack of unknown action");
+  if (it->second.state >= ActionState::kAcked) return false;
+  util::Json j = util::Json::object();
+  j["action"] = action_id;
+  j["state"] = "acked";
+  append_locked(j.dump());
+  it->second.state = ActionState::kAcked;
+  return true;
+}
+
+bool TriggerJournal::complete(std::uint64_t action_id, int champion_model_id,
+                              std::size_t champion_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = actions_.find(action_id);
+  if (it == actions_.end())
+    throw std::runtime_error("TriggerJournal: complete of unknown action");
+  if (it->second.state >= ActionState::kCompleted) return false;
+  util::Json j = util::Json::object();
+  j["action"] = action_id;
+  j["state"] = "completed";
+  j["champion"] = champion_model_id;
+  j["epoch"] = champion_epoch;
+  append_locked(j.dump());
+  it->second.state = ActionState::kCompleted;
+  it->second.champion_model_id = champion_model_id;
+  it->second.champion_epoch = champion_epoch;
+  return true;
+}
+
+std::optional<ActionRecord> TriggerJournal::action(
+    std::uint64_t action_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = actions_.find(action_id);
+  if (it == actions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::uint64_t, ActionRecord> TriggerJournal::actions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return actions_;
+}
+
+std::uint64_t TriggerJournal::next_action_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (actions_.empty()) return 0;
+  return actions_.rbegin()->first + 1;
+}
+
+std::string TriggerJournal::text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return text_;
+}
+
+std::size_t TriggerJournal::appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+
+void TriggerJournal::append_locked(const std::string& body) {
+  if (append_limit_ > 0 && appends_ >= append_limit_)
+    throw StreamInterrupted("journal append limit reached (simulated kill)");
+  text_.append(journal_line(body));
+  util::write_file(file_, text_,
+                   durable_ ? util::Durability::kFsync
+                            : util::Durability::kBuffered);
+  ++appends_;
+}
+
+}  // namespace a4nn::stream

@@ -1,0 +1,103 @@
+// Trigger journal: the crash-consistency spine of the streaming loop.
+//
+// Every recovery action (drift-triggered re-search / fine-tune) walks a
+// three-state ladder — fired → acked → completed — and each transition is
+// one append-only line in `<commons>/stream.journal`, in the same format
+// as the lineage manifest journal: `<crc32 of body, 8 hex> <body>` with a
+// JSON body, committed by an atomic fsync'd rewrite. Because the body
+// carries no wall-clock data (action ids, window indices, and champion
+// identity only), the journal of a run killed anywhere and resumed is
+// byte-identical to the journal of an undisturbed run of the same seed.
+//
+// Exactly-once semantics: transitions are idempotent (appending a state an
+// action already reached is a no-op), so a resumed run re-executing a
+// fired-but-incomplete action re-appends nothing it already wrote and
+// completes the action exactly once. A `genesis` line pins the initial
+// champion identity so the fine-tune source chain is deterministic across
+// resumes even after honest re-records shuffle the commons fitness order.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace a4nn::stream {
+
+/// Thrown to simulate SIGKILL at a chosen journal transition (the
+/// in-process analogue of the CI smoke's real `kill -9`): the supervisor
+/// treats it as "stop everything now", not as a crash to restart.
+struct StreamInterrupted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class ActionState { kFired, kAcked, kCompleted };
+const char* action_state_name(ActionState s);
+
+/// One recovery action's journaled state.
+struct ActionRecord {
+  std::uint64_t action_id = 0;
+  std::size_t window_index = 0;  ///< drift window whose boundary fired it
+  ActionState state = ActionState::kFired;
+  // Completion payload: the champion the registry settled on afterwards
+  // (the fine-tuned model, or the fallback if its artifacts were corrupt).
+  int champion_model_id = -1;
+  std::size_t champion_epoch = 0;
+};
+
+class TriggerJournal {
+ public:
+  /// Loads (and tolerates a torn tail of) an existing journal file; starts
+  /// empty when the file does not exist.
+  explicit TriggerJournal(std::filesystem::path file, bool durable = true);
+
+  bool has_genesis() const;
+  /// Record the initial champion identity. No-op if already present.
+  void write_genesis(int model_id, std::size_t epoch);
+  int genesis_model_id() const;
+  std::size_t genesis_epoch() const;
+
+  /// Each returns true when the transition was appended, false when the
+  /// action had already reached (or passed) that state — the exactly-once
+  /// guard a resumed run leans on.
+  bool fire(std::uint64_t action_id, std::size_t window_index);
+  bool ack(std::uint64_t action_id);
+  bool complete(std::uint64_t action_id, int champion_model_id,
+                std::size_t champion_epoch);
+
+  std::optional<ActionRecord> action(std::uint64_t action_id) const;
+  /// All actions, keyed by id (furthest state wins).
+  std::map<std::uint64_t, ActionRecord> actions() const;
+  /// max(action id) + 1, or 0 for an empty journal.
+  std::uint64_t next_action_id() const;
+
+  std::size_t torn_lines() const { return torn_lines_; }
+  /// The journal image as written to disk (byte-exact; tests diff this).
+  std::string text() const;
+  const std::filesystem::path& file() const { return file_; }
+
+  /// Crash simulation: after `n` successful appends, the next append
+  /// throws StreamInterrupted *before* writing. 0 disables the limit.
+  void set_append_limit(std::size_t n) { append_limit_ = n; }
+  std::size_t appends() const;
+
+ private:
+  void append_locked(const std::string& body);
+
+  std::filesystem::path file_;
+  bool durable_;
+  mutable std::mutex mutex_;
+  std::string text_;
+  std::map<std::uint64_t, ActionRecord> actions_;
+  bool has_genesis_ = false;
+  int genesis_model_ = -1;
+  std::size_t genesis_epoch_ = 0;
+  std::size_t torn_lines_ = 0;
+  std::size_t appends_ = 0;
+  std::size_t append_limit_ = 0;
+};
+
+}  // namespace a4nn::stream

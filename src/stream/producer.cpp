@@ -1,0 +1,202 @@
+#include "stream/producer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "xfel/diffraction.hpp"
+
+namespace a4nn::stream {
+
+namespace {
+
+/// SplitMix64 avalanche — same construction the fault injector uses, so
+/// pool seeds are pure functions of (dataset seed, phase, class).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t pool_seed(std::uint64_t base, std::size_t phase,
+                        std::size_t cls) {
+  return mix64(mix64(base ^ 0x5EEDF00DULL) ^
+               mix64((static_cast<std::uint64_t>(phase) << 32) | cls));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FrameQueue
+
+FrameQueue::FrameQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool FrameQueue::push(Frame frame, const std::function<bool()>& cancelled) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cancelled && cancelled()) return false;
+    if (closed_) return false;
+    if (queue_.size() < capacity_) break;
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  queue_.push_back(std::move(frame));
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<Frame> FrameQueue::pop(const std::function<bool()>& cancelled) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!queue_.empty()) {
+      Frame frame = std::move(queue_.front());
+      queue_.pop_front();
+      cv_.notify_all();
+      return frame;
+    }
+    if (closed_) return std::nullopt;
+    if (cancelled && cancelled()) return std::nullopt;
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+void FrameQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool FrameQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t FrameQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// StreamProducer
+
+StreamProducer::StreamProducer(ProducerConfig config, FrameQueue& out,
+                               const util::FaultInjector* faults)
+    : config_(std::move(config)), out_(out), faults_(faults) {
+  if (config_.dataset.conformations < 2)
+    throw std::invalid_argument("StreamProducer: need >= 2 conformations");
+  if (config_.pool_per_class == 0)
+    throw std::invalid_argument("StreamProducer: pool_per_class must be > 0");
+  conformations_ = xfel::make_conformations(config_.dataset.protein,
+                                            config_.dataset.conformations);
+  // Normalise the phase schedule: always one phase covering frame 0.
+  if (config_.phases.empty() || config_.phases.front().start_frame != 0) {
+    PhaseSpec base;
+    base.start_frame = 0;
+    base.label_rotation = 0;
+    base.intensity = config_.dataset.intensity;
+    config_.phases.insert(config_.phases.begin(), base);
+  }
+  for (std::size_t i = 1; i < config_.phases.size(); ++i)
+    if (config_.phases[i].start_frame <= config_.phases[i - 1].start_frame)
+      throw std::invalid_argument(
+          "StreamProducer: phases must be sorted by start_frame");
+}
+
+const PhaseSpec& StreamProducer::phase_at(std::size_t index) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < config_.phases.size(); ++i)
+    if (config_.phases[i].start_frame <= index) best = i;
+  return config_.phases[best];
+}
+
+const std::vector<float>& StreamProducer::pool_image(std::size_t phase_index,
+                                                     std::size_t cls,
+                                                     std::size_t sample) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  auto& pool = pools_[phase_index];
+  if (pool.empty()) {
+    const std::size_t classes = config_.dataset.conformations;
+    const xfel::DiffractionSimulator sim(config_.dataset.detector,
+                                         config_.phases[phase_index].intensity);
+    pool.resize(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+      util::Rng rng(pool_seed(config_.dataset.seed, phase_index, c));
+      pool[c].reserve(config_.pool_per_class);
+      for (std::size_t s = 0; s < config_.pool_per_class; ++s)
+        pool[c].push_back(sim.simulate_shot(conformations_[c], rng).image);
+    }
+  }
+  return pool[cls][sample];
+}
+
+Frame StreamProducer::make_frame(std::size_t index) const {
+  const std::size_t classes = config_.dataset.conformations;
+  std::size_t phase_index = 0;
+  for (std::size_t i = 0; i < config_.phases.size(); ++i)
+    if (config_.phases[i].start_frame <= index) phase_index = i;
+  const PhaseSpec& phase = config_.phases[phase_index];
+  const std::size_t cls = index % classes;
+  const std::size_t sample = (index / classes) % config_.pool_per_class;
+  Frame frame;
+  frame.index = index;
+  frame.image = pool_image(phase_index, cls, sample);
+  frame.truth =
+      static_cast<std::int64_t>((cls + phase.label_rotation) % classes);
+  return frame;
+}
+
+void StreamProducer::run(Supervisor::Context& ctx) {
+  const double base_interval_ms =
+      config_.rate_hz > 0.0 ? 1000.0 / config_.rate_hz : 0.0;
+  std::size_t burst_until = 0;
+  std::size_t spike_until = 0;
+  const std::size_t attempt = ctx.attempt();
+  // Backpressure blocking still heartbeats: a producer waiting on a full
+  // queue is healthy, not stalled.
+  const auto blocked = [&ctx] {
+    ctx.heartbeat();
+    return ctx.stopping();
+  };
+  for (std::size_t i = cursor_.load(); i < config_.total_frames; ++i) {
+    if (ctx.stopping()) return;
+    ctx.heartbeat();
+    if (faults_) {
+      if (faults_->stream_crash(i, attempt))
+        throw std::runtime_error("injected producer crash at frame " +
+                                 std::to_string(i));
+      if (faults_->stream_stall(i, attempt)) {
+        // Deliberate uninterruptible, non-heartbeating sleep: watchdog food.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            faults_->config().stream_stall_ms));
+        if (ctx.stopping()) return;  // the watchdog reclaimed us meanwhile
+      }
+      if (faults_->stream_burst(i, attempt))
+        burst_until = i + faults_->config().stream_burst_frames;
+      if (faults_->stream_rate_spike(i, attempt))
+        spike_until = i + faults_->config().stream_rate_spike_frames;
+    }
+    if (base_interval_ms > 0.0 && i >= burst_until) {
+      double interval = base_interval_ms;
+      if (i < spike_until)
+        interval /= std::max(1.0, faults_->config().stream_rate_spike_factor);
+      if (!ctx.sleep_ms(interval)) return;
+    }
+    Frame frame = make_frame(i);
+    if (faults_ && faults_->stream_corrupt_frame(i)) {
+      // Keyed by frame only: corruption is a property of the frame content,
+      // so drift-window exclusions replay identically across restarts.
+      frame.poisoned = true;
+      for (std::size_t k = 0; k < frame.image.size(); k += 7)
+        frame.image[k] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (!out_.push(std::move(frame), blocked)) return;
+    cursor_.store(i + 1);
+  }
+  out_.close();
+}
+
+}  // namespace a4nn::stream

@@ -1,0 +1,128 @@
+// Rate-controlled diffraction-frame producer — the beamline end of the in
+// situ loop. Frame content is a pure function of (seed, frame index, phase
+// schedule): the producer pre-renders a pool of diffraction shots per
+// (phase, conformation) with hash-derived seeds and emits pool samples
+// round-robin, so a restarted producer resumes from its cursor and emits
+// byte-identical frames — the foundation of deterministic faulty replay.
+//
+// Drift is modeled as a phase schedule: from a phase's start frame onward
+// the ground-truth labels rotate (the paper's conformational drift — the
+// protein population in the beam changes, so the image↔class mapping the
+// champion learned goes stale) and the beam intensity may change.
+//
+// Injectable faults (util::FaultInjector stream_* oracles, keyed by frame
+// index and restart attempt): stall (stop heartbeating mid-emit), burst
+// (unpaced frame train), corrupt-frame (non-finite pixels the consumer
+// must detect and drop), rate-spike (temporarily multiplied pacing), and
+// crash (child throws; the supervisor restarts it at the cursor).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "stream/supervisor.hpp"
+#include "util/fault.hpp"
+#include "xfel/dataset.hpp"
+
+namespace a4nn::stream {
+
+struct Frame {
+  std::size_t index = 0;
+  std::vector<float> image;
+  std::int64_t truth = 0;
+  /// Injection ground truth (set when the corrupt-frame fault poisoned the
+  /// payload); the consumer must detect the damage itself by validation.
+  bool poisoned = false;
+};
+
+/// Beamline conditions from `start_frame` onward.
+struct PhaseSpec {
+  std::size_t start_frame = 0;
+  /// Ground-truth label rotation: the image generated for conformation c
+  /// now carries truth (c + label_rotation) % classes.
+  std::size_t label_rotation = 0;
+  xfel::BeamIntensity intensity = xfel::BeamIntensity::kMedium;
+};
+
+/// Bounded SPSC frame queue with cancellable blocking push/pop — the
+/// backpressure edge between beamline rate and serving throughput.
+class FrameQueue {
+ public:
+  explicit FrameQueue(std::size_t capacity);
+
+  /// Blocks while full; returns false when `cancelled` fired first.
+  bool push(Frame frame, const std::function<bool()>& cancelled);
+  /// Blocks while empty; nullopt when cancelled, or closed and drained.
+  std::optional<Frame> pop(const std::function<bool()>& cancelled);
+
+  void close();
+  bool closed() const;
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Frame> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+struct ProducerConfig {
+  std::size_t total_frames = 0;
+  /// Steady pacing rate (frames/s); 0 = unpaced (tests, benches).
+  double rate_hz = 0.0;
+  /// Pre-rendered shots per (phase, class); frame i reuses pool sample
+  /// (i / classes) % pool_per_class of class i % classes.
+  std::size_t pool_per_class = 32;
+  /// Sorted by start_frame; an empty list means one un-drifted phase.
+  std::vector<PhaseSpec> phases;
+  /// Detector geometry / protein / base seed; intensity comes from the
+  /// active phase.
+  xfel::XfelDatasetConfig dataset;
+};
+
+class StreamProducer {
+ public:
+  /// `faults` is nullable and must outlive the producer.
+  StreamProducer(ProducerConfig config, FrameQueue& out,
+                 const util::FaultInjector* faults);
+
+  /// Supervised child body: emits frames [cursor, total_frames) into the
+  /// queue, advancing the cursor only after a successful push, then closes
+  /// the queue. Restart-safe: a new incarnation resumes at the cursor.
+  void run(Supervisor::Context& ctx);
+
+  /// Pure frame synthesis for index i (no faults applied). Also used by
+  /// tests to assert replay identity.
+  Frame make_frame(std::size_t index) const;
+
+  const PhaseSpec& phase_at(std::size_t index) const;
+  std::size_t classes() const { return config_.dataset.conformations; }
+  std::size_t cursor() const { return cursor_.load(); }
+  std::size_t emitted() const { return cursor_.load(); }
+
+ private:
+  const std::vector<float>& pool_image(std::size_t phase_index,
+                                       std::size_t cls,
+                                       std::size_t sample) const;
+
+  ProducerConfig config_;
+  FrameQueue& out_;
+  const util::FaultInjector* faults_;
+  std::vector<xfel::Conformation> conformations_;
+  std::atomic<std::size_t> cursor_{0};
+
+  // Lazily rendered per-phase pools; guarded for cross-restart access.
+  mutable std::mutex pool_mutex_;
+  mutable std::map<std::size_t, std::vector<std::vector<std::vector<float>>>>
+      pools_;  // phase -> class -> sample -> image
+};
+
+}  // namespace a4nn::stream

@@ -1,0 +1,159 @@
+// The self-healing in situ streaming scenario — the tentpole wiring of
+// the beamline→champion loop:
+//
+//   producer (supervised child, trace lane 1)
+//     rate-controlled diffraction frames, injectable faults
+//       ↓ bounded FrameQueue (backpressure)
+//   serving pump (supervised child, lane 2)
+//     validate → micro-batched inference on the registry champion →
+//     DriftMonitor windows → fire/shed recovery triggers
+//       ↓ trigger journal (fired → acked → completed, CRC lines)
+//   recovery worker (supervised child, lane 3)
+//     fine-tune the champion on a buffer of recent frames, re-score the
+//     commons honestly, publish, hot-swap via ModelRegistry::refresh()
+//
+// Crash consistency: every trigger transition is journaled before its
+// effects land, recovery actions are re-executed from the journal after a
+// kill, and every durable payload is a pure function of (seed, frame
+// schedule) — so a run SIGKILLed anywhere and resumed produces the exact
+// journal, champion lineage, and window statistics of an undisturbed run.
+//
+// Graceful degradation ladder (driven by Supervisor escalation):
+//   recovery child exhausted → serve-only mode: triggers are shed, the
+//     stale champion keeps serving;
+//   producer exhausted → the queue closes, the pump drains and finishes;
+//   serving pump exhausted → the run aborts (nothing left to degrade to).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "stream/drift.hpp"
+#include "stream/journal.hpp"
+#include "stream/producer.hpp"
+#include "stream/supervisor.hpp"
+#include "util/fault.hpp"
+
+namespace a4nn::stream {
+
+/// How a fired trigger is executed.
+struct RecoveryConfig {
+  /// Ring of most-recent valid frames handed to the fine-tuner.
+  std::size_t buffer_frames = 128;
+  std::size_t finetune_epochs = 3;
+  std::size_t batch_size = 16;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// Leading fraction of the buffer held out for honest re-scoring.
+  double holdout_fraction = 0.25;
+  /// Recovery action n records its fine-tuned model as model_id_base + n —
+  /// a flat namespace above the NAS ids, so the fine-tune source chain
+  /// (genesis → base+0 → base+1 → …) is deterministic across resumes.
+  int model_id_base = 900000;
+};
+
+struct StreamConfig {
+  std::filesystem::path commons_root;
+  serve::ChampionPolicy policy = serve::ChampionPolicy::kBestFitness;
+  std::uint64_t max_flops = 0;
+
+  serve::EngineConfig engine;
+  ProducerConfig producer;
+  DriftConfig drift;
+  RecoveryConfig recovery;
+  util::FaultConfig fault;
+
+  ChildPolicy producer_policy;
+  ChildPolicy server_policy;
+  ChildPolicy recovery_policy;
+
+  std::size_t queue_capacity = 64;
+  /// Hold the serving pump at the trigger's window boundary until the
+  /// recovery action completes, so the hot-swap point is deterministic in
+  /// the frame sequence (required for byte-identical faulty replay). False
+  /// keeps serving the stale champion while recovery runs concurrently.
+  bool deterministic_swap = true;
+  /// Run DataCommons::fsck before loading (resuming after a kill).
+  bool resume = false;
+  /// Wall-clock safety net; 0 disables. Expiry aborts the run.
+  double max_wall_seconds = 0.0;
+  std::uint64_t seed = 42;
+  /// Fsync journal/lineage writes. Tests that only exercise logic turn
+  /// this off for speed; kill-and-resume paths keep it on.
+  bool durable = true;
+
+  util::metrics::Registry* metrics = nullptr;
+  /// Defaults to <commons_root>/stream.journal when empty.
+  std::filesystem::path journal_path;
+  /// Simulated SIGKILL: the (n+1)-th journal append throws
+  /// StreamInterrupted. 0 disables.
+  std::size_t journal_append_limit = 0;
+  /// Test seam, called after a recovery action records its fine-tuned
+  /// model but before ModelRegistry::refresh() — the hot-swap-under-fire
+  /// test corrupts the snapshot here and asserts the fallback.
+  std::function<void(int model_id, std::size_t epoch)> after_promote_hook;
+  /// Polled by the main loop; returning true drains and stops (SIGINT).
+  std::function<bool()> stop_requested;
+  /// Seeds the engine's service-time EMA (ms) when > 0.
+  double hint_service_time_ms = 0.0;
+};
+
+struct StreamResult {
+  std::size_t frames_produced = 0;
+  std::size_t frames_served = 0;
+  std::size_t frames_corrupt_dropped = 0;
+  std::size_t frames_unserved = 0;  ///< shed/rejected at admission
+  std::size_t windows = 0;
+
+  std::size_t triggers_fired = 0;
+  std::size_t triggers_acked = 0;
+  std::size_t triggers_completed = 0;
+  std::size_t triggers_shed = 0;
+
+  std::size_t child_restarts = 0;
+  std::size_t child_crashes = 0;
+  std::size_t watchdog_stalls = 0;
+  std::size_t degraded_entries = 0;
+
+  bool degraded = false;
+  bool interrupted = false;  ///< simulated kill — resume to continue
+  bool aborted = false;      ///< serving pump dead or wall deadline
+  bool graceful_stop = false;
+
+  std::vector<WindowStats> window_history;
+  /// True where the window overlapped an injected producer fault episode
+  /// (pure oracle replay — identical across runs); parallel to
+  /// window_history. SLO assertions read untainted windows only.
+  std::vector<bool> window_fault_tainted;
+
+  /// Completion payloads in action order: (champion model id, epoch).
+  std::vector<std::pair<int, std::size_t>> champions;
+  std::string journal_text;  ///< byte-exact journal image (tests diff this)
+
+  int final_champion_model = -1;
+  std::size_t final_champion_epoch = 0;
+  std::uint64_t final_generation = 0;
+  double accuracy_overall = 0.0;  ///< percent over served frames
+  /// Max per-window p99 latency over fault-untainted windows (ms).
+  double p99_outside_faults_ms = 0.0;
+
+  util::Json to_json() const;
+};
+
+class StreamScenario {
+ public:
+  explicit StreamScenario(StreamConfig config);
+  /// Run the supervised loop to completion (or kill/abort/stop) and
+  /// collect the result. One call per scenario instance.
+  StreamResult run();
+
+ private:
+  StreamConfig config_;
+};
+
+}  // namespace a4nn::stream

@@ -24,6 +24,16 @@ util::Json FaultConfig::to_json() const {
   j["slow_link_prob"] = slow_link_prob;
   j["slow_link_delay_ms"] = slow_link_delay_ms;
   j["torn_frame_prob"] = torn_frame_prob;
+  j["stream_stall_prob"] = stream_stall_prob;
+  j["stream_stall_ms"] = stream_stall_ms;
+  j["stream_burst_prob"] = stream_burst_prob;
+  j["stream_burst_frames"] = stream_burst_frames;
+  j["stream_corrupt_prob"] = stream_corrupt_prob;
+  j["stream_rate_spike_prob"] = stream_rate_spike_prob;
+  j["stream_rate_spike_factor"] = stream_rate_spike_factor;
+  j["stream_rate_spike_frames"] = stream_rate_spike_frames;
+  j["stream_crash_prob"] = stream_crash_prob;
+  j["stream_recovery_crash_prob"] = stream_recovery_crash_prob;
   j["seed"] = seed;
   return j;
 }
@@ -52,6 +62,12 @@ constexpr std::uint64_t kTagPartition = 0x9A87;
 constexpr std::uint64_t kTagWorkerCrash = 0xA0CC;
 constexpr std::uint64_t kTagSlowLink = 0x510C;
 constexpr std::uint64_t kTagTornFrame = 0x70F4;
+constexpr std::uint64_t kTagStreamStall = 0x57A1;
+constexpr std::uint64_t kTagStreamBurst = 0xB0057;
+constexpr std::uint64_t kTagStreamCorrupt = 0xC0FF;
+constexpr std::uint64_t kTagStreamSpike = 0x5B1C;
+constexpr std::uint64_t kTagStreamCrash = 0x5C4A;
+constexpr std::uint64_t kTagRecoveryCrash = 0x4EC0;
 
 }  // namespace
 
@@ -69,6 +85,15 @@ FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {
   probability(config_.worker_crash_prob, "worker_crash_prob");
   probability(config_.slow_link_prob, "slow_link_prob");
   probability(config_.torn_frame_prob, "torn_frame_prob");
+  probability(config_.stream_stall_prob, "stream_stall_prob");
+  probability(config_.stream_burst_prob, "stream_burst_prob");
+  probability(config_.stream_corrupt_prob, "stream_corrupt_prob");
+  probability(config_.stream_rate_spike_prob, "stream_rate_spike_prob");
+  probability(config_.stream_crash_prob, "stream_crash_prob");
+  probability(config_.stream_recovery_crash_prob, "stream_recovery_crash_prob");
+  if (config_.stream_rate_spike_factor < 1.0)
+    throw std::invalid_argument(
+        "FaultInjector: stream_rate_spike_factor must be >= 1");
   if (config_.straggler_slowdown < 1.0)
     throw std::invalid_argument("FaultInjector: straggler_slowdown must be >= 1");
   if (config_.backoff_jitter < 0.0 || config_.backoff_jitter > 1.0)
@@ -160,6 +185,46 @@ bool FaultInjector::torn_frame(std::uint64_t epoch, std::size_t peer,
                                std::size_t attempt) const {
   if (!config_.enabled) return false;
   return draw(kTagTornFrame, epoch, peer, attempt) < config_.torn_frame_prob;
+}
+
+bool FaultInjector::stream_stall(std::uint64_t frame,
+                                 std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagStreamStall, frame, attempt, 0) < config_.stream_stall_prob;
+}
+
+bool FaultInjector::stream_burst(std::uint64_t frame,
+                                 std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagStreamBurst, frame, attempt, 0) < config_.stream_burst_prob;
+}
+
+bool FaultInjector::stream_corrupt_frame(std::uint64_t frame) const {
+  // No attempt coordinate: in-flight corruption is a property of the frame
+  // content, so the drift monitor's corrupt-frame exclusions replay
+  // identically no matter how many restarts the run saw.
+  if (!config_.enabled) return false;
+  return draw(kTagStreamCorrupt, frame, 0, 0) < config_.stream_corrupt_prob;
+}
+
+bool FaultInjector::stream_rate_spike(std::uint64_t frame,
+                                      std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagStreamSpike, frame, attempt, 0) <
+         config_.stream_rate_spike_prob;
+}
+
+bool FaultInjector::stream_crash(std::uint64_t frame,
+                                 std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagStreamCrash, frame, attempt, 0) < config_.stream_crash_prob;
+}
+
+bool FaultInjector::stream_recovery_crash(std::uint64_t action,
+                                          std::size_t attempt) const {
+  if (!config_.enabled) return false;
+  return draw(kTagRecoveryCrash, action, attempt, 0) <
+         config_.stream_recovery_crash_prob;
 }
 
 }  // namespace a4nn::util

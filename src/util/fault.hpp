@@ -69,6 +69,33 @@ struct FaultConfig {
   /// is written before the connection closes.
   double torn_frame_prob = 0.0;
 
+  // Stream fault kinds (in situ streaming scenario, src/stream). Each
+  // oracle is keyed by (frame index, attempt): the producer replays frame
+  // indices deterministically across restarts, and the attempt coordinate
+  // lets a fault clear on retry instead of wedging a restart loop on the
+  // same frame forever.
+  /// Probability that the producer stalls (stops heartbeating) at a frame
+  /// for stream_stall_ms of real time — watchdog-deadline fodder.
+  double stream_stall_prob = 0.0;
+  double stream_stall_ms = 50.0;
+  /// Probability that a frame opens an unpaced burst of
+  /// stream_burst_frames emitted back-to-back (queue-pressure spike).
+  double stream_burst_prob = 0.0;
+  std::size_t stream_burst_frames = 16;
+  /// Probability that a frame's payload is corrupted in flight (poisoned
+  /// with non-finite pixels); the consumer must detect and drop it.
+  double stream_corrupt_prob = 0.0;
+  /// Probability that a frame opens a rate spike: the next
+  /// stream_rate_spike_frames are paced stream_rate_spike_factor faster.
+  double stream_rate_spike_prob = 0.0;
+  double stream_rate_spike_factor = 4.0;
+  std::size_t stream_rate_spike_frames = 32;
+  /// Probability that the producer child crashes (throws) at a frame.
+  double stream_crash_prob = 0.0;
+  /// Probability that one recovery-action attempt crashes mid-execution
+  /// (keyed by (action id, attempt) instead of frame).
+  double stream_recovery_crash_prob = 0.0;
+
   /// Fault stream seed; the workflow derives it from the run seed when 0.
   std::uint64_t seed = 0;
 
@@ -124,6 +151,16 @@ class FaultInjector {
                  std::size_t attempt) const;
   bool torn_frame(std::uint64_t epoch, std::size_t peer,
                   std::size_t attempt) const;
+
+  // Stream fault oracles (src/stream). `frame` is the producer's frame
+  // index, `attempt` the supervising restart count of the child drawing
+  // the fault — both replayed deterministically.
+  bool stream_stall(std::uint64_t frame, std::size_t attempt) const;
+  bool stream_burst(std::uint64_t frame, std::size_t attempt) const;
+  bool stream_corrupt_frame(std::uint64_t frame) const;
+  bool stream_rate_spike(std::uint64_t frame, std::size_t attempt) const;
+  bool stream_crash(std::uint64_t frame, std::size_t attempt) const;
+  bool stream_recovery_crash(std::uint64_t action, std::size_t attempt) const;
 
  private:
   /// Uniform [0, 1) draw from the hash of the given coordinates.

@@ -1,6 +1,8 @@
 #include "util/fsutil.hpp"
 
+#include <cerrno>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -8,8 +10,6 @@
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 namespace a4nn::util {
@@ -31,15 +31,47 @@ std::uint64_t crash_after_from_env() {
 std::atomic<std::uint64_t> g_write_ops{0};
 std::atomic<std::uint64_t> g_crash_after_writes{crash_after_from_env()};
 
+// All raw I/O below retries on EINTR: the graceful-shutdown handlers
+// (util/shutdown) are installed without SA_RESTART so blocking loops can
+// observe the stop flag, which means any read/write/open/fsync here can
+// return early when a signal lands. Without the retry, a short write of a
+// framed artifact would later be reported by the CRC layer as corruption —
+// a signal must never be able to manufacture a torn file.
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// Write all `size` bytes, resuming partial and EINTR-interrupted writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 /// fsync/fdatasync an open path (O_RDONLY is enough on Linux, and is the
 /// only way to sync a directory). Sync failures are real data-loss risks,
 /// so they throw instead of being swallowed.
 void sync_path(const fs::path& path, bool directory) {
-  const int fd = ::open(path.c_str(), O_RDONLY | (directory ? O_DIRECTORY : 0));
+  const int fd =
+      open_retry(path.c_str(), O_RDONLY | (directory ? O_DIRECTORY : 0));
   if (fd < 0)
     throw std::runtime_error("write_file: cannot open for sync: " +
                              path.string());
-  const int rc = directory ? ::fsync(fd) : ::fdatasync(fd);
+  int rc;
+  do {
+    rc = directory ? ::fsync(fd) : ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
   const int saved_errno = errno;
   ::close(fd);
   if (rc != 0)
@@ -69,11 +101,13 @@ void write_file(const fs::path& path, const std::string& content,
                        "." + std::to_string(write_counter.fetch_add(1));
   const std::uint64_t boundary = g_write_ops.fetch_add(1) + 1;
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("write_file: cannot open " + tmp.string());
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
+    const int fd =
+        open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+      throw std::runtime_error("write_file: cannot open " + tmp.string());
+    const bool ok = write_all(fd, content.data(), content.size());
+    ::close(fd);
+    if (!ok) {
       std::error_code ec;
       fs::remove(tmp, ec);
       throw std::runtime_error("write_file: write failed " + tmp.string());
@@ -108,11 +142,25 @@ std::string read_file(const fs::path& path) {
   std::uintmax_t expected = 0;
   if (regular) expected = fs::file_size(path, stat_ec);
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_file: cannot open " + path.string());
-  std::ostringstream oss;
-  oss << in.rdbuf();
-  std::string content = oss.str();
+  const int fd = open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw std::runtime_error("read_file: cannot open " + path.string());
+  std::string content;
+  if (regular && !stat_ec) content.reserve(static_cast<std::size_t>(expected));
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved_errno = errno;
+      ::close(fd);
+      throw std::runtime_error("read_file: read failed for " + path.string() +
+                               ": " + std::strerror(saved_errno));
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
 
   if (regular && !stat_ec && content.size() != expected)
     throw std::runtime_error(

@@ -30,27 +30,57 @@ std::uint64_t Histogram::total() const {
   return n;
 }
 
-double Histogram::quantile(double q) const {
+namespace {
+
+/// Shared quantile estimator over a materialized count vector (the live
+/// quantile() and window_snapshot() both defer here so their estimates
+/// agree bin for bin).
+double quantile_of(const std::vector<std::uint64_t>& counts, double lo,
+                   double hi, double q) {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const std::uint64_t n = total();
-  if (n == 0) return lo_;
+  std::uint64_t n = 0;
+  for (std::uint64_t c : counts) n += c;
+  if (n == 0) return lo;
   // Target rank in (0, n]; walk bins until the cumulative count covers it,
   // then interpolate within the covering bin.
   const double rank = q * static_cast<double>(n);
-  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double bin_width = (hi - lo) / static_cast<double>(counts.size());
   double cum = 0.0;
-  for (std::size_t b = 0; b < counts_.size(); ++b) {
-    const double c =
-        static_cast<double>(counts_[b].load(std::memory_order_relaxed));
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double c = static_cast<double>(counts[b]);
     if (c == 0.0) continue;
     if (cum + c >= rank) {
       const double frac = (rank - cum) / c;
-      return lo_ + (static_cast<double>(b) + frac) * bin_width;
+      return lo + (static_cast<double>(b) + frac) * bin_width;
     }
     cum += c;
   }
-  return hi_;
+  return hi;
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+  return quantile_of(counts, lo_, hi_, q);
+}
+
+Histogram::WindowSnapshot Histogram::window_snapshot() {
+  WindowSnapshot w;
+  w.counts.resize(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    // exchange, not load+reset: an observation racing with the snapshot is
+    // claimed by exactly one window, never dropped or double-counted.
+    w.counts[b] = counts_[b].exchange(0, std::memory_order_relaxed);
+    w.total += w.counts[b];
+  }
+  w.p50 = quantile_of(w.counts, lo_, hi_, 0.50);
+  w.p95 = quantile_of(w.counts, lo_, hi_, 0.95);
+  w.p99 = quantile_of(w.counts, lo_, hi_, 0.99);
+  return w;
 }
 
 Counter& Registry::counter(const std::string& name) {

@@ -89,6 +89,21 @@ class Histogram {
   /// off this.
   double quantile(double q) const;
 
+  /// Everything observed since the previous window_snapshot() (or since
+  /// construction/reset), with the quantile estimate restricted to that
+  /// window. Bins are atomically exchanged to zero, so consecutive
+  /// snapshots partition the observation stream: an observation lands in
+  /// exactly one window. The drift monitor reads per-window tail latency
+  /// and label distributions off this without a second histogram.
+  struct WindowSnapshot {
+    std::uint64_t total = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<std::uint64_t> counts;  ///< per-bin counts in the window
+  };
+  WindowSnapshot window_snapshot();
+
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   }

@@ -1,0 +1,43 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace a4nn::util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_requested{false};
+
+void on_signal(int sig) {
+  // Async-signal-safe: two atomic stores, then flip the disposition back to
+  // default so a second signal kills the process immediately.
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_relaxed);
+  struct sigaction sa {};
+  sa.sa_handler = SIG_DFL;
+  ::sigaction(sig, &sa, nullptr);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls must EINTR out
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void request_shutdown() { g_requested.store(true, std::memory_order_relaxed); }
+
+}  // namespace a4nn::util

@@ -1,0 +1,36 @@
+// Cooperative graceful shutdown for the CLI drivers.
+//
+// install_shutdown_handlers() points SIGINT/SIGTERM at an async-signal-safe
+// handler that sets one process-wide flag. Long-running loops (workflow
+// generations, serve client fleets, the stream scenario) poll
+// shutdown_requested() and wind down: drain engines, flush trace/metrics/
+// journal artifacts, and exit 0 — instead of the default disposition
+// killing the process with half-written outputs.
+//
+// The handlers are installed *without* SA_RESTART on purpose: a blocking
+// syscall returns EINTR so the enclosing loop gets a chance to observe the
+// flag promptly. util/fsutil's read/write loops retry on EINTR, so signal
+// delivery can never tear an artifact.
+//
+// A second SIGINT/SIGTERM while the first is still draining restores the
+// default disposition and re-raises — an impatient operator can always
+// kill the process the hard way.
+#pragma once
+
+namespace a4nn::util {
+
+/// Install the SIGINT/SIGTERM handlers. Idempotent; call once near the top
+/// of main().
+void install_shutdown_handlers();
+
+/// True once SIGINT or SIGTERM has been delivered (or request_shutdown()
+/// was called). Safe from any thread; never resets.
+bool shutdown_requested();
+
+/// The signal that triggered shutdown (0 when none yet). For log lines.
+int shutdown_signal();
+
+/// Programmatic trigger, for tests and internal escalation paths.
+void request_shutdown();
+
+}  // namespace a4nn::util

@@ -34,12 +34,15 @@
 
 namespace a4nn::util::trace {
 
-/// Pseudo-process ids: real host spans, the simulated device timeline, and
-/// the cluster master's per-worker lanes (host microseconds; dispatches,
-/// re-dispatches, heartbeat losses, quarantines).
+/// Pseudo-process ids: real host spans, the simulated device timeline, the
+/// cluster master's per-worker lanes (host microseconds; dispatches,
+/// re-dispatches, heartbeat losses, quarantines), and the streaming
+/// scenario's supervision tree (producer/server/recovery lanes; trigger,
+/// restart, and degraded-mode events).
 inline constexpr int kHostPid = 1;
 inline constexpr int kVirtualPid = 2;
 inline constexpr int kClusterPid = 3;
+inline constexpr int kStreamPid = 4;
 
 /// True while the recorder is capturing. Hot paths gate on this.
 bool enabled();

@@ -1,0 +1,640 @@
+// Self-healing streaming loop: steady-state serving, drift-triggered
+// recovery with hot-swap, deterministic faulty replay, watchdog
+// supervision, graceful degradation, crash-consistent trigger journal,
+// and kill-anywhere/resume convergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lineage/tracker.hpp"
+#include "nn/layers.hpp"
+#include "stream/drift.hpp"
+#include "stream/journal.hpp"
+#include "stream/scenario.hpp"
+#include "util/fault.hpp"
+#include "util/fsutil.hpp"
+
+namespace a4nn::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kPixels = 8;
+constexpr std::size_t kClasses = 2;  // conformations in the stream
+
+nn::Model tiny_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto trunk = std::make_unique<nn::Sequential>();
+  trunk->append(std::make_unique<nn::Conv2d>(1, 4, 3, 1, 1, rng));
+  trunk->append(std::make_unique<nn::ReLU>());
+  trunk->append(std::make_unique<nn::MaxPool2d>(2));
+  trunk->append(std::make_unique<nn::Flatten>());
+  trunk->append(std::make_unique<nn::Linear>(4 * 4 * 4, kClasses, rng));
+  return nn::Model(std::move(trunk), {1, kPixels, kPixels});
+}
+
+/// Flip one bit of the file at a relative offset in (0, 1).
+void flip_bit(const fs::path& path, double where) {
+  std::string bytes = util::read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  auto pos =
+      static_cast<std::size_t>(where * static_cast<double>(bytes.size()));
+  if (pos >= bytes.size()) pos = bytes.size() - 1;
+  bytes[pos] = static_cast<char>(bytes[pos] ^ 0x10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::size_t count_lines(const std::string& text) {
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+struct StreamFixture : ::testing::Test {
+  void TearDown() override {
+    for (const auto& root : roots) fs::remove_all(root);
+  }
+
+  /// A fresh commons with one servable genesis champion (model 0, epoch 1).
+  /// Identical calls produce byte-identical model weights and records, so
+  /// two commons built this way are interchangeable for replay tests.
+  fs::path make_commons() {
+    const fs::path root = util::make_temp_dir("a4nn-stream");
+    roots.push_back(root);
+    lineage::LineageTracker tracker(
+        lineage::TrackerConfig{root, 1, /*durable=*/false});
+    util::Json cfg = util::Json::object();
+    cfg["experiment"] = "stream-test";
+    tracker.record_search_config(cfg);
+    nn::Model model = tiny_model(11);
+    tracker.record_model_epoch(0, 1, model);
+    util::Rng rng(11);
+    nas::EvaluationRecord r;
+    r.genome = nas::random_genome(3, 4, rng);
+    r.model_id = 0;
+    r.generation = 0;
+    r.fitness = 60.0;
+    r.measured_fitness = 60.0;
+    r.flops = 2000;
+    r.epochs_trained = 1;
+    r.max_epochs = 25;
+    tracker.record_evaluation(r);
+    return root;
+  }
+
+  /// Small, unpaced run: 256 frames, 32-frame windows, trigger disabled
+  /// (fire_below = 0 means no window ever counts bad) until a test arms it.
+  StreamConfig base_config(const fs::path& root) {
+    StreamConfig cfg;
+    cfg.commons_root = root;
+    cfg.seed = 7;
+    cfg.durable = false;
+    cfg.producer.total_frames = 256;
+    cfg.producer.pool_per_class = 8;
+    cfg.producer.dataset.detector.pixels = kPixels;
+    cfg.producer.dataset.conformations = kClasses;
+    cfg.producer.dataset.seed = 7;
+    cfg.drift.window_frames = 32;
+    cfg.drift.num_classes = kClasses;
+    cfg.drift.fire_below = 0.0;
+    cfg.drift.rearm_above = 0.0;
+    cfg.recovery.buffer_frames = 64;
+    cfg.recovery.finetune_epochs = 2;
+    cfg.recovery.batch_size = 16;
+    cfg.engine.max_batch = 4;
+    cfg.engine.max_delay_ms = 0.2;
+    cfg.engine.workers = 2;
+    cfg.engine.queue_capacity = 512;
+    return cfg;
+  }
+
+  std::vector<fs::path> roots;
+};
+
+TEST_F(StreamFixture, SteadyStreamServesEverythingWithinSlo) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  StreamResult r = StreamScenario(cfg).run();
+
+  EXPECT_EQ(r.frames_produced, 256u);
+  EXPECT_EQ(r.frames_served, 256u);
+  EXPECT_EQ(r.frames_corrupt_dropped, 0u);
+  EXPECT_EQ(r.frames_unserved, 0u);
+  EXPECT_EQ(r.windows, 8u);
+  EXPECT_EQ(r.triggers_fired, 0u);
+  EXPECT_EQ(r.triggers_shed, 0u);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.interrupted);
+  // Journal: genesis line only, and it names the published champion.
+  EXPECT_EQ(count_lines(r.journal_text), 1u);
+  TriggerJournal reread(root / "stream.journal");
+  EXPECT_TRUE(reread.has_genesis());
+  EXPECT_EQ(reread.genesis_model_id(), 0);
+  EXPECT_TRUE(reread.actions().empty());
+  // SLO: with no faults every window counts, and the tail stays far from
+  // the histogram ceiling on an unloaded tiny model.
+  ASSERT_EQ(r.window_fault_tainted.size(), r.windows);
+  for (bool tainted : r.window_fault_tainted) EXPECT_FALSE(tainted);
+  EXPECT_GT(r.p99_outside_faults_ms, 0.0);
+  EXPECT_LT(r.p99_outside_faults_ms, 150.0);
+}
+
+TEST_F(StreamFixture, DriftFiresRecoveryAndHotSwapsChampion) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 384;
+  PhaseSpec drifted;
+  drifted.start_frame = 128;
+  drifted.label_rotation = 1;
+  cfg.producer.phases.push_back(drifted);
+  cfg.drift.fire_below = 70.0;
+  cfg.drift.rearm_above = 85.0;
+  cfg.drift.sustain_windows = 2;
+  cfg.drift.cooldown_windows = 2;
+  StreamResult r = StreamScenario(cfg).run();
+
+  ASSERT_GE(r.triggers_completed, 1u);
+  // Deterministic swap holds the stream at each firing boundary, so every
+  // fired action completes before the run ends.
+  EXPECT_EQ(r.triggers_fired, r.triggers_completed);
+  EXPECT_EQ(r.champions.size(), r.triggers_completed);
+  // The fine-tuned model (trained on the drifted stream) wins the honest
+  // re-score and serves as the final champion.
+  EXPECT_GE(r.final_champion_model, cfg.recovery.model_id_base);
+  EXPECT_EQ(r.final_champion_epoch, cfg.recovery.finetune_epochs);
+  // Journal records the full fired → acked → completed ladder per action.
+  EXPECT_EQ(count_occurrences(r.journal_text, "\"fired\""),
+            r.triggers_completed);
+  EXPECT_EQ(count_occurrences(r.journal_text, "\"completed\""),
+            r.triggers_completed);
+  // Fired flags in the window history match the journaled windows.
+  TriggerJournal journal(root / "stream.journal");
+  for (const auto& [id, rec] : journal.actions()) {
+    ASSERT_LT(rec.window_index, r.window_history.size());
+    EXPECT_TRUE(r.window_history[rec.window_index].fired) << "action " << id;
+  }
+  EXPECT_FALSE(r.degraded);
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST_F(StreamFixture, FaultyReplayIsDeterministicAcrossRuns) {
+  // Two independent commons built identically, the same seed and the same
+  // injected faults: the acceptance criterion is byte-identical trigger
+  // journals and the same champion lineage, with every recovery action
+  // fired/acked/completed exactly once.
+  auto run_once = [&](const fs::path& root) {
+    StreamConfig cfg = base_config(root);
+    cfg.drift.fire_below = 101.0;  // every window is bad: fires on schedule
+    cfg.drift.rearm_above = 101.0;
+    cfg.drift.sustain_windows = 2;
+    cfg.drift.cooldown_windows = 2;
+    cfg.fault.enabled = true;
+    cfg.fault.stream_corrupt_prob = 0.03;
+    cfg.fault.stream_crash_prob = 0.004;
+    cfg.fault.stream_recovery_crash_prob = 0.25;
+    cfg.producer_policy.max_restarts = 10;
+    cfg.recovery_policy.max_restarts = 10;
+    return StreamScenario(cfg).run();
+  };
+  const StreamResult a = run_once(make_commons());
+  const StreamResult b = run_once(make_commons());
+
+  EXPECT_EQ(a.journal_text, b.journal_text);
+  EXPECT_EQ(a.champions, b.champions);
+  EXPECT_EQ(a.frames_produced, b.frames_produced);
+  EXPECT_EQ(a.frames_served, b.frames_served);
+  EXPECT_EQ(a.frames_corrupt_dropped, b.frames_corrupt_dropped);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.window_fault_tainted, b.window_fault_tainted);
+  ASSERT_EQ(a.window_history.size(), b.window_history.size());
+  for (std::size_t i = 0; i < a.window_history.size(); ++i) {
+    EXPECT_EQ(a.window_history[i].accuracy, b.window_history[i].accuracy)
+        << "window " << i;
+    EXPECT_EQ(a.window_history[i].fired, b.window_history[i].fired)
+        << "window " << i;
+  }
+  ASSERT_GE(a.triggers_completed, 1u);
+  // Exactly once per action, even with injected recovery crashes forcing
+  // retries: one fired line, one acked line, one completed line each.
+  EXPECT_EQ(count_occurrences(a.journal_text, "\"fired\""),
+            a.triggers_completed);
+  EXPECT_EQ(count_occurrences(a.journal_text, "\"acked\""),
+            a.triggers_completed);
+  EXPECT_EQ(count_occurrences(a.journal_text, "\"completed\""),
+            a.triggers_completed);
+}
+
+TEST_F(StreamFixture, StallTripsWatchdogAndStreamStillCompletes) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 128;
+  cfg.fault.enabled = true;
+  cfg.fault.stream_stall_prob = 0.04;
+  cfg.fault.stream_stall_ms = 60.0;
+  cfg.producer_policy.watchdog_ms = 20.0;
+  // Each restart re-rolls the remaining frames at a new attempt, so the
+  // total stall count compounds well past stall_prob * total_frames; give
+  // the budget generous headroom so the run completes instead of degrading.
+  cfg.producer_policy.max_restarts = 50;
+  // The oracle must draw at least one first-attempt stall for this
+  // configuration, or the test would assert nothing.
+  {
+    util::FaultConfig fc = cfg.fault;
+    fc.seed = cfg.seed ^ 0xA4A4ULL;
+    const util::FaultInjector oracle(fc);
+    std::size_t stalls = 0;
+    for (std::size_t i = 0; i < cfg.producer.total_frames; ++i)
+      if (oracle.stream_stall(i, 0)) ++stalls;
+    ASSERT_GE(stalls, 1u);
+  }
+  StreamResult r = StreamScenario(cfg).run();
+
+  EXPECT_GE(r.watchdog_stalls, 1u);
+  EXPECT_GE(r.child_restarts, 1u);
+  // Restarted incarnations resume at the cursor: no frame lost or doubled.
+  EXPECT_EQ(r.frames_produced, 128u);
+  EXPECT_EQ(r.frames_served, 128u);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(StreamFixture, ProducerExhaustionDegradesGracefully) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 64;
+  cfg.fault.enabled = true;
+  cfg.fault.stream_crash_prob = 1.0;  // crashes at every frame
+  cfg.producer_policy.max_restarts = 1;
+  StreamResult r = StreamScenario(cfg).run();
+
+  // Budget burned: the supervisor escalates, the queue closes, the pump
+  // drains and finishes — a degraded but orderly end, not an abort.
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GE(r.degraded_entries, 1u);
+  EXPECT_GE(r.child_crashes, 2u);
+  EXPECT_EQ(r.frames_produced, 0u);
+  EXPECT_EQ(r.frames_served, 0u);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.interrupted);
+  EXPECT_EQ(count_lines(r.journal_text), 1u);  // genesis only
+}
+
+TEST_F(StreamFixture, CorruptFramesDroppedExactlyPerOracle) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.fault.enabled = true;
+  cfg.fault.stream_corrupt_prob = 0.08;
+  util::FaultConfig fc = cfg.fault;
+  fc.seed = cfg.seed ^ 0xA4A4ULL;
+  const util::FaultInjector oracle(fc);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < cfg.producer.total_frames; ++i)
+    if (oracle.stream_corrupt_frame(i)) ++expected;
+  ASSERT_GE(expected, 1u);
+
+  StreamResult r = StreamScenario(cfg).run();
+  EXPECT_EQ(r.frames_corrupt_dropped, expected);
+  EXPECT_EQ(r.frames_served, 256u - expected);
+  // Corrupt frames never reach the drift monitor: window boundaries are
+  // counted over valid frames only.
+  EXPECT_EQ(r.windows, (256u - expected) / cfg.drift.window_frames);
+}
+
+TEST_F(StreamFixture, KillAnywhereThenResumeConvergesToReferenceJournal) {
+  // Reference: an undisturbed run whose configuration fires exactly one
+  // recovery action (cooldown covers the rest of the stream), producing a
+  // 4-line journal: genesis, fired, acked, completed.
+  auto configure = [&](const fs::path& root) {
+    StreamConfig cfg = base_config(root);
+    cfg.producer.total_frames = 192;
+    cfg.drift.fire_below = 101.0;
+    cfg.drift.rearm_above = 101.0;
+    cfg.drift.sustain_windows = 2;
+    cfg.drift.cooldown_windows = 100;
+    return cfg;
+  };
+  const StreamResult ref = StreamScenario(configure(make_commons())).run();
+  ASSERT_EQ(ref.triggers_completed, 1u);
+  ASSERT_EQ(count_lines(ref.journal_text), 4u);
+  ASSERT_FALSE(ref.interrupted);
+
+  // Kill after every possible journal append (1 = after genesis, 2 = after
+  // fired, 3 = after acked), then resume: the journal must converge to the
+  // reference bytes and the same champion lineage, with nothing re-fired.
+  for (std::size_t kill_after : {1u, 2u, 3u}) {
+    const fs::path root = make_commons();
+    StreamConfig killed = configure(root);
+    killed.journal_append_limit = kill_after;
+    const StreamResult dead = StreamScenario(killed).run();
+    EXPECT_TRUE(dead.interrupted) << "kill_after " << kill_after;
+    EXPECT_LE(count_lines(dead.journal_text), kill_after);
+
+    StreamConfig resumed = configure(root);
+    resumed.resume = true;
+    const StreamResult back = StreamScenario(resumed).run();
+    EXPECT_FALSE(back.interrupted) << "kill_after " << kill_after;
+    EXPECT_EQ(back.journal_text, ref.journal_text)
+        << "kill_after " << kill_after;
+    EXPECT_EQ(back.champions, ref.champions) << "kill_after " << kill_after;
+    EXPECT_EQ(back.triggers_completed, 1u) << "kill_after " << kill_after;
+    EXPECT_EQ(back.final_champion_model, ref.final_champion_model)
+        << "kill_after " << kill_after;
+  }
+}
+
+TEST_F(StreamFixture, CorruptPromotedChampionFallsBackDuringHotSwap) {
+  // Hot-swap under fire: the recovery action promotes its fine-tuned
+  // model, the snapshot is damaged before the registry refresh, and the
+  // swap must fall back to the intact genesis champion with zero failed
+  // in-flight requests.
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 192;
+  cfg.drift.fire_below = 101.0;
+  cfg.drift.rearm_above = 101.0;
+  cfg.drift.sustain_windows = 2;
+  cfg.drift.cooldown_windows = 100;
+  cfg.after_promote_hook = [&](int model_id, std::size_t epoch) {
+    flip_bit(root / "models" / lineage::model_dir_name(model_id) /
+                 lineage::snapshot_file_name(epoch),
+             0.5);
+  };
+  StreamResult r = StreamScenario(cfg).run();
+
+  ASSERT_EQ(r.triggers_completed, 1u);
+  // The completion line records the champion the registry actually settled
+  // on: the genesis fallback, not the corrupt promotion.
+  ASSERT_EQ(r.champions.size(), 1u);
+  EXPECT_EQ(r.champions[0].first, 0);
+  EXPECT_EQ(r.champions[0].second, 1u);
+  EXPECT_EQ(r.final_champion_model, 0);
+  // Zero failed in-flight: every produced frame is accounted for.
+  EXPECT_EQ(r.frames_served + r.frames_corrupt_dropped + r.frames_unserved,
+            r.frames_produced);
+  EXPECT_EQ(r.frames_served, r.frames_produced);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(StreamFixture, RecoveryExhaustionShedsLaterTriggers) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 192;
+  cfg.drift.fire_below = 101.0;
+  cfg.drift.rearm_above = 101.0;
+  cfg.drift.sustain_windows = 1;
+  cfg.drift.cooldown_windows = 0;
+  cfg.fault.enabled = true;
+  cfg.fault.stream_recovery_crash_prob = 1.0;  // every attempt crashes
+  cfg.recovery_policy.max_restarts = 1;
+  StreamResult r = StreamScenario(cfg).run();
+
+  // Serve-only degradation: the first action wedges, later fired windows
+  // are shed, the stale champion keeps serving to the end of the stream.
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GE(r.degraded_entries, 1u);
+  EXPECT_EQ(r.triggers_fired, 1u);
+  EXPECT_EQ(r.triggers_completed, 0u);
+  EXPECT_GE(r.triggers_shed, 1u);
+  EXPECT_EQ(r.frames_produced, 192u);
+  EXPECT_EQ(r.frames_served, 192u);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.final_champion_model, 0);
+}
+
+TEST_F(StreamFixture, GracefulStopDrainsMidStream) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 4000;
+  cfg.producer.rate_hz = 400.0;
+  auto polls = std::make_shared<std::atomic<int>>(0);
+  cfg.stop_requested = [polls] { return polls->fetch_add(1) >= 15; };
+  StreamResult r = StreamScenario(cfg).run();
+
+  EXPECT_TRUE(r.graceful_stop);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.interrupted);
+  EXPECT_LT(r.frames_produced, 4000u);
+  TriggerJournal journal(root / "stream.journal");
+  EXPECT_TRUE(journal.has_genesis());
+}
+
+TEST_F(StreamFixture, WallDeadlineAbortsRun) {
+  const fs::path root = make_commons();
+  StreamConfig cfg = base_config(root);
+  cfg.producer.total_frames = 4000;
+  cfg.producer.rate_hz = 400.0;
+  cfg.max_wall_seconds = 0.25;
+  StreamResult r = StreamScenario(cfg).run();
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.frames_produced, 4000u);
+}
+
+// ---- TriggerJournal unit coverage ---------------------------------------
+
+TEST(TriggerJournal, LadderIsIdempotentAndReloadsByteExact) {
+  const fs::path dir = util::make_temp_dir("a4nn-journal");
+  const fs::path file = dir / "stream.journal";
+  {
+    TriggerJournal j(file, /*durable=*/false);
+    EXPECT_FALSE(j.has_genesis());
+    EXPECT_EQ(j.next_action_id(), 0u);
+    j.write_genesis(5, 2);
+    j.write_genesis(9, 9);  // no-op: genesis is pinned once
+    EXPECT_EQ(j.genesis_model_id(), 5);
+    EXPECT_EQ(j.genesis_epoch(), 2u);
+
+    EXPECT_TRUE(j.fire(0, 3));
+    EXPECT_FALSE(j.fire(0, 3));  // exactly-once
+    EXPECT_TRUE(j.ack(0));
+    EXPECT_FALSE(j.ack(0));
+    EXPECT_TRUE(j.complete(0, 900000, 4));
+    EXPECT_FALSE(j.complete(0, 900000, 4));
+    EXPECT_FALSE(j.ack(0));  // no backwards transitions either
+    EXPECT_TRUE(j.fire(1, 9));
+    EXPECT_EQ(j.next_action_id(), 2u);
+    EXPECT_THROW(j.ack(7), std::runtime_error);
+  }
+  TriggerJournal reread(file);
+  EXPECT_TRUE(reread.has_genesis());
+  EXPECT_EQ(reread.genesis_model_id(), 5);
+  const auto actions = reread.actions();
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions.at(0).state, ActionState::kCompleted);
+  EXPECT_EQ(actions.at(0).window_index, 3u);  // fired window survives reload
+  EXPECT_EQ(actions.at(0).champion_model_id, 900000);
+  EXPECT_EQ(actions.at(0).champion_epoch, 4u);
+  EXPECT_EQ(actions.at(1).state, ActionState::kFired);
+  EXPECT_EQ(reread.next_action_id(), 2u);
+  EXPECT_EQ(reread.text(), util::read_file(file));
+  fs::remove_all(dir);
+}
+
+TEST(TriggerJournal, TornTailIsDroppedAndRepairedOnDisk) {
+  const fs::path dir = util::make_temp_dir("a4nn-journal");
+  const fs::path file = dir / "stream.journal";
+  std::string intact;
+  {
+    TriggerJournal j(file, /*durable=*/false);
+    j.write_genesis(5, 2);
+    j.fire(0, 3);
+    intact = j.text();
+  }
+  // A power cut mid-append: a bad-CRC line and an unterminated tail.
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::app);
+    out << "deadbeef {\"action\":1,\"state\":\"fired\",\"window\":4}\n";
+    out << "00000000 {\"action\":2,\"sta";
+  }
+  TriggerJournal j(file, /*durable=*/false);
+  EXPECT_EQ(j.torn_lines(), 2u);
+  EXPECT_EQ(j.actions().size(), 1u);
+  EXPECT_EQ(j.next_action_id(), 1u);
+  EXPECT_EQ(j.text(), intact);
+  // The constructor rewrote the file without the torn tail.
+  EXPECT_EQ(util::read_file(file), intact);
+  fs::remove_all(dir);
+}
+
+TEST(TriggerJournal, AppendLimitKillsBeforeTheWrite) {
+  const fs::path dir = util::make_temp_dir("a4nn-journal");
+  const fs::path file = dir / "stream.journal";
+  TriggerJournal j(file, /*durable=*/false);
+  j.set_append_limit(2);
+  j.write_genesis(5, 2);
+  EXPECT_TRUE(j.fire(0, 1));
+  EXPECT_THROW(j.ack(0), StreamInterrupted);
+  // The limit fires BEFORE the write: disk and memory agree, and the
+  // action is still (durably) in the fired state for resume to pick up.
+  EXPECT_EQ(count_lines(util::read_file(file)), 2u);
+  TriggerJournal reread(file);
+  EXPECT_EQ(reread.actions().at(0).state, ActionState::kFired);
+  fs::remove_all(dir);
+}
+
+// ---- DriftMonitor unit coverage -----------------------------------------
+
+/// Feed one window of `window_frames` observations with the given number
+/// of correct predictions; returns the closed window.
+WindowStats feed_window(DriftMonitor& m, std::size_t correct) {
+  const std::size_t frames = m.config().window_frames;
+  std::optional<WindowStats> closed;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const std::int64_t truth = static_cast<std::int64_t>(i % 2);
+    const std::int64_t predicted = i < correct ? truth : 1 - truth;
+    closed = m.observe(predicted, truth, 1.0);
+  }
+  EXPECT_TRUE(closed.has_value());
+  return *closed;
+}
+
+DriftConfig small_drift() {
+  DriftConfig cfg;
+  cfg.window_frames = 4;
+  cfg.fire_below = 50.0;
+  cfg.rearm_above = 75.0;
+  cfg.sustain_windows = 2;
+  cfg.cooldown_windows = 1;
+  cfg.num_classes = 2;
+  return cfg;
+}
+
+TEST(DriftMonitor, FiresAfterSustainedBadWindowsThenCoolsDown) {
+  DriftMonitor m(small_drift());
+  EXPECT_FALSE(feed_window(m, 4).fired);  // 100%: healthy
+  EXPECT_FALSE(feed_window(m, 0).fired);  // bad streak 1 of 2
+  EXPECT_TRUE(feed_window(m, 0).fired);   // sustained: fire
+  EXPECT_EQ(m.fires(), 1u);
+  EXPECT_FALSE(feed_window(m, 0).fired);  // cooldown window: breaker open
+  EXPECT_FALSE(feed_window(m, 0).fired);  // streak restarts at 1
+  EXPECT_TRUE(feed_window(m, 0).fired);   // second fire
+  EXPECT_EQ(m.fires(), 2u);
+  EXPECT_EQ(m.windows_closed(), 6u);
+  EXPECT_EQ(m.history().size(), 6u);
+}
+
+TEST(DriftMonitor, HysteresisBandHoldsTheStreak) {
+  DriftMonitor m(small_drift());
+  EXPECT_FALSE(feed_window(m, 0).fired);  // 0% < 50: streak 1
+  // 50% sits in [fire_below, rearm_above): holds the streak without
+  // incrementing it — the champion oscillating around the threshold does
+  // not machine-gun the trigger.
+  EXPECT_FALSE(feed_window(m, 2).fired);
+  EXPECT_EQ(m.bad_streak(), 1u);
+  EXPECT_TRUE(feed_window(m, 0).fired);  // streak 2: fire
+  // Recovery above rearm_above clears a partial streak.
+  DriftMonitor m2(small_drift());
+  feed_window(m2, 0);
+  EXPECT_FALSE(feed_window(m2, 4).fired);  // 100% >= 75: reset
+  EXPECT_EQ(m2.bad_streak(), 0u);
+  EXPECT_FALSE(feed_window(m2, 0).fired);  // back to streak 1
+  EXPECT_EQ(m2.fires(), 0u);
+}
+
+TEST(DriftMonitor, DisarmAndPendingSuppressFiring) {
+  DriftMonitor m(small_drift());
+  m.disarm_until(2);  // windows 0 and 1 are replay territory
+  EXPECT_FALSE(feed_window(m, 0).fired);
+  EXPECT_FALSE(feed_window(m, 0).fired);
+  EXPECT_EQ(m.bad_streak(), 0u);
+  EXPECT_FALSE(feed_window(m, 0).fired);  // window 2: armed, streak 1
+  EXPECT_TRUE(feed_window(m, 0).fired);
+
+  DriftMonitor p(small_drift());
+  p.set_pending(true);  // a recovery action is in flight
+  EXPECT_FALSE(feed_window(p, 0).fired);
+  EXPECT_FALSE(feed_window(p, 0).fired);
+  EXPECT_FALSE(feed_window(p, 0).fired);
+  EXPECT_EQ(p.fires(), 0u);
+  p.set_pending(false);
+  EXPECT_FALSE(feed_window(p, 0).fired);
+  EXPECT_TRUE(feed_window(p, 0).fired);
+}
+
+TEST(DriftMonitor, WindowStatsCarryLabelCountsAndLatencyTail) {
+  DriftConfig cfg = small_drift();
+  cfg.window_frames = 8;
+  DriftMonitor m(cfg);
+  const WindowStats w = feed_window(m, 8);
+  EXPECT_EQ(w.index, 0u);
+  EXPECT_EQ(w.frames, 8u);
+  EXPECT_EQ(w.correct, 8u);
+  EXPECT_DOUBLE_EQ(w.accuracy, 100.0);
+  ASSERT_EQ(w.label_counts.size(), 2u);
+  EXPECT_EQ(w.label_counts[0] + w.label_counts[1], 8u);
+  EXPECT_EQ(w.label_counts[0], 4u);  // alternating truth labels
+  EXPECT_GT(w.p99_latency_ms, 0.0);
+  // The label histogram is windowed: the next window starts from zero.
+  const WindowStats w2 = feed_window(m, 0);
+  EXPECT_EQ(w2.label_counts[0] + w2.label_counts[1], 8u);
+}
+
+TEST(DriftMonitor, RejectsDegenerateConfigs) {
+  DriftConfig bad = small_drift();
+  bad.window_frames = 0;
+  EXPECT_THROW(DriftMonitor{bad}, std::invalid_argument);
+  bad = small_drift();
+  bad.sustain_windows = 0;
+  EXPECT_THROW(DriftMonitor{bad}, std::invalid_argument);
+  bad = small_drift();
+  bad.rearm_above = bad.fire_below - 1.0;
+  EXPECT_THROW(DriftMonitor{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace a4nn::stream

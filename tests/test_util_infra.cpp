@@ -3,13 +3,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <future>
 #include <stdexcept>
 #include <thread>
 
+#include <sys/time.h>
+
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -286,6 +290,78 @@ TEST(Log, LevelFiltering) {
   set_log_level(LogLevel::kDebug);
   log_debug("value=", 42, " name=", "x");
   set_log_level(before);
+}
+
+TEST(Histogram, WindowSnapshotPartitionsTheObservationStream) {
+  metrics::Histogram h(0.0, 100.0, 10);
+  h.observe(5.0);
+  h.observe(15.0);
+  h.observe(95.0);
+  auto w1 = h.window_snapshot();
+  EXPECT_EQ(w1.total, 3u);
+  ASSERT_EQ(w1.counts.size(), 10u);
+  EXPECT_EQ(w1.counts[0], 1u);
+  EXPECT_EQ(w1.counts[1], 1u);
+  EXPECT_EQ(w1.counts[9], 1u);
+  // The p99 estimate is confined to the containing bin (width 10).
+  EXPECT_GE(w1.p99, 90.0);
+  EXPECT_LE(w1.p99, 100.0);
+
+  // The snapshot exchanged the bins to zero: the next window sees only
+  // what was observed after it — an observation lands in exactly one
+  // window, and the cumulative view restarts too.
+  EXPECT_EQ(h.total(), 0u);
+  for (int i = 0; i < 4; ++i) h.observe(50.0);
+  auto w2 = h.window_snapshot();
+  EXPECT_EQ(w2.total, 4u);
+  EXPECT_EQ(w2.counts[5], 4u);
+  EXPECT_EQ(w2.counts[0], 0u);
+  for (double q : {w2.p50, w2.p95, w2.p99}) {
+    EXPECT_GE(q, 50.0);
+    EXPECT_LE(q, 60.0);
+  }
+}
+
+TEST(Histogram, WindowSnapshotOfEmptyWindowIsZeroed) {
+  metrics::Histogram h(10.0, 20.0, 4);
+  auto w = h.window_snapshot();
+  EXPECT_EQ(w.total, 0u);
+  EXPECT_DOUBLE_EQ(w.p50, 10.0);  // empty quantile pins to lo
+  EXPECT_DOUBLE_EQ(w.p99, 10.0);
+  ASSERT_EQ(w.counts.size(), 4u);
+  for (auto c : w.counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(FsUtil, ReadWriteSurviveSignalInterruption) {
+  // A 1ms SIGALRM ticker installed WITHOUT SA_RESTART: every slow syscall
+  // in this window is eligible to fail with EINTR, so the write/read loops
+  // must retry instead of producing short transfers.
+  struct sigaction action{};
+  struct sigaction previous {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGALRM, &action, &previous), 0);
+  itimerval ticker{};
+  ticker.it_interval.tv_usec = 1000;
+  ticker.it_value.tv_usec = 1000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &ticker, nullptr), 0);
+
+  const fs::path dir = make_temp_dir("a4nn-eintr");
+  std::string payload;
+  payload.reserve(8u << 20);
+  while (payload.size() < (8u << 20))
+    payload += "0123456789abcdef0123456789ABCDEF";
+  for (int round = 0; round < 4; ++round) {
+    const fs::path file = dir / ("blob" + std::to_string(round));
+    write_file(file, payload, Durability::kFsync);
+    EXPECT_EQ(read_file(file), payload) << "round " << round;
+  }
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &previous, nullptr);
+  fs::remove_all(dir);
 }
 
 }  // namespace
