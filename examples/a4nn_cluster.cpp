@@ -60,6 +60,11 @@ core::WorkflowConfig build_config(const util::ArgParser& args) {
   cfg.trainer.use_prediction_engine = !args.get_flag("no-engine");
   cfg.trainer.engine.e_pred = static_cast<double>(cfg.nas.max_epochs);
   cfg.cluster.num_gpus = args.get_size("gpus");
+  // Both sides parse --memo so the handshake config CRC matches; the memo
+  // itself only lives on the master (workers just train what they are
+  // sent — the genome-keyed seed rides the job payload).
+  cfg.memo = nas::memo_mode_from_name(args.get("memo"));
+  cfg.nas.allow_duplicates = args.get_flag("allow-duplicates");
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
   return cfg;
 }
@@ -300,6 +305,11 @@ int main(int argc, char** argv) {
   args.add_option("pixels", "16", "detector resolution (pixels per side)");
   args.add_flag("no-engine", "disable the prediction engine");
   args.add_option("gpus", "1", "simulated GPU count (virtual schedule)");
+  args.add_option("memo", "off",
+                  "fitness memo-cache: off|cold|on (master-side replay of "
+                  "already-evaluated genomes; never re-dispatches a hit)");
+  args.add_flag("allow-duplicates",
+                "let crossover/mutation re-produce evaluated genomes");
   args.add_option("seed", "2023", "experiment seed");
   // Master flags.
   args.add_option("bind", "127.0.0.1", "master: address to listen on");

@@ -50,6 +50,19 @@ int main(int argc, char** argv) {
   args.add_option("c-min", "3", "min epochs before the first prediction");
   args.add_option("window", "3", "N: predictions required to converge");
   args.add_option("tolerance", "0.5", "r: prediction variance tolerance");
+  // Evaluation accelerator (fitness memo-cache + weight inheritance).
+  args.add_option("memo", "off",
+                  "fitness memo-cache: off (legacy model-id seeds) | cold "
+                  "(genome-keyed seeds, no reuse) | on (O(1) replay of "
+                  "already-evaluated genomes)");
+  args.add_flag("allow-duplicates",
+                "let crossover/mutation re-produce evaluated genomes "
+                "(duplicate-heavy searches; pair with --memo on)");
+  args.add_flag("inherit-weights",
+                "warm-start each child from its parent's newest epoch "
+                "checkpoint (requires --snapshot-every >= 1)");
+  args.add_option("inherit-fraction", "0.5",
+                  "fraction of --epochs an inherited child fine-tunes for");
   // Resource manager + lineage.
   args.add_option("gpus", "1", "simulated GPU count");
   args.add_option("commons", "", "data-commons directory (empty: disabled)");
@@ -132,6 +145,22 @@ int main(int argc, char** argv) {
                               cfg.cluster.fault.permanent_failure_prob > 0 ||
                               cfg.cluster.fault.job_crash_prob > 0 ||
                               cfg.cluster.fault.straggler_prob > 0;
+  try {
+    cfg.memo = nas::memo_mode_from_name(args.get("memo"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  cfg.nas.allow_duplicates = args.get_flag("allow-duplicates");
+  cfg.trainer.inherit_weights = args.get_flag("inherit-weights");
+  cfg.trainer.inherit_epoch_fraction = args.get_double("inherit-fraction");
+  if (cfg.trainer.inherit_weights &&
+      (args.get("commons").empty() || args.get_size("snapshot-every") == 0)) {
+    std::fprintf(stderr,
+                 "--inherit-weights requires --commons and "
+                 "--snapshot-every >= 1 (ancestor checkpoints)\n");
+    return 1;
+  }
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
   if (args.get_size("intra-op-threads") > 0)
     tensor::set_intra_op_threads(args.get_size("intra-op-threads"));
@@ -250,6 +279,13 @@ int main(int argc, char** argv) {
   if (result.summary.genome_mismatches > 0)
     std::printf("resume: %zu stale record(s) rejected (genome mismatch)\n",
                 result.summary.genome_mismatches);
+  if (result.summary.memo_hits > 0)
+    std::printf("memo: %zu evaluation(s) replayed from the fitness cache\n",
+                result.summary.memo_hits);
+  if (result.summary.inherited_starts > 0)
+    std::printf("inherit: %zu child(ren) warm-started from ancestor "
+                "checkpoints\n",
+                result.summary.inherited_starts);
   if (result.summary.failed_evaluations > 0)
     std::printf(
         "failed: %zu evaluation(s) exhausted retries (excluded from "

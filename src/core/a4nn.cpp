@@ -24,6 +24,7 @@ util::Json WorkflowConfig::to_json() const {
   cl["flops_per_second"] = cluster.cost.flops_per_second;
   cl["fault"] = cluster.fault.to_json();
   j["cluster"] = std::move(cl);
+  j["memo"] = std::string(nas::memo_mode_name(memo));
   j["seed"] = seed;
   return j;
 }
@@ -57,6 +58,9 @@ util::Json RunSummary::to_json() const {
   j["fsck_tmp_removed"] = fsck_tmp_removed;
   j["fsck_crc_mismatches"] = fsck_crc_mismatches;
   j["fsck_journal_repairs"] = fsck_journal_repairs;
+  j["memo_hits"] = memo_hits;
+  j["inherited_starts"] = inherited_starts;
+  j["engine_overhead_replayed_seconds"] = engine_overhead_replayed_seconds;
   j["cluster"] = cluster.to_json();
   return j;
 }
@@ -144,18 +148,30 @@ WorkflowResult A4nnWorkflow::run() {
                                             tracker ? &*tracker : nullptr);
   evaluator.set_metrics(&registry);
   evaluator.set_crash_after(config_.crash_after_evaluations);
+  nas::FitnessMemo memo(config_.memo);
+  if (config_.memo != nas::MemoMode::kOff) evaluator.set_memo(&memo);
   if (resuming) {
     // Reuse whatever record trails a previous (interrupted) run left in
-    // the commons; deterministic seeding makes the replay exact.
+    // the commons; deterministic seeding makes the replay exact. The memo
+    // warms from the same records, so a genome evaluated before the crash
+    // is a cache hit even under a fresh model id.
     std::error_code ec;
     if (std::filesystem::exists(config_.lineage->root / "models", ec)) {
       lineage::DataCommons commons(config_.lineage->root);
-      evaluator.preload_records(commons.load_records());
+      std::vector<nas::EvaluationRecord> stored = commons.load_records();
+      if (config_.memo != nas::MemoMode::kOff) memo.warm(stored);
+      evaluator.preload_records(std::move(stored));
     }
   }
   nas::NsgaNetSearch search(config_.nas, evaluator);
 
   result.search = search.run();
+  if (tracker && config_.memo != nas::MemoMode::kOff) {
+    // Journal the genome->evaluation index. Built from the history alone,
+    // so kCold and kOn runs commit byte-identical indexes.
+    tracker->record_artifact("memo_index.json",
+                             nas::memo_index_json(result.search.history));
+  }
   result.resumed_evaluations = evaluator.resumed_count();
   result.schedules = evaluator.schedules();
   // The fault totals are read back from the registry (a derived view);
@@ -173,6 +189,13 @@ WorkflowResult A4nnWorkflow::run() {
   result.summary.resumed_evaluations = evaluator.resumed_count();
   result.summary.resumed_epochs = loop.resumed_epochs();
   result.summary.genome_mismatches = evaluator.genome_mismatches();
+  result.summary.memo_hits = evaluator.memo_hits();
+  result.summary.inherited_starts = evaluator.inherited_count();
+  if (result.summary.metrics.contains("counters")) {
+    result.summary.engine_overhead_replayed_seconds =
+        result.summary.metrics.at("counters").number_or(
+            "penguin.engine_overhead_replayed_seconds", 0.0);
+  }
   if (result.summary.metrics.contains("counters")) {
     const util::Json& counters = result.summary.metrics.at("counters");
     const auto count = [&counters](const char* name) {

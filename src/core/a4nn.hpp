@@ -14,6 +14,7 @@
 
 #include "analytics/analyzer.hpp"
 #include "lineage/tracker.hpp"
+#include "nas/memo.hpp"
 #include "nas/search.hpp"
 #include "orchestrator/workflow_evaluator.hpp"
 #include "xfel/dataset.hpp"
@@ -43,6 +44,14 @@ struct WorkflowConfig {
   /// this many freshly-trained records reach the commons (0 disables).
   /// When hit, run() throws orchestrator::WorkflowInterrupted.
   std::size_t crash_after_evaluations = 0;
+  /// Search-time fitness memoization (nas/memo.hpp). kOff keeps the legacy
+  /// model-id-keyed training seeds; kCold switches to genome-keyed seeds
+  /// without reuse (the differential control); kOn adds O(1) replay of
+  /// already-evaluated genomes. kCold and kOn runs of the same
+  /// configuration are bit-identical up to wall-clock fields. The memo is
+  /// warmed from the commons on resume, and `memo_index.json` is journaled
+  /// at the end of the run in both non-kOff modes.
+  nas::MemoMode memo = nas::MemoMode::kOff;
   std::uint64_t seed = 2023;
 
   util::Json to_json() const;
@@ -100,6 +109,14 @@ struct RunSummary {
   /// Journal repairs: torn lines dropped, missing entries pruned, and
   /// unjournaled artifacts adopted back.
   std::size_t fsck_journal_repairs = 0;
+  /// Evaluations satisfied by memo-cache replay instead of training, and
+  /// children warm-started from an ancestor checkpoint.
+  std::size_t memo_hits = 0;
+  std::size_t inherited_starts = 0;
+  /// Engine overhead carried by replayed records (already paid by their
+  /// canonical evaluations; kept out of engine_overhead_seconds so cache
+  /// hits never inflate the fresh-overhead total).
+  double engine_overhead_replayed_seconds = 0.0;
   /// Remote-execution accounting (all zeros without a cluster backend).
   ClusterTotals cluster;
 

@@ -204,6 +204,18 @@ void LineageTracker::record_search_config(const util::Json& config) {
                 util::Durability::kBuffered);
 }
 
+void LineageTracker::record_artifact(const std::string& rel_path,
+                                     const util::Json& doc) {
+  if (sealed_.load()) return;
+  if (rel_path.empty() || rel_path.find('/') != std::string::npos ||
+      rel_path.find("..") != std::string::npos)
+    throw std::invalid_argument(
+        "record_artifact: rel_path must be a plain root-level file name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  commit_locked(config_.root / rel_path, doc.dump(2),
+                util::Durability::kBuffered);
+}
+
 bool LineageTracker::wants_snapshot(std::size_t epoch) const {
   return config_.snapshot_every > 0 && epoch % config_.snapshot_every == 0;
 }
@@ -315,6 +327,14 @@ util::Json DataCommons::load_training_state(int model_id,
   return util::Json::parse(read_artifact(path));
 }
 
+util::Json DataCommons::load_artifact(const std::string& rel_path) const {
+  return util::Json::parse(read_artifact(root_ / rel_path));
+}
+
+bool DataCommons::has_artifact(const std::string& rel_path) const {
+  return fs::exists(root_ / rel_path);
+}
+
 namespace {
 
 /// Move a corrupt file into <root>/quarantine/<relative path>, recording
@@ -406,8 +426,11 @@ FsckReport DataCommons::fsck(FsckMode mode) {
       handled.insert(issue.path.generic_string());
 
     // Every artifact surviving on disk, keyed by its journal-relative path.
+    // Root-level .json files cover search.json plus run-level artifacts
+    // committed via record_artifact (memo_index.json, table.json, ...).
     std::map<std::string, fs::path> disk;
-    if (fs::exists(search)) disk["search.json"] = search;
+    for (const auto& file : util::list_files(root_, ".json"))
+      disk[file.filename().string()] = file;
     for (int id : model_ids()) {
       const fs::path dir = root_ / "models" / model_dir_name(id);
       for (const auto& file : util::list_files(dir, ".json")) {

@@ -49,6 +49,12 @@ class LineageTracker {
   /// Persist the experiment-level configuration document.
   void record_search_config(const util::Json& config);
 
+  /// Persist an arbitrary run-level JSON artifact at `rel_path` (a plain
+  /// file name relative to the commons root, e.g. "memo_index.json" or
+  /// "table.json") under the same frame + manifest-journal discipline as
+  /// every other artifact. Thread-safe.
+  void record_artifact(const std::string& rel_path, const util::Json& doc);
+
   /// Persist a model snapshot for (model, epoch). Thread-safe.
   void record_model_epoch(int model_id, std::size_t epoch,
                           const nn::Model& model);
@@ -172,6 +178,11 @@ class DataCommons {
   nn::Model load_model(int model_id, std::size_t epoch) const;
   /// Reload the training-state document captured after `epoch`.
   util::Json load_training_state(int model_id, std::size_t epoch) const;
+
+  /// Reload a run-level artifact persisted via record_artifact.
+  util::Json load_artifact(const std::string& rel_path) const;
+  /// Whether a run-level artifact exists.
+  bool has_artifact(const std::string& rel_path) const;
 
   /// Validate the whole commons tree: every record trail, snapshot, and
   /// training-state file must carry a valid frame (or be legacy unframed)

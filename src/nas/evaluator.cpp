@@ -45,6 +45,15 @@ util::Json EvaluationRecord::to_json() const {
     j["failed"] = true;
     j["error"] = error;
   }
+  // Likewise inheritance fields appear only on warm-started records, and
+  // `replayed` never serializes: a cache hit's journal bytes must equal the
+  // cold-trained record's.
+  if (inherited_from_model >= 0) {
+    j["inherited_from_model"] = inherited_from_model;
+    j["inherited_from_epoch"] = inherited_from_epoch;
+    j["inherited_params_copied"] = inherited_params_copied;
+    j["inherited_params_fresh"] = inherited_params_fresh;
+  }
   return j;
 }
 
@@ -74,6 +83,14 @@ EvaluationRecord EvaluationRecord::from_json(const util::Json& j) {
   r.device_id = static_cast<int>(j.at("device_id").as_int());
   r.failed = j.bool_or("failed", false);
   r.error = j.string_or("error", "");
+  r.inherited_from_model =
+      static_cast<int>(j.number_or("inherited_from_model", -1.0));
+  r.inherited_from_epoch =
+      static_cast<std::size_t>(j.number_or("inherited_from_epoch", 0.0));
+  r.inherited_params_copied =
+      static_cast<std::size_t>(j.number_or("inherited_params_copied", 0.0));
+  r.inherited_params_fresh =
+      static_cast<std::size_t>(j.number_or("inherited_params_fresh", 0.0));
   return r;
 }
 

@@ -54,8 +54,32 @@ struct EvaluationRecord {
   bool failed = false;
   std::string error;  // what the last attempt threw (empty when !failed)
 
+  /// Weight-inheritance provenance: when >= 0, this model's tensors were
+  /// seeded from that ancestor's epoch checkpoint before fine-tuning, and
+  /// the three companion fields say which epoch and how many parameter
+  /// tensors transferred vs. re-initialized. Serialized only when set, so
+  /// cold-start records keep their historical journal bytes.
+  int inherited_from_model = -1;
+  std::size_t inherited_from_epoch = 0;
+  std::size_t inherited_params_copied = 0;
+  std::size_t inherited_params_fresh = 0;
+
+  /// True when this record was resolved from the fitness memo-cache rather
+  /// than trained. Transient: never serialized, so a replayed record's
+  /// journal bytes are identical to its cold-trained twin's — that is the
+  /// differential-equivalence guarantee the memo tests pin down.
+  bool replayed = false;
+
   util::Json to_json() const;
   static EvaluationRecord from_json(const util::Json& j);
+};
+
+/// Who produced an offspring genome: model ids of the tournament-selected
+/// parents (the indices NSGA-II already reports to the lineage tracker), or
+/// -1 for initial-population genomes with no ancestry.
+struct Parentage {
+  int parent_a = -1;
+  int parent_b = -1;
 };
 
 class Evaluator {
@@ -66,6 +90,17 @@ class Evaluator {
   /// the resource manager can schedule the whole batch across devices.
   virtual std::vector<EvaluationRecord> evaluate_generation(
       std::span<const Genome> genomes, int generation) = 0;
+
+  /// Ancestry-aware variant: `parents[i]` names the models whose crossover
+  /// produced `genomes[i]` (empty span when ancestry is unknown). The
+  /// default ignores parentage, so evaluators that cannot warm-start —
+  /// standalone, table-backed — need no changes.
+  virtual std::vector<EvaluationRecord> evaluate_generation(
+      std::span<const Genome> genomes, std::span<const Parentage> parents,
+      int generation) {
+    (void)parents;
+    return evaluate_generation(genomes, generation);
+  }
 };
 
 }  // namespace a4nn::nas

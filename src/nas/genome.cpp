@@ -71,6 +71,20 @@ std::string Genome::key() const {
   return out;
 }
 
+std::uint64_t Genome::digest() const {
+  // FNV-1a 64-bit over the canonical key.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key()) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer: avalanches the low-entropy tail of short keys.
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 util::Json Genome::to_json() const {
   util::Json j = util::Json::object();
   util::JsonArray phase_arr;

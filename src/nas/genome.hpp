@@ -6,6 +6,7 @@
 // canonical key deduplicates architectures across a search.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ struct Genome {
 
   /// Canonical "0101|1..." string; unique per architecture encoding.
   std::string key() const;
+
+  /// Canonical 64-bit digest of key(): FNV-1a over the key bytes finished
+  /// with a splitmix64 avalanche, so any single-gene change flips about
+  /// half the digest bits. Keys fitness memo-cache and tabular-mode
+  /// entries; collision probability over a 10k-genome space is ~3e-12
+  /// (test_properties checks injectivity empirically), and every consumer
+  /// still verifies the full key behind the digest before reusing a
+  /// result.
+  std::uint64_t digest() const;
 
   util::Json to_json() const;
   static Genome from_json(const util::Json& j);

@@ -18,6 +18,7 @@ util::Json NsgaNetConfig::to_json() const {
   j["crossover_rate"] = operators.crossover_rate;
   j["mutation_rate"] = operators.mutation_rate;
   j["seed"] = seed;
+  j["allow_duplicates"] = allow_duplicates;
   return j;
 }
 
@@ -76,9 +77,10 @@ SearchResult NsgaNetSearch::run() {
   for (std::size_t i = 0; i < config_.population_size; ++i)
     population.push_back(fresh_random());
 
-  auto evaluate = [&](std::span<const Genome> genomes, int generation) {
+  auto evaluate = [&](std::span<const Genome> genomes,
+                      std::span<const Parentage> parents, int generation) {
     std::vector<EvaluationRecord> records =
-        evaluator_->evaluate_generation(genomes, generation);
+        evaluator_->evaluate_generation(genomes, parents, generation);
     if (records.size() != genomes.size())
       throw std::runtime_error("NsgaNetSearch: evaluator record count mismatch");
     const std::size_t base = result.history.size();
@@ -94,7 +96,7 @@ SearchResult NsgaNetSearch::run() {
     }
   };
 
-  evaluate(population, 0);
+  evaluate(population, {}, 0);
   // Indices into result.history of the current population. Failed
   // evaluations stay in the history (model_id indexes into it) but never
   // enter the breeding population: a record with no real fitness would
@@ -123,26 +125,39 @@ SearchResult NsgaNetSearch::run() {
     };
 
     std::vector<Genome> offspring;
+    std::vector<Parentage> parentage;
     offspring.reserve(config_.offspring_per_generation);
+    parentage.reserve(config_.offspring_per_generation);
     while (offspring.size() < config_.offspring_per_generation) {
-      const Genome& parent_a = result.history[pick_parent()].genome;
-      const Genome& parent_b = result.history[pick_parent()].genome;
+      const std::size_t idx_a = pick_parent();
+      const std::size_t idx_b = pick_parent();
+      const Genome& parent_a = result.history[idx_a].genome;
+      const Genome& parent_b = result.history[idx_b].genome;
       Genome child =
           mutate(crossover(parent_a, parent_b, config_.operators, rng),
                  config_.operators, rng);
-      // Deduplicate: retry mutation, then fall back to a random genome so
-      // every evaluation trains a distinct architecture.
-      bool unique = seen.insert(child.key()).second;
-      for (int attempt = 0; !unique && attempt < 64; ++attempt) {
-        child = mutate(child, config_.operators, rng);
-        unique = seen.insert(child.key()).second;
+      Parentage who{static_cast<int>(idx_a), static_cast<int>(idx_b)};
+      if (!config_.allow_duplicates) {
+        // Deduplicate: retry mutation, then fall back to a random genome so
+        // every evaluation trains a distinct architecture.
+        bool unique = seen.insert(child.key()).second;
+        for (int attempt = 0; !unique && attempt < 64; ++attempt) {
+          child = mutate(child, config_.operators, rng);
+          unique = seen.insert(child.key()).second;
+        }
+        if (!unique) {
+          child = fresh_random();
+          who = Parentage{};  // random restart: no meaningful ancestry
+        }
+      } else {
+        seen.insert(child.key());
       }
-      if (!unique) child = fresh_random();
       offspring.push_back(std::move(child));
+      parentage.push_back(who);
     }
 
     const std::size_t base = result.history.size();
-    evaluate(offspring, static_cast<int>(gen));
+    evaluate(offspring, parentage, static_cast<int>(gen));
 
     // Environmental selection over population + offspring (failed
     // offspring are skipped; pop_indices is already all-viable).

@@ -24,6 +24,11 @@ struct NsgaNetConfig {
   SearchSpaceConfig space;                   // 4 nodes/phase by default
   OperatorConfig operators;
   std::uint64_t seed = 1234;
+  /// When true, offspring skip the seen-genome dedup so crossover/mutation
+  /// may re-produce already-evaluated architectures. Pointless without the
+  /// fitness memo-cache; with it, duplicate-heavy searches resolve repeats
+  /// in O(1) — the configuration the memo bench measures.
+  bool allow_duplicates = false;
 
   /// Networks the configuration will train in total.
   std::size_t total_networks() const {

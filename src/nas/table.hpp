@@ -1,0 +1,99 @@
+// NAS-Bench-201-style tabular NAS mode.
+//
+// `a4nn_tabulate` exhaustively trains a small search space once, journaling
+// every full learning curve into a data commons (the table's durable,
+// CRC-checked form, resumable mid-sweep like any interrupted run). A
+// GenomeTable then loads those records into a digest-keyed map, and the
+// TableEvaluator answers evaluate_generation() from the table in
+// microseconds — so the ablation benches sweep thousands of architectures
+// per second without touching a training loop.
+//
+// The TableEvaluator can also replay the prediction engine offline over
+// each stored curve (simulate_early_termination) to model what an
+// early-terminating search would have reported. Fits are cached per genome
+// digest: a genome swept twice reuses its journaled fit outcome
+// (iterations, convergence) instead of re-running LM fitting, which keeps
+// engine-overhead accounting honest — repeat lookups add zero fresh fits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "nas/evaluator.hpp"
+#include "nas/search_space.hpp"
+#include "penguin/engine.hpp"
+
+namespace a4nn::nas {
+
+/// Every genome of the macro space defined by `config`, in canonical
+/// numeric order (flat bit vector read as a little-endian integer,
+/// counting up). Throws std::invalid_argument when the space exceeds
+/// `max_genomes` — tabulation is for small spaces by construction.
+std::vector<Genome> enumerate_space(const SearchSpaceConfig& config,
+                                    std::size_t max_genomes = 1u << 20);
+
+/// Digest-keyed map from genome to its tabulated evaluation record (full
+/// learning curve). Built from commons records; lookups verify the full
+/// canonical key behind the digest.
+class GenomeTable {
+ public:
+  GenomeTable() = default;
+
+  /// Build from record trails (e.g. DataCommons::load_records of an
+  /// a4nn_tabulate commons). Failed records are skipped; the first record
+  /// per genome wins.
+  static GenomeTable from_records(std::vector<EvaluationRecord> records);
+
+  /// Null when the genome is not tabulated.
+  const EvaluationRecord* find(const Genome& genome) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Deterministic table header document (journaled as "table.json").
+  static util::Json header_json(const SearchSpaceConfig& space,
+                                std::size_t genomes, std::size_t max_epochs);
+
+ private:
+  struct Entry {
+    std::string key;
+    EvaluationRecord record;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+/// Evaluator answering from a GenomeTable instead of training. With an
+/// engine config, each lookup replays Algorithm 1 offline over the stored
+/// curve (early termination + predicted fitness); without one, the stored
+/// record is returned as-is. Genomes absent from the table come back as
+/// failed records (never phantom fitness-0 points).
+class TableEvaluator : public Evaluator {
+ public:
+  /// The table must outlive the evaluator.
+  explicit TableEvaluator(const GenomeTable& table);
+  TableEvaluator(const GenomeTable& table, penguin::EngineConfig engine);
+
+  std::vector<EvaluationRecord> evaluate_generation(
+      std::span<const Genome> genomes, int generation) override;
+
+  std::size_t lookups() const { return lookups_; }
+  std::size_t table_misses() const { return misses_; }
+  /// Engine replays served from the per-digest fit cache (no fresh LM
+  /// fitting). lookups - fit_cache_hits - misses == fresh simulations.
+  std::size_t fit_cache_hits() const { return fit_cache_hits_; }
+
+  /// Attach a metrics registry; the engine's fit/LM counters land there,
+  /// so tests can assert cached replays add no fresh iterations.
+  void set_metrics(util::metrics::Registry* registry);
+
+ private:
+  const GenomeTable* table_;
+  std::unique_ptr<penguin::PredictionEngine> engine_;
+  /// Digest -> simulated termination of that genome's stored curve.
+  std::unordered_map<std::uint64_t, penguin::SimulatedTermination> fit_cache_;
+  std::size_t lookups_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t fit_cache_hits_ = 0;
+};
+
+}  // namespace a4nn::nas

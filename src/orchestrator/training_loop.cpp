@@ -56,6 +56,8 @@ util::Json TrainerConfig::to_json() const {
   j["use_prediction_engine"] = use_prediction_engine;
   j["engine"] = engine.to_json();
   j["resume_partial"] = resume_partial;
+  j["inherit_weights"] = inherit_weights;
+  j["inherit_epoch_fraction"] = inherit_epoch_fraction;
   return j;
 }
 
@@ -119,6 +121,101 @@ nas::EvaluationRecord TrainingLoop::train_genome(
   nas::EvaluationRecord record = train_model(model, model_id, seed ^ 0x5bd1e995);
   record.genome = genome;
   return record;
+}
+
+namespace {
+
+/// Deterministic shape-compatible transfer map: for each aligned layer pair
+/// of matching kind, copy every parameter tensor whose slot name and shape
+/// agree. Slots with no compatible source keep the child's seeded-RNG
+/// initialization. Returns (tensors copied, tensors left fresh) over all
+/// of the child's parameter slots.
+std::pair<std::size_t, std::size_t> transfer_weights(nn::Model& parent,
+                                                     nn::Model& child) {
+  std::size_t copied = 0;
+  std::size_t total = 0;
+  const std::size_t layers =
+      std::min(parent.trunk().layer_count(), child.trunk().layer_count());
+  for (std::size_t i = 0; i < layers; ++i) {
+    nn::Layer& src = parent.trunk().layer(i);
+    nn::Layer& dst = child.trunk().layer(i);
+    if (src.kind() != dst.kind()) continue;
+    auto src_slots = src.params();
+    for (auto& d : dst.params()) {
+      for (auto& s : src_slots) {
+        if (s.name == d.name && s.value->shape() == d.value->shape()) {
+          *d.value = *s.value;
+          ++copied;
+          break;
+        }
+      }
+    }
+  }
+  total = child.trunk().params().size();
+  return {copied, total - copied};
+}
+
+}  // namespace
+
+nas::EvaluationRecord TrainingLoop::train_genome_inherited(
+    const nas::Genome& genome, const nas::SearchSpaceConfig& space,
+    int model_id, std::uint64_t seed, int ancestor_model_id) const {
+  namespace fs = std::filesystem;
+  if (!lineage_ || ancestor_model_id < 0)
+    return train_genome(genome, space, model_id, seed);
+
+  const fs::path dir = lineage_->root() / "models" /
+                       lineage::model_dir_name(ancestor_model_id);
+  // Newest snapshot first; unusable checkpoints fall back to older ones,
+  // mirroring try_resume's discipline.
+  std::vector<std::size_t> epochs;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const auto epoch = lineage::parse_indexed_name(
+          entry.path().filename().string(), "epoch_", ".ckpt.json");
+      if (epoch) epochs.push_back(*epoch);
+    }
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+
+  util::Rng init_rng(seed);
+  nn::Model model = nas::decode_genome(genome, space, init_rng);
+
+  for (std::size_t e : epochs) {
+    try {
+      nn::Model parent = nn::Model::from_checkpoint(util::Json::parse(
+          lineage::read_artifact(dir / lineage::snapshot_file_name(e))));
+      const auto [copied, fresh] = transfer_weights(parent, model);
+      if (copied == 0)
+        break;  // no compatible tensors at all: cold start is honest
+
+      TrainerConfig fine = config_;
+      fine.max_epochs = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(config_.inherit_epoch_fraction *
+                           static_cast<double>(config_.max_epochs))));
+      TrainingLoop fine_loop(*train_, *validation_, fine, lineage_);
+      fine_loop.set_metrics(metrics_);
+      nas::EvaluationRecord record =
+          fine_loop.train_model(model, model_id, seed ^ 0x5bd1e995);
+      resumed_epochs_.fetch_add(fine_loop.resumed_epochs());
+      record.genome = genome;
+      record.inherited_from_model = ancestor_model_id;
+      record.inherited_from_epoch = e;
+      record.inherited_params_copied = copied;
+      record.inherited_params_fresh = fresh;
+      if (metrics_) metrics_->counter("train.inherited_starts").add();
+      util::log_info("inherit: model ", model_id, " warm-started from model ",
+                     ancestor_model_id, " epoch ", e, " (", copied,
+                     " tensors copied, ", fresh, " fresh)");
+      return record;
+    } catch (const std::exception& ex) {
+      util::log_warn("inherit: model ", model_id, " cannot use ancestor ",
+                     ancestor_model_id, " epoch ", e, " (", ex.what(),
+                     "); trying older");
+    }
+  }
+  return train_genome(genome, space, model_id, seed);
 }
 
 nas::EvaluationRecord TrainingLoop::train_model(nn::Model& model, int model_id,

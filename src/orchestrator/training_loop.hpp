@@ -47,6 +47,15 @@ struct TrainerConfig {
   /// one.
   bool resume_partial = false;
 
+  /// Weight inheritance: seed a child's tensors from its closest-ancestor
+  /// epoch checkpoint (shape-compatible slots copied, the rest keep their
+  /// seeded-RNG initialization) and fine-tune for only
+  /// ceil(inherit_epoch_fraction * max_epochs) epochs. Requires lineage
+  /// snapshots; children whose ancestors left no usable checkpoint train
+  /// the full budget from scratch.
+  bool inherit_weights = false;
+  double inherit_epoch_fraction = 0.5;
+
   /// Virtual-time accounting for the simulated devices.
   sched::DeviceCostModel cost;
 
@@ -70,6 +79,18 @@ class TrainingLoop {
                                              const nas::SearchSpaceConfig& space,
                                              int model_id,
                                              std::uint64_t seed) const;
+
+  /// Warm-start variant of train_genome: decode the child with `seed`,
+  /// overwrite every shape-compatible parameter tensor from the newest
+  /// usable epoch checkpoint of `ancestor_model_id` in the commons, then
+  /// fine-tune under a budget of ceil(inherit_epoch_fraction * max_epochs)
+  /// epochs. Records inheritance provenance (ancestor, epoch, tensors
+  /// copied vs. kept fresh). Falls back to a full cold train_genome when
+  /// the ancestor left no usable snapshot, so the call never fails on
+  /// missing lineage. Fully deterministic in (genome, seed, commons).
+  virtual nas::EvaluationRecord train_genome_inherited(
+      const nas::Genome& genome, const nas::SearchSpaceConfig& space,
+      int model_id, std::uint64_t seed, int ancestor_model_id) const;
 
   /// Train an existing model the same way (used by tests and the
   /// prediction-trace bench, which needs a fixed architecture).

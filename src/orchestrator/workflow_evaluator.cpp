@@ -51,6 +51,12 @@ void WorkflowEvaluator::flush_record(const nas::EvaluationRecord& record) {
 
 std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     std::span<const nas::Genome> genomes, int generation) {
+  return evaluate_generation(genomes, {}, generation);
+}
+
+std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
+    std::span<const nas::Genome> genomes,
+    std::span<const nas::Parentage> parents, int generation) {
   if (util::shutdown_requested()) {
     // Graceful stop (SIGINT/SIGTERM): every completed record is already
     // flushed to the commons, so a --resume run picks up exactly here.
@@ -101,20 +107,77 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
       }
     }
 
-    // Per-model deterministic seed independent of execution order.
+    // Memo hit: this genome already has a journaled evaluation from an
+    // earlier generation (or a warmed shared commons). Replay it under the
+    // new model id: the pseudo-job reports the stored virtual duration so
+    // the FIFO schedule — and therefore every later device placement — is
+    // bit-identical to the run that trained it, and flushes the copied
+    // record so the commons carries the same trails a cache-cold run
+    // writes. `replayed` stays transient (never serialized).
+    if (memo_) {
+      if (const nas::EvaluationRecord* hit = memo_->lookup(genome)) {
+        *slot = *hit;
+        slot->model_id = model_id;
+        slot->generation = generation;
+        slot->replayed = true;
+        ++memo_hits_;
+        jobs.push_back(sched::Job{[this, slot] {
+          flush_record(*slot);
+          return slot->virtual_seconds;
+        }});
+        continue;
+      }
+    }
+
+    // Per-model deterministic seed independent of execution order. Under
+    // the memo (kCold and kOn alike) the seed is keyed by the genome, not
+    // the model id, so a duplicate genome trained from scratch produces
+    // the byte-identical record its cached twin would replay.
+    const bool genome_keyed = memo_ && memo_->mode() != nas::MemoMode::kOff;
     const std::uint64_t model_seed =
-        seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(model_id + 1));
-    sched::Job job{[this, genome, model_id, model_seed, generation, slot] {
-      *slot = loop_->train_genome(genome, space_, model_id, model_seed);
-      slot->generation = generation;
-      flush_record(*slot);
-      return slot->virtual_seconds;
-    }};
+        genome_keyed
+            ? nas::memo_model_seed(seed_, genome)
+            : seed_ ^ (0x9E3779B97F4A7C15ULL *
+                       static_cast<std::uint64_t>(model_id + 1));
+
+    // Weight inheritance: warm-start from the first-named parent (the
+    // tournament's first pick), resolved through the memo's canonical map
+    // so a parent that was itself a cache replay (and thus wrote no
+    // snapshots) redirects to the model that actually trained the genome —
+    // identical weights, so kCold and kOn inherit the same tensors.
+    int ancestor = -1;
+    if (loop_->config().inherit_weights && i < parents.size()) {
+      const int raw = parents[i].parent_a >= 0 ? parents[i].parent_a
+                                               : parents[i].parent_b;
+      if (raw >= 0) {
+        ancestor = memo_ ? memo_->canonical_model_of(raw) : raw;
+        if (ancestor < 0) ancestor = raw;
+      }
+    }
+
+    sched::Job job{
+        [this, genome, model_id, model_seed, generation, ancestor, slot] {
+          *slot = ancestor >= 0
+                      ? loop_->train_genome_inherited(genome, space_, model_id,
+                                                      model_seed, ancestor)
+                      : loop_->train_genome(genome, space_, model_id,
+                                            model_seed);
+          slot->generation = generation;
+          flush_record(*slot);
+          return slot->virtual_seconds;
+        }};
 
     // Remote offering: what a cluster worker needs to reproduce this job
     // bit-exactly (cluster::JobRequest schema), and how to install its
     // result. Training is deterministic given (genome, space, model_id,
-    // seed), so a remote record is byte-identical to a local one.
+    // seed), so a remote record is byte-identical to a local one — the
+    // genome-keyed memo seed rides the same payload field, so workers need
+    // no cache awareness. Inherited jobs stay local-only: workers have no
+    // access to the master's ancestor snapshots.
+    if (ancestor >= 0) {
+      jobs.push_back(std::move(job));
+      continue;
+    }
     util::Json payload = util::Json::object();
     payload["job"] = 0.0;  // dispatch id, stamped by the master
     payload["model_id"] = model_id;
@@ -164,12 +227,30 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
                       " failed permanently after retries: ",
                       schedule.placements[i].error);
     }
+    if (records[i].inherited_from_model >= 0) ++inherited_;
     if (metrics_) {
       metrics_->counter("nas.evaluations").add();
       if (records[i].failed) metrics_->counter("nas.failed_evaluations").add();
-      metrics_->counter("penguin.engine_overhead_seconds")
-          .add(records[i].engine_overhead_seconds);
+      if (records[i].replayed) {
+        // Honest engine accounting: a replayed record's journaled fit cost
+        // (LM iterations, convergence checks) was paid once, by the
+        // canonical evaluation. Re-counting it as fresh overhead would
+        // inflate RunSummary's engine totals on every cache hit, so
+        // replays land in their own counter.
+        metrics_->counter("nas.memo_hits").add();
+        metrics_->counter("penguin.engine_overhead_replayed_seconds")
+            .add(records[i].engine_overhead_seconds);
+      } else {
+        metrics_->counter("penguin.engine_overhead_seconds")
+            .add(records[i].engine_overhead_seconds);
+      }
+      if (records[i].inherited_from_model >= 0)
+        metrics_->counter("nas.inherited_evaluations").add();
     }
+    // Cache admission happens here, in the single-threaded accounting
+    // pass, so insertion order is deterministic and failures (which the
+    // memo rejects anyway) have already been marked by the schedule.
+    if (memo_ && !records[i].failed) memo_->insert(records[i]);
     if (trace::enabled()) {
       trace::emit_instant(
           "record.accounting", "nas", trace::now_us(), trace::kHostPid,

@@ -9,6 +9,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "nas/memo.hpp"
 #include "orchestrator/training_loop.hpp"
 #include "sched/resource_manager.hpp"
 
@@ -48,6 +49,20 @@ class WorkflowEvaluator : public nas::Evaluator {
   /// failed=true) but carry no fitness and are excluded from the commons.
   std::size_t failed_count() const { return failed_; }
 
+  /// Attach the search-time fitness memo-cache (null detaches). In kCold/
+  /// kOn modes per-model training seeds become genome-keyed
+  /// (nas::memo_model_seed); in kOn a genome that already has a cached
+  /// evaluation resolves to an O(1) replay instead of a training job. The
+  /// memo must outlive the evaluator. Every non-failed record of a
+  /// generation is inserted during the accounting pass, so cache hits are
+  /// cross-generation (same-generation duplicates retrain — identically,
+  /// thanks to genome-keyed seeds).
+  void set_memo(nas::FitnessMemo* memo) { memo_ = memo; }
+
+  /// Evaluations satisfied by memo-cache replay / by ancestor warm starts.
+  std::size_t memo_hits() const { return memo_hits_; }
+  std::size_t inherited_count() const { return inherited_; }
+
   /// Attach a metrics registry: evaluation and engine-overhead counters are
   /// accumulated there (in record order, so they bit-match the RunSummary
   /// ad-hoc totals). Pass nullptr to detach; must outlive the evaluator.
@@ -62,6 +77,13 @@ class WorkflowEvaluator : public nas::Evaluator {
 
   std::vector<nas::EvaluationRecord> evaluate_generation(
       std::span<const nas::Genome> genomes, int generation) override;
+
+  /// Ancestry-aware entry point the search calls: parentage feeds weight
+  /// inheritance (when the loop's TrainerConfig enables it) by naming the
+  /// ancestor whose snapshots warm-start each child.
+  std::vector<nas::EvaluationRecord> evaluate_generation(
+      std::span<const nas::Genome> genomes,
+      std::span<const nas::Parentage> parents, int generation) override;
 
   /// Generation schedules observed so far (for the scalability analyses).
   const std::vector<sched::GenerationSchedule>& schedules() const {
@@ -84,6 +106,9 @@ class WorkflowEvaluator : public nas::Evaluator {
   std::size_t resumed_ = 0;
   std::size_t genome_mismatches_ = 0;
   std::size_t failed_ = 0;
+  nas::FitnessMemo* memo_ = nullptr;
+  std::size_t memo_hits_ = 0;
+  std::size_t inherited_ = 0;
   util::metrics::Registry* metrics_ = nullptr;
   std::size_t crash_after_ = 0;
   std::atomic<std::size_t> flushed_{0};

@@ -179,5 +179,62 @@ TEST(GradCheck, LinearParallel) {
   tensor::set_intra_op_threads(1);
 }
 
+// Weight inheritance copies parent tensors into a freshly-constructed
+// child layer slot-by-slot (matching name + shape). The gradients of an
+// inherited layer must be exactly as correct as a freshly-initialized
+// one: backprop differentiates the current values, wherever they came
+// from. These mirror the orchestrator's transfer map at the layer level.
+
+/// Copy every matching (name, shape) parameter of `parent` into `child`.
+std::size_t inherit_params(Layer& parent, Layer& child) {
+  std::size_t copied = 0;
+  auto sources = parent.params();
+  for (ParamSlot& dst : child.params()) {
+    for (ParamSlot& src : sources) {
+      if (src.name != dst.name || !src.value->same_shape(*dst.value))
+        continue;
+      *dst.value = *src.value;
+      ++copied;
+      break;
+    }
+  }
+  return copied;
+}
+
+TEST(GradCheck, InheritedConv2dFusedRelu) {
+  util::Rng parent_rng(31), child_rng(32);
+  Conv2d parent(2, 3, 3, 1, 1, parent_rng);
+  // Nudge the parent off its init, standing in for prior training: kinks
+  // and gradient structure depend on the values, not on their history.
+  for (ParamSlot& p : parent.params())
+    for (std::size_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] += 0.05f * static_cast<float>(parent_rng.normal());
+  Conv2d child(2, 3, 3, 1, 1, child_rng);
+  child.set_activation(Activation::kRelu);
+  ASSERT_EQ(inherit_params(parent, child), child.params().size());
+  gradcheck(child, random_input({2, 2, 5, 5}, 22), 112);
+}
+
+TEST(GradCheck, InheritedLinear) {
+  util::Rng parent_rng(33), child_rng(34);
+  Linear parent(6, 4, parent_rng);
+  for (ParamSlot& p : parent.params())
+    for (std::size_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] += 0.05f * static_cast<float>(parent_rng.normal());
+  Linear child(6, 4, child_rng);
+  ASSERT_EQ(inherit_params(parent, child), child.params().size());
+  gradcheck(child, random_input({5, 6}, 23), 113);
+}
+
+TEST(GradCheck, ShapeMismatchedSlotsAreNotInherited) {
+  util::Rng parent_rng(35), child_rng(36);
+  Linear parent(6, 4, parent_rng);
+  Linear child(8, 4, child_rng);  // wider input: weight shapes differ
+  // Only the bias (same name, same {4} shape) transfers; the weight is
+  // left at the child's fresh initialization.
+  EXPECT_EQ(inherit_params(parent, child), 1u);
+  gradcheck(child, random_input({5, 8}, 24), 114);
+}
+
 }  // namespace
 }  // namespace a4nn::nn

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
+#include "nas/operators.hpp"
 #include "nas/search_space.hpp"
 #include "nn/layers.hpp"
 #include "penguin/engine.hpp"
@@ -260,6 +262,81 @@ TEST_P(NoiseSweep, EarlyTerminationPredictionsStayNearTruth) {
 
 INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseSweep,
                          ::testing::Values(0.0, 0.25, 1.0, 3.0));
+
+// -------------------------------------------------- genome digest (memo key)
+
+// The memo-cache and tabular-mode key. Every consumer still verifies the
+// full key behind the digest, so a collision can only cost a cache miss —
+// but the digest should be empirically injective at search scale anyway.
+TEST(GenomeDigest, InjectiveOnTenThousandGenomeSample) {
+  util::Rng rng(2023);
+  std::map<std::uint64_t, std::string> seen;
+  std::size_t distinct = 0;
+  while (distinct < 10000) {
+    const nas::Genome g =
+        nas::random_genome(3, 4, rng, /*with_node_ops=*/distinct % 2 == 0);
+    const auto [it, fresh] = seen.emplace(g.digest(), g.key());
+    if (fresh) {
+      ++distinct;
+      continue;
+    }
+    // Same digest must mean same key (a revisited genome, not a collision).
+    ASSERT_EQ(it->second, g.key());
+  }
+}
+
+TEST(GenomeDigest, StableAcrossSerializationRoundTrips) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const nas::Genome g = nas::random_genome(3, 3, rng, i % 2 == 0);
+    const std::uint64_t d = g.digest();
+    EXPECT_EQ(nas::Genome::from_json(g.to_json()).digest(), d);
+    EXPECT_EQ(nas::Genome::from_bits(g.to_bits(), 3, 3, i % 2 == 0).digest(),
+              d);
+    EXPECT_EQ(nas::Genome::from_json(
+                  util::Json::parse(g.to_json().dump()))
+                  .digest(),
+              d);
+  }
+}
+
+// Flipping any single gene — every connectivity bit, skip bit, and (in the
+// op-searchable space) op bit — must change the digest.
+TEST(GenomeDigest, ChangesUnderEverySingleGeneMutation) {
+  util::Rng rng(9);
+  for (int variant = 0; variant < 2; ++variant) {
+    const bool with_ops = variant == 1;
+    const nas::Genome g = nas::random_genome(2, 3, rng, with_ops);
+    const std::uint64_t base = g.digest();
+    const std::vector<bool> bits = g.to_bits();
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+      std::vector<bool> flipped = bits;
+      flipped[b] = !flipped[b];
+      const nas::Genome m = nas::Genome::from_bits(flipped, 2, 3, with_ops);
+      EXPECT_NE(m.digest(), base) << "bit " << b << " ops=" << with_ops;
+    }
+  }
+}
+
+// The search's actual mutation operator never silently preserves a digest:
+// whenever it changes the key, it changes the digest.
+TEST(GenomeDigest, MutationOperatorChangesDigestWheneverKeyChanges) {
+  util::Rng rng(13);
+  nas::OperatorConfig ops;
+  ops.mutation_rate = 0.2;
+  std::size_t changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const nas::Genome g = nas::random_genome(2, 3, rng);
+    const nas::Genome m = nas::mutate(g, ops, rng);
+    if (m.key() == g.key()) {
+      EXPECT_EQ(m.digest(), g.digest());
+    } else {
+      EXPECT_NE(m.digest(), g.digest());
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0u);
+}
 
 }  // namespace
 }  // namespace a4nn
