@@ -143,12 +143,14 @@ WorkflowResult A4nnWorkflow::run() {
   if (config_.cluster.remote) config_.cluster.remote->set_metrics(&registry);
   sched::ResourceManager cluster(config_.cluster);
   cluster.set_metrics(&registry);
+  // Declared before the evaluator so it outlives it (memo.hpp contract):
+  // the evaluator holds a raw pointer to the memo until its destructor.
+  nas::FitnessMemo memo(config_.memo);
   orchestrator::WorkflowEvaluator evaluator(loop, cluster, config_.nas.space,
                                             config_.seed,
                                             tracker ? &*tracker : nullptr);
   evaluator.set_metrics(&registry);
   evaluator.set_crash_after(config_.crash_after_evaluations);
-  nas::FitnessMemo memo(config_.memo);
   if (config_.memo != nas::MemoMode::kOff) evaluator.set_memo(&memo);
   if (resuming) {
     // Reuse whatever record trails a previous (interrupted) run left in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace a4nn::nas {
 
@@ -48,6 +49,12 @@ std::uint64_t memo_model_seed(std::uint64_t run_seed, const Genome& genome) {
 
 void FitnessMemo::insert(const EvaluationRecord& record) {
   if (record.failed) return;  // failures are never cache hits
+  // An inherited record's curves depend on the ancestor it warm-started
+  // from, not on the genome alone — replaying it for a duplicate bred from
+  // a different parent would break the kCold == kOn bit-identity contract.
+  // Warm-started evaluations therefore never enter the cache (and the
+  // evaluator never serves a hit to a child that will warm-start).
+  if (record.inherited_from_model >= 0) return;
   const std::uint64_t d = record.genome.digest();
   const std::string key = record.genome.key();
   auto it = entries_.find(d);
@@ -104,16 +111,19 @@ util::Json memo_index_json(std::span<const EvaluationRecord> history) {
     std::size_t epochs_trained;
   };
   std::vector<IndexEntry> entries;
+  // O(n) dedup: keys seen per digest (a vector, so a digest collision
+  // still yields one entry per distinct key, exactly as a linear scan
+  // over all prior entries would).
+  std::unordered_map<std::uint64_t, std::vector<std::string>> seen;
   for (const auto& r : history) {
     if (r.failed) continue;
     const std::uint64_t d = r.genome.digest();
-    const std::string key = r.genome.key();
-    const bool seen = std::any_of(
-        entries.begin(), entries.end(),
-        [&](const IndexEntry& e) { return e.digest == d && e.key == key; });
-    if (seen) continue;
+    std::string key = r.genome.key();
+    auto& keys = seen[d];
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
     entries.push_back(
         {d, key, r.model_id, r.fitness, r.flops, r.epochs_trained});
+    keys.push_back(std::move(key));
   }
   std::sort(entries.begin(), entries.end(),
             [](const IndexEntry& a, const IndexEntry& b) {

@@ -18,7 +18,12 @@
 // tests/test_memo_cache.cpp prove kCold and kOn runs produce identical
 // Pareto fronts, commons records, and lineage facts (only wall-clock
 // fields differ). Failed records never enter the cache (PR 4 semantics: a
-// failure marker holds no result worth replaying).
+// failure marker holds no result worth replaying). Neither do inherited
+// records, and a child about to warm-start is never served a hit: a
+// warm-started evaluation is a function of (genome, ancestor), not of the
+// genome alone, so under --inherit-weights the cache covers exactly the
+// parentless from-scratch evaluations — the subset where replay is provably
+// equivalent.
 #pragma once
 
 #include <cstdint>
@@ -55,7 +60,10 @@ class FitnessMemo {
   bool reuse_enabled() const { return mode_ == MemoMode::kOn; }
 
   /// Record a finished evaluation. Failed records are rejected (never
-  /// cache hits); the first model to train a genome stays its canonical
+  /// cache hits), and so are inherited records: a warm-started child's
+  /// curves depend on its ancestor, so replaying one for a duplicate bred
+  /// from a different parent would break kCold == kOn bit-identity. The
+  /// first model to train a genome from scratch stays its canonical
   /// source. Insertion happens in both kCold and kOn so the canonical
   /// model map (weight-inheritance fallback) is mode-independent.
   void insert(const EvaluationRecord& record);

@@ -178,11 +178,15 @@ nas::EvaluationRecord TrainingLoop::train_genome_inherited(
   }
   std::sort(epochs.rbegin(), epochs.rend());
 
-  util::Rng init_rng(seed);
-  nn::Model model = nas::decode_genome(genome, space, init_rng);
-
   for (std::size_t e : epochs) {
     try {
+      // Re-decode the child fresh for every attempt: a fine-tune that
+      // throws after transfer_weights leaves the model mutated, and an
+      // older checkpoint may not cover every slot the newer one touched —
+      // the fallback must stay a pure function of (genome, seed, commons),
+      // never of the failed attempt's leftovers.
+      util::Rng init_rng(seed);
+      nn::Model model = nas::decode_genome(genome, space, init_rng);
       nn::Model parent = nn::Model::from_checkpoint(util::Json::parse(
           lineage::read_artifact(dir / lineage::snapshot_file_name(e))));
       const auto [copied, fresh] = transfer_weights(parent, model);

@@ -107,14 +107,35 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
       }
     }
 
+    // Weight inheritance: warm-start from the first-named parent (the
+    // tournament's first pick), resolved through the memo's canonical map
+    // so a parent that was itself a cache replay (and thus wrote no
+    // snapshots) redirects to the model that actually trained the genome —
+    // identical weights, so kCold and kOn inherit the same tensors.
+    // Resolved BEFORE the memo lookup: a child that will warm-start must
+    // never be served a replay, because its result depends on the ancestor
+    // — a cached record (trained from scratch or from a different parent)
+    // would diverge from what a kCold run trains here.
+    int ancestor = -1;
+    if (loop_->config().inherit_weights && i < parents.size()) {
+      const int raw = parents[i].parent_a >= 0 ? parents[i].parent_a
+                                               : parents[i].parent_b;
+      if (raw >= 0) {
+        ancestor = memo_ ? memo_->canonical_model_of(raw) : raw;
+        if (ancestor < 0) ancestor = raw;
+      }
+    }
+
     // Memo hit: this genome already has a journaled evaluation from an
     // earlier generation (or a warmed shared commons). Replay it under the
     // new model id: the pseudo-job reports the stored virtual duration so
     // the FIFO schedule — and therefore every later device placement — is
     // bit-identical to the run that trained it, and flushes the copied
     // record so the commons carries the same trails a cache-cold run
-    // writes. `replayed` stays transient (never serialized).
-    if (memo_) {
+    // writes. `replayed` stays transient (never serialized). Only
+    // parentless jobs are eligible: the memo admits only from-scratch
+    // records, and warm-starting children bypass it entirely (above).
+    if (memo_ && ancestor < 0) {
       if (const nas::EvaluationRecord* hit = memo_->lookup(genome)) {
         *slot = *hit;
         slot->model_id = model_id;
@@ -139,21 +160,6 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
             ? nas::memo_model_seed(seed_, genome)
             : seed_ ^ (0x9E3779B97F4A7C15ULL *
                        static_cast<std::uint64_t>(model_id + 1));
-
-    // Weight inheritance: warm-start from the first-named parent (the
-    // tournament's first pick), resolved through the memo's canonical map
-    // so a parent that was itself a cache replay (and thus wrote no
-    // snapshots) redirects to the model that actually trained the genome —
-    // identical weights, so kCold and kOn inherit the same tensors.
-    int ancestor = -1;
-    if (loop_->config().inherit_weights && i < parents.size()) {
-      const int raw = parents[i].parent_a >= 0 ? parents[i].parent_a
-                                               : parents[i].parent_b;
-      if (raw >= 0) {
-        ancestor = memo_ ? memo_->canonical_model_of(raw) : raw;
-        if (ancestor < 0) ancestor = raw;
-      }
-    }
 
     sched::Job job{
         [this, genome, model_id, model_seed, generation, ancestor, slot] {
@@ -227,7 +233,14 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
                       " failed permanently after retries: ",
                       schedule.placements[i].error);
     }
-    if (records[i].inherited_from_model >= 0) ++inherited_;
+    // Replayed records carry the canonical record's provenance, not a warm
+    // start paid this run (and the memo admits only from-scratch records
+    // anyway): count inheritance for fresh evaluations only, mirroring the
+    // engine-overhead split, so RunSummary.inherited_starts stays equal to
+    // train.inherited_starts.
+    const bool fresh_inherited =
+        records[i].inherited_from_model >= 0 && !records[i].replayed;
+    if (fresh_inherited) ++inherited_;
     if (metrics_) {
       metrics_->counter("nas.evaluations").add();
       if (records[i].failed) metrics_->counter("nas.failed_evaluations").add();
@@ -244,7 +257,7 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
         metrics_->counter("penguin.engine_overhead_seconds")
             .add(records[i].engine_overhead_seconds);
       }
-      if (records[i].inherited_from_model >= 0)
+      if (fresh_inherited)
         metrics_->counter("nas.inherited_evaluations").add();
     }
     // Cache admission happens here, in the single-threaded accounting

@@ -128,6 +128,59 @@ TEST(MemoCache, ColdAndOnRunsAreBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// The same differential with weight inheritance composed in: duplicates
+// bred from different parents must warm-start (never replay a record that
+// was fine-tuned from some other ancestor), so cold and on stay
+// bit-identical with both features enabled.
+// ---------------------------------------------------------------------------
+
+TEST(MemoCache, ColdAndOnRunsAreBitIdenticalWithInheritance) {
+  const fs::path cold_root = util::make_temp_dir("a4nn_memo_inh_cold");
+  const fs::path on_root = util::make_temp_dir("a4nn_memo_inh_on");
+
+  WorkflowConfig cold_cfg = memo_config(nas::MemoMode::kCold);
+  cold_cfg.trainer.inherit_weights = true;
+  cold_cfg.trainer.inherit_epoch_fraction = 0.5;
+  cold_cfg.lineage = lineage::TrackerConfig{cold_root, 1};  // snapshots on
+  A4nnWorkflow cold_flow(cold_cfg);
+  const WorkflowResult cold = cold_flow.run();
+  EXPECT_EQ(cold.summary.memo_hits, 0u);
+  ASSERT_GT(cold.summary.inherited_starts, 0u);  // warm starts actually fired
+
+  WorkflowConfig on_cfg = memo_config(nas::MemoMode::kOn);
+  on_cfg.trainer.inherit_weights = true;
+  on_cfg.trainer.inherit_epoch_fraction = 0.5;
+  on_cfg.lineage = lineage::TrackerConfig{on_root, 1};
+  A4nnWorkflow on_flow(on_cfg, cold_flow.dataset());
+  const WorkflowResult on = on_flow.run();
+
+  expect_histories_identical(cold.search.history, on.search.history);
+  EXPECT_EQ(cold.search.pareto, on.search.pareto);
+  EXPECT_EQ(cold.search.final_population, on.search.final_population);
+  EXPECT_EQ(cold.summary.inherited_starts, on.summary.inherited_starts);
+  EXPECT_EQ(util::read_file(cold_root / "memo_index.json"),
+            util::read_file(on_root / "memo_index.json"));
+  EXPECT_EQ(normalized_search_json(cold_root),
+            normalized_search_json(on_root));
+
+  // RunSummary.inherited_starts counts warm starts paid this run: it must
+  // match both the history's fresh inherited records and the training
+  // loop's own train.inherited_starts counter (no double count on replays).
+  for (const WorkflowResult* r : {&cold, &on}) {
+    std::size_t fresh_inherited = 0;
+    for (const auto& rec : r->search.history)
+      if (rec.inherited_from_model >= 0 && !rec.replayed) ++fresh_inherited;
+    EXPECT_EQ(r->summary.inherited_starts, fresh_inherited);
+    EXPECT_DOUBLE_EQ(r->summary.metrics.at("counters").number_or(
+                         "train.inherited_starts", 0.0),
+                     static_cast<double>(fresh_inherited));
+  }
+
+  fs::remove_all(cold_root);
+  fs::remove_all(on_root);
+}
+
+// ---------------------------------------------------------------------------
 // Kill + resume: a memo-on run killed mid-flight and resumed converges to
 // the exact uninterrupted result, memo index included.
 // ---------------------------------------------------------------------------
@@ -256,6 +309,34 @@ TEST(MemoCache, FailedRecordsAreNeverCached) {
   cold.insert(ok);
   EXPECT_EQ(cold.lookup(ok.genome), nullptr);
   EXPECT_EQ(cold.canonical_model(ok.genome), 1);  // provenance still tracked
+}
+
+// ---------------------------------------------------------------------------
+// Inherited records are never cached: their curves depend on the ancestor
+// they warm-started from, so replaying one for a duplicate bred from a
+// different parent would break the cold/on bit-identity contract.
+// ---------------------------------------------------------------------------
+
+TEST(MemoCache, InheritedRecordsAreNeverCached) {
+  nas::FitnessMemo memo(nas::MemoMode::kOn);
+  util::Rng rng(7);
+  nas::EvaluationRecord inherited;
+  inherited.genome = nas::random_genome(2, 2, rng);
+  inherited.model_id = 4;
+  inherited.fitness = 91.0;
+  inherited.inherited_from_model = 2;
+  memo.insert(inherited);
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.lookup(inherited.genome), nullptr);
+  EXPECT_EQ(memo.canonical_model_of(4), -1);
+
+  // A from-scratch evaluation of the same genome IS admitted afterwards.
+  nas::EvaluationRecord scratch = inherited;
+  scratch.inherited_from_model = -1;
+  scratch.model_id = 5;
+  memo.insert(scratch);
+  ASSERT_NE(memo.lookup(scratch.genome), nullptr);
+  EXPECT_EQ(memo.lookup(scratch.genome)->model_id, 5);
 }
 
 // ---------------------------------------------------------------------------
