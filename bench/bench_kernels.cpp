@@ -1,20 +1,33 @@
 // Training-kernel microbenchmark: GFLOP/s for the blocked/packed GEMM
-// variants (and the naive baseline they replaced) on cubic and conv-shaped
+// variants (and the naive baseline they replaced), the autotuned GEMM, and
+// the direct vs im2col convolution paths, on cubic and conv-shaped
 // problems. Emits BENCH_kernels.json so CI can archive throughput per
 // commit, and — with --floor — enforces a regression gate: any kernel
-// running at less than half its checked-in floor fails the run.
+// running at less than half its checked-in floor fails the run, as does
+// any measured kernel missing from the floor file or any floor entry that
+// no longer matches a measured kernel (so new/renamed kernels can never
+// ship ungated).
 //
 //   ./bench_kernels                          # print table + write JSON
 //   ./bench_kernels --floor ../bench/kernels_floor.json
+//   ./bench_kernels --tune-config tune.json  # use a journaled tune
+//
+// Without --tune-config the bench runs the in-process autotuner over its
+// own shapes first, so the gemm_tuned rows always measure a real tuned
+// config and the measured kernel set is identical either way.
 #include <array>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "tensor/autotune.hpp"
 #include "tensor/ops.hpp"
 #include "util/args.hpp"
+#include "util/frame.hpp"
 #include "util/fsutil.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -73,7 +86,12 @@ int main(int argc, char** argv) {
   args.add_option("out", "BENCH_kernels.json", "output JSON path");
   args.add_option("floor", "",
                   "kernels_floor.json with minimum GFLOP/s per kernel; exit "
-                  "nonzero if any kernel measures below half its floor");
+                  "nonzero if any kernel measures below half its floor, is "
+                  "missing from the file, or the file names a kernel that "
+                  "was not measured");
+  args.add_option("tune-config", "",
+                  "tune.json from a4nn_tune for the gemm_tuned rows (empty: "
+                  "self-tune in process over the bench shapes)");
   try {
     args.parse(argc, argv);
   } catch (const util::ArgError& e) {
@@ -94,6 +112,34 @@ int main(int argc, char** argv) {
       {16, 36, 64},    {32, 144, 64},   {64, 10, 256},
   };
 
+  // Blocking configs for the gemm_tuned rows: a journaled tune.json, or a
+  // quick in-process tune over the same shapes. Applied per case via
+  // gemm_with_config so the untuned baseline rows stay untuned.
+  std::map<std::pair<std::size_t, std::size_t>, tensor::TileConfig> tuned;
+  {
+    std::vector<tensor::TunedTileEntry> entries;
+    if (!args.get("tune-config").empty()) {
+      entries = tensor::tune_entries_from_json(util::Json::parse(
+          util::unframe_or_legacy(util::read_file(args.get("tune-config")))
+              .payload));
+      std::printf("tuned rows use %s\n", args.get("tune-config").c_str());
+    } else {
+      std::vector<tensor::TuneShape> tune_shapes;
+      for (const auto& [m, k, n] : shapes)
+        tune_shapes.push_back({"bench_gemm", m, k, n, false});
+      tensor::TuneOptions opts;
+      opts.seed = 42;
+      opts.repeats = 2;
+      entries = tensor::run_tune(tune_shapes, opts).entries;
+      std::printf("tuned rows use an in-process self-tune\n");
+    }
+    for (const auto& e : entries) tuned[{e.k, e.n}] = e.config;
+  }
+  auto tuned_config = [&tuned](std::size_t k, std::size_t n) {
+    const auto it = tuned.find({k, n});
+    return it == tuned.end() ? tensor::TileConfig{} : it->second;
+  };
+
   std::vector<Case> cases;
   // Keep every buffer alive for the duration of the run.
   auto buffers = std::make_shared<std::vector<std::vector<float>>>();
@@ -111,6 +157,10 @@ int main(int argc, char** argv) {
                      [=] { tensor::gemm_naive(m, k, n, a, b, c); }});
     cases.push_back(
         {"gemm", m, k, n, [=] { tensor::gemm(m, k, n, a, b, c); }});
+    const tensor::TileConfig tc = tuned_config(k, n);
+    cases.push_back({"gemm_tuned", m, k, n, [=] {
+                       tensor::gemm_with_config(m, k, n, a, b, c, tc);
+                     }});
     // a interpreted as (k x m) / b as (n x k): same buffers, valid layouts.
     float* at = keep(random_buffer(k * m, rng));
     float* bt = keep(random_buffer(n * k, rng));
@@ -121,6 +171,36 @@ int main(int argc, char** argv) {
     const tensor::Epilogue ep{tensor::Epilogue::Bias::kPerRow, bias, true};
     cases.push_back({"gemm_bias_relu", m, k, n,
                      [=] { tensor::gemm_ex(m, k, n, a, b, c, ep); }});
+  }
+
+  // Convolution forward, materialized vs direct, on the 3x3 stride-1
+  // geometries the search space emits (stem and phase-node shapes at a
+  // 16x16 detector, and a post-downsample phase shape).
+  const std::vector<std::array<std::size_t, 3>> conv_geoms = {
+      {1, 16, 4},   // stem: 1 -> 4 channels at 16x16
+      {4, 16, 4},   // phase node at 16x16
+      {8, 8, 8},    // phase node after one downsample
+  };
+  for (const auto& [in_ch, hw, out_ch] : conv_geoms) {
+    tensor::ConvGeometry g{in_ch, hw, hw, 3, 1, 1};
+    const std::size_t m = out_ch;
+    const std::size_t k = g.patch_size();
+    const std::size_t n = g.out_h() * g.out_w();
+    float* w = keep(random_buffer(m * k, rng));
+    float* image = keep(random_buffer(in_ch * hw * hw, rng));
+    float* cols = keep(std::vector<float>(k * n));
+    float* bias = keep(random_buffer(m, rng));
+    float* out = keep(std::vector<float>(m * n));
+    const tensor::Epilogue ep{tensor::Epilogue::Bias::kPerRow, bias, true};
+    const std::size_t image_n = in_ch * hw * hw;
+    cases.push_back({"conv_im2col", m, k, n, [=] {
+                       tensor::im2col(g, {image, image_n}, {cols, k * n});
+                       tensor::gemm_ex(m, k, n, w, cols, out, ep);
+                     }});
+    cases.push_back({"conv_direct", m, k, n, [=] {
+                       tensor::conv2d_forward_direct(g, m, w, {image, image_n},
+                                                     out, ep);
+                     }});
   }
 
   util::AsciiTable table({"kernel", "m", "k", "n", "GFLOP/s", "ns/iter"});
@@ -144,29 +224,62 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
 
-  // Headline number: blocked vs naive at the largest cubic size.
+  // Headline numbers: blocked vs naive at the largest cubic size, and
+  // direct vs im2col on the largest conv shape.
   double naive256 = 0.0, blocked256 = 0.0;
+  double im2col_best = 0.0, direct_best = 0.0;
   for (const auto& r : results) {
     if (r.key == "gemm_naive 256x256x256") naive256 = r.gflops;
     if (r.key == "gemm 256x256x256") blocked256 = r.gflops;
+    if (r.key == "conv_im2col 4x36x256") im2col_best = r.gflops;
+    if (r.key == "conv_direct 4x36x256") direct_best = r.gflops;
   }
   const double speedup = naive256 > 0.0 ? blocked256 / naive256 : 0.0;
   std::printf("gemm vs gemm_naive at 256^3: %.2fx\n", speedup);
+  const double conv_speedup =
+      im2col_best > 0.0 ? direct_best / im2col_best : 0.0;
+  std::printf("conv_direct vs conv_im2col at 4x36x256: %.2fx\n", conv_speedup);
   json["speedup_256"] = speedup;
+  json["conv_direct_speedup"] = conv_speedup;
   json["kernels"] = std::move(entries);
   util::write_file(args.get("out"), json.dump(2));
   std::printf("wrote %s\n", args.get("out").c_str());
 
   if (!args.get("floor").empty()) {
-    const util::Json floors = util::Json::parse(util::read_file(args.get("floor")));
+    const util::Json floors =
+        util::Json::parse(util::read_file(args.get("floor")));
+    // Two-way hard matching: every measured kernel needs a floor, every
+    // floor key needs a measured kernel. Keys starting with "_" are
+    // comments/metadata.
+    std::map<std::string, double> floor_map;
+    for (const auto& [key, value] : floors.as_object())
+      if (!key.starts_with("_")) floor_map[key] = value.as_number();
     int violations = 0;
+    std::set<std::string> matched;
     for (const auto& r : results) {
-      if (!floors.contains(r.key)) continue;
-      const double floor = floors.at(r.key).as_number();
-      if (r.gflops < floor / 2.0) {
+      const auto it = floor_map.find(r.key);
+      if (it == floor_map.end()) {
+        std::fprintf(stderr,
+                     "UNGATED %s: measured kernel has no floor entry — add "
+                     "it to %s\n",
+                     r.key.c_str(), args.get("floor").c_str());
+        ++violations;
+        continue;
+      }
+      matched.insert(r.key);
+      if (r.gflops < it->second / 2.0) {
         std::fprintf(stderr,
                      "REGRESSION %s: %.2f GFLOP/s < half of floor %.2f\n",
-                     r.key.c_str(), r.gflops, floor);
+                     r.key.c_str(), r.gflops, it->second);
+        ++violations;
+      }
+    }
+    for (const auto& [key, value] : floor_map) {
+      if (!matched.contains(key)) {
+        std::fprintf(stderr,
+                     "STALE FLOOR %s: no measured kernel matches this entry "
+                     "— remove or rename it\n",
+                     key.c_str());
         ++violations;
       }
     }

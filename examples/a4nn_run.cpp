@@ -13,6 +13,7 @@
 #include "analytics/dot_export.hpp"
 #include "core/a4nn.hpp"
 #include "orchestrator/workflow_evaluator.hpp"
+#include "tensor/autotune.hpp"
 #include "tensor/parallel.hpp"
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
@@ -92,6 +93,9 @@ int main(int argc, char** argv) {
                   "worker threads per training kernel (0: use "
                   "A4NN_INTRA_OP_THREADS, default 1); results are "
                   "bit-identical at any setting");
+  args.add_option("tune-config", "",
+                  "tune.json from a4nn_tune: per-shape GEMM blocking "
+                  "(empty: use A4NN_TUNE env var, or compiled defaults)");
   args.add_option("trace-out", "",
                   "write a Chrome-trace JSON of the run (host spans + "
                   "simulated device timeline + metrics) to this path; "
@@ -164,6 +168,14 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
   if (args.get_size("intra-op-threads") > 0)
     tensor::set_intra_op_threads(args.get_size("intra-op-threads"));
+  if (!args.get("tune-config").empty()) {
+    try {
+      tensor::load_tune_file(args.get("tune-config"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--tune-config: %s\n", e.what());
+      return 1;
+    }
+  }
   if (!args.get("commons").empty()) {
     cfg.lineage = lineage::TrackerConfig{args.get("commons"),
                                          args.get_size("snapshot-every")};

@@ -14,6 +14,7 @@
 
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
+#include "tensor/autotune.hpp"
 #include "util/args.hpp"
 #include "util/fsutil.hpp"
 #include "util/log.hpp"
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
   args.add_option("clients", "8", "closed-loop client threads");
   args.add_option("stats-out", "", "write engine stats JSON here");
   args.add_option("trace-out", "", "write a Chrome trace of the run here");
+  args.add_option("tune-config", "",
+                  "tune.json from a4nn_tune: per-shape GEMM blocking "
+                  "(empty: use A4NN_TUNE env var, or compiled defaults)");
   try {
     args.parse(argc, argv);
   } catch (const util::ArgError& e) {
@@ -50,6 +54,14 @@ int main(int argc, char** argv) {
   if (args.help_requested()) {
     std::printf("%s", args.usage().c_str());
     return 0;
+  }
+  if (!args.get("tune-config").empty()) {
+    try {
+      tensor::load_tune_file(args.get("tune-config"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--tune-config: %s\n", e.what());
+      return 1;
+    }
   }
   util::set_log_level(util::LogLevel::kInfo);
   util::install_shutdown_handlers();

@@ -1,0 +1,100 @@
+// a4nn_tune: one-shot kernel autotuner driver.
+//
+// Sweeps the blocking candidates over the GEMM shape classes the search
+// space emits for a dataset geometry, and journals the winning configs as
+// a CRC-framed commons artifact (tune.json) that every other CLI can load
+// via --tune-config / $A4NN_TUNE. Re-running against the same commons
+// replays the journaled measurements, so a finished tune re-emits
+// byte-identically and an interrupted one resumes instead of re-timing.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "lineage/tracker.hpp"
+#include "tensor/autotune.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+using namespace a4nn;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("a4nn_tune", "Autotune GEMM cache blocking per shape class");
+  args.add_option("commons", "tune_commons",
+                  "commons directory for the journaled tune.json");
+  args.add_option("pixels", "16", "dataset image edge (pixels x pixels)");
+  args.add_option("classes", "2", "classifier output classes");
+  args.add_option("stem-channels", "4", "search-space stem width");
+  args.add_option("eval-batch", "64", "eval-mode whole-batch Linear rows");
+  args.add_option("serve-batches", "1,8,32",
+                  "comma-separated serving micro-batch sizes");
+  args.add_option("seed", "0", "operand seed / journal identity");
+  args.add_option("repeats", "3", "timing repeats per candidate (min kept)");
+  args.add_flag("fresh", "ignore any journaled measurements and re-time");
+  try {
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::printf("%s", args.usage().c_str());
+      return 0;
+    }
+
+    std::vector<std::size_t> serve_batches;
+    {
+      const std::string list = args.get("serve-batches");
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!tok.empty()) serve_batches.push_back(std::stoul(tok));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+
+    const auto shapes = tensor::search_space_tune_shapes(
+        args.get_size("pixels"), args.get_size("classes"),
+        args.get_size("stem-channels"), args.get_size("eval-batch"),
+        serve_batches);
+
+    tensor::TuneOptions options;
+    options.seed = args.get_size("seed");
+    options.repeats = args.get_size("repeats");
+
+    lineage::LineageTracker tracker({args.get("commons")});
+    lineage::DataCommons commons(args.get("commons"));
+    util::Json prior;
+    bool have_prior = false;
+    if (!args.get_flag("fresh") && commons.has_artifact("tune.json")) {
+      prior = commons.load_artifact("tune.json");
+      have_prior = true;
+      util::log_info("a4nn_tune: resuming from journaled tune.json");
+    }
+
+    const tensor::TuneResult result =
+        tensor::run_tune(shapes, options, have_prior ? &prior : nullptr);
+    tracker.record_artifact("tune.json", result.doc);
+
+    // Report per-(k, n) winners and their speedup over candidate 0 (the
+    // compiled defaults), from the journaled measurements.
+    const auto& meas = result.doc.at("measurements");
+    for (const util::Json& w : result.doc.at("winners").as_array()) {
+      double base = 0.0;
+      const std::size_t ci =
+          static_cast<std::size_t>(w.at("candidate").as_int());
+      for (const util::Json& key : w.at("shapes").as_array())
+        base += meas.at(key.as_string()).at(0).as_number();
+      const double tuned = w.at("total_ns").as_number();
+      std::printf(
+          "k=%-5lld n=%-6lld candidate=%-2zu  %8.0f ns -> %8.0f ns  (%.2fx)\n",
+          static_cast<long long>(w.at("k").as_int()),
+          static_cast<long long>(w.at("n").as_int()), ci, base, tuned,
+          tuned > 0.0 ? base / tuned : 1.0);
+    }
+    std::printf("tuned %zu (k, n) entries -> %s/tune.json\n",
+                result.entries.size(), args.get("commons").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "a4nn_tune: %s\n", e.what());
+    return 1;
+  }
+}

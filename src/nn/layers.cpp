@@ -89,6 +89,7 @@ tensor::ConvGeometry Conv2d::geometry(const Shape& in) const {
   g.kernel = kernel_;
   g.stride = stride_;
   g.pad = pad_;
+  g.validate();  // reject degenerate geometries before any kernel runs
   return g;
 }
 
@@ -118,23 +119,29 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   ep.bias_data = bias_.data();
   ep.relu = act_ == Activation::kRelu;
   // Images write disjoint output slices, so chunking is free of races and
-  // the fixed partition keeps results thread-count independent. Inference
-  // keeps its im2col columns on the executing thread's scratch arena (one
-  // image reused across the chunk) instead of the backward cache.
+  // the fixed partition keeps results thread-count independent. Training
+  // materializes im2col into the backward cache (backward re-reads the
+  // columns); inference goes through conv2d_forward_direct, which packs
+  // image tiles straight into the GEMM panels for viable geometries and
+  // falls back to a scratch-arena im2col otherwise — bit-identical either
+  // way (see ops.hpp).
   tensor::parallel_chunks(batch, [&](std::size_t, std::size_t begin,
                                      std::size_t end) {
-    tensor::ScratchScope scratch;
-    std::span<float> eval_col;
-    if (!training) eval_col = scratch.alloc(patch * cols);
     for (std::size_t n = begin; n < end; ++n) {
-      std::span<float> col =
-          training ? std::span<float>(columns_cache_.data() + n * patch * cols,
-                                      patch * cols)
-                   : eval_col;
-      tensor::im2col(g, {x.data() + n * image_size, image_size}, col);
-      // out_n(oc x cols) = act(W(oc x patch) * col(patch x cols) + bias)
-      tensor::gemm_ex(out_channels_, patch, cols, weight_.data(), col.data(),
-                      out.data() + n * out_channels_ * cols, ep);
+      const std::span<const float> image{x.data() + n * image_size,
+                                         image_size};
+      float* out_n = out.data() + n * out_channels_ * cols;
+      if (training) {
+        std::span<float> col(columns_cache_.data() + n * patch * cols,
+                             patch * cols);
+        tensor::im2col(g, image, col);
+        // out_n(oc x cols) = act(W(oc x patch) * col(patch x cols) + bias)
+        tensor::gemm_ex(out_channels_, patch, cols, weight_.data(), col.data(),
+                        out_n, ep);
+      } else {
+        tensor::conv2d_forward_direct(g, out_channels_, weight_.data(), image,
+                                      out_n, ep);
+      }
     }
   });
   if (training)
@@ -216,6 +223,7 @@ Shape Conv2d::output_shape(const Shape& in) const {
   g.kernel = kernel_;
   g.stride = stride_;
   g.pad = pad_;
+  g.validate();
   return {out_channels_, g.out_h(), g.out_w()};
 }
 

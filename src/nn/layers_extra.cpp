@@ -34,17 +34,21 @@ SeparableConv2d::SeparableConv2d(std::size_t in_channels,
 Shape SeparableConv2d::output_shape(const Shape& in) const {
   if (in.size() != 3)
     throw std::invalid_argument("SeparableConv2d::output_shape: expected CHW");
-  const std::size_t oh = in[1] + 2 * pad_ - kernel_ + 1;
-  const std::size_t ow = in[2] + 2 * pad_ - kernel_ + 1;
-  return {out_channels_, oh, ow};
+  // Same degeneracy screen as Conv2d: without it, in + 2*pad < kernel
+  // underflows oh/ow to astronomically large sizes instead of erroring.
+  tensor::ConvGeometry g{in_channels_, in[1], in[2], kernel_, 1, pad_};
+  g.validate();
+  return {out_channels_, g.out_h(), g.out_w()};
 }
 
 Tensor SeparableConv2d::forward(const Tensor& x, bool training) {
   if (x.rank() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("SeparableConv2d: bad input shape");
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const std::size_t oh = h + 2 * pad_ - kernel_ + 1;
-  const std::size_t ow = w + 2 * pad_ - kernel_ + 1;
+  tensor::ConvGeometry geom{in_channels_, h, w, kernel_, 1, pad_};
+  geom.validate();
+  const std::size_t oh = geom.out_h();
+  const std::size_t ow = geom.out_w();
   const std::size_t cells = oh * ow;
   if (training) {
     input_cache_ = x;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
 #include "util/trace.hpp"
 
 namespace a4nn::serve {
@@ -16,6 +17,10 @@ namespace {
 double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
+
+// Per-thread scratch kept across batches (floats): 4 MiB covers every
+// steady-state micro-batch by a wide margin while bounding long-run RSS.
+constexpr std::size_t kScratchTrimFloats = 1u << 20;
 
 }  // namespace
 
@@ -221,6 +226,11 @@ void InferenceEngine::run_batch(std::vector<Request> batch,
     for (auto& request : batch)
       request.promise.set_exception(std::current_exception());
   }
+  // Batch boundary: cap this exec thread's scratch at a soft watermark so
+  // one outlier batch shape cannot pin its peak working set in a process
+  // that serves for days. Steady-state batches fit the kept block, so the
+  // common case never reallocates.
+  tensor::ScratchArena::tls().trim(kScratchTrimFloats);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     in_flight_ -= count;

@@ -1,0 +1,319 @@
+#include "tensor/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/frame.hpp"
+#include "util/fsutil.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace a4nn::tensor {
+
+namespace {
+
+constexpr int kTuneVersion = 1;
+
+util::Json config_to_json(const TileConfig& c) {
+  util::Json j = util::Json::object();
+  j["kc"] = c.kc;
+  j["mc"] = c.mc;
+  j["nc"] = c.nc;
+  j["small_row_flops"] = c.small_row_flops;
+  return j;
+}
+
+TileConfig config_from_json(const util::Json& j) {
+  TileConfig c;
+  c.mc = static_cast<std::size_t>(j.at("mc").as_int());
+  c.kc = static_cast<std::size_t>(j.at("kc").as_int());
+  c.nc = static_cast<std::size_t>(j.at("nc").as_int());
+  c.small_row_flops =
+      static_cast<std::size_t>(j.at("small_row_flops").as_int());
+  return c;
+}
+
+// FNV-1a, for deriving a per-shape operand seed from the tune seed. Any
+// stable mix works; what matters is that it is a pure function of the
+// journal identity so the default measurement hook is reproducible.
+std::uint64_t mix_seed(std::uint64_t seed, const std::string& key) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char ch : key) {
+    h ^= ch;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Time one (shape, candidate) with live kernels: deterministic operand
+// buffers, one warmup run, then best-of-`repeats` wall time.
+double measure_real(const TuneShape& s, const TileConfig& c,
+                    std::uint64_t seed, std::size_t repeats) {
+  util::Rng rng(mix_seed(seed, s.key()));
+  std::vector<float> a(s.m * s.k), b(s.k * s.n), out(s.m * s.n);
+  for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  auto run = [&] {
+    if (s.b_transposed)
+      gemm_a_bt_with_config(s.m, s.k, s.n, a.data(), b.data(), out.data(), c);
+    else
+      gemm_with_config(s.m, s.k, s.n, a.data(), b.data(), out.data(), c);
+  };
+  run();  // warmup: faults in pages, primes caches
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < std::max<std::size_t>(repeats, 1); ++r) {
+    util::Timer t;
+    run();
+    best = std::min(best, t.seconds() * 1e9);
+  }
+  return best;
+}
+
+// A prior journal's measurements are only trustworthy if they were taken
+// under the same identity: seed, repeats, and the exact candidate list.
+bool prior_matches(const util::Json& prior, const util::Json& candidates,
+                   std::uint64_t seed, std::size_t repeats) {
+  if (!prior.is_object()) return false;
+  if (!prior.contains("candidates") || !prior.contains("measurements"))
+    return false;
+  if (static_cast<std::uint64_t>(prior.number_or("seed", -1.0)) != seed)
+    return false;
+  if (static_cast<std::size_t>(prior.number_or("repeats", 0.0)) != repeats)
+    return false;
+  return prior.at("candidates") == candidates;
+}
+
+}  // namespace
+
+std::string TuneShape::key() const {
+  return cls + " m" + std::to_string(m) + " k" + std::to_string(k) + " n" +
+         std::to_string(n) + (b_transposed ? " bt" : "");
+}
+
+const std::vector<TileConfig>& candidate_tile_configs() {
+  // candidates[0] MUST stay the default config: the winner per (k, n) is an
+  // argmin over this list, so the tuned table can never regress a journaled
+  // shape below the untuned baseline. Every entry passes
+  // validate_tile_config (mc % MR == 0, nc % NR == 0, kc > 0).
+  static const std::vector<TileConfig> kCandidates = {
+      TileConfig{},                // the compiled defaults
+      {36, 256, 256, 2048},        // smaller L2 A-tile
+      {120, 256, 256, 2048},       // larger L2 A-tile
+      {60, 128, 256, 2048},        // shallower k-panels
+      {60, 512, 256, 2048},        // deeper k-panels
+      {60, 256, 128, 2048},        // narrower B-tiles
+      {60, 256, 512, 2048},        // wider B-tiles
+      {36, 128, 128, 2048},        // small everything (L1-heavy shapes)
+      {120, 512, 512, 2048},       // big everything (large GEMMs)
+      {96, 384, 320, 4096},        // mid-size blend
+      {60, 256, 256, 0},           // always blocked, even tiny problems
+      {60, 256, 256, 8192},        // prefer the small path much longer
+  };
+  return kCandidates;
+}
+
+std::vector<TuneShape> search_space_tune_shapes(
+    std::size_t pixels, std::size_t num_classes, std::size_t stem_channels,
+    std::size_t eval_batch, const std::vector<std::size_t>& serve_batches) {
+  std::vector<TuneShape> shapes;
+  // Stem + phase-node convs at each downsample level, mirroring
+  // decode_genome: channels double and spatial halves while spatial >= 4.
+  std::size_t ch = stem_channels;
+  std::size_t spatial = pixels;
+  shapes.push_back({"conv_stem", ch, 1 * 3 * 3, spatial * spatial, false});
+  for (int level = 0; level < 3; ++level) {
+    const std::size_t cells = spatial * spatial;
+    // Phase-node 3x3 conv (the macro space's default op everywhere).
+    shapes.push_back({"conv3x3", ch, ch * 3 * 3, cells, false});
+    // Pointwise GEMMs: the 1x1 channel expansion between phases and the
+    // separable op's pointwise half share this shape family.
+    shapes.push_back({"conv1x1", ch * 2, ch, cells / 4, false});
+    if (spatial < 8) break;
+    spatial /= 2;
+    ch *= 2;
+  }
+  // Eval-mode whole-batch Linear (gemm_a_bt: m = batch, k = features,
+  // n = classes) and the serving micro-batch versions of the same layer —
+  // deliberately the same (k, n) so they are co-tuned into one entry.
+  shapes.push_back({"linear_eval", eval_batch, ch, num_classes, true});
+  for (std::size_t b : serve_batches)
+    shapes.push_back(
+        {"linear_serve_b" + std::to_string(b), b, ch, num_classes, true});
+  return shapes;
+}
+
+TuneResult run_tune(const std::vector<TuneShape>& shapes,
+                    const TuneOptions& options, const util::Json* prior) {
+  const std::vector<TileConfig>& candidates = candidate_tile_configs();
+  util::Json cand_json = util::Json::array();
+  for (const TileConfig& c : candidates) cand_json.push_back(config_to_json(c));
+
+  const bool resume = prior != nullptr &&
+                      prior_matches(*prior, cand_json, options.seed,
+                                    options.repeats);
+
+  // Validate shapes up front: a zero extent would "win" with 0 ns.
+  for (const TuneShape& s : shapes) {
+    if (s.m == 0 || s.k == 0 || s.n == 0)
+      throw std::invalid_argument("run_tune: zero extent in shape " + s.key());
+    if (s.cls.empty())
+      throw std::invalid_argument("run_tune: unnamed shape class");
+  }
+
+  // Measure (or replay) every (shape, candidate). The journal stores one
+  // ns array per shape key; an array of the right length with finite
+  // non-negative entries is replayed verbatim, which is what makes a
+  // finished tune re-emit byte-identically and an interrupted one resume.
+  util::Json measurements = util::Json::object();
+  std::map<std::string, std::vector<double>> ns_by_key;
+  for (const TuneShape& s : shapes) {
+    const std::string key = s.key();
+    if (ns_by_key.contains(key)) continue;  // duplicate shape row
+    std::vector<double> ns;
+    if (resume && prior->at("measurements").contains(key)) {
+      const util::Json& arr = prior->at("measurements").at(key);
+      if (arr.is_array() && arr.size() == candidates.size()) {
+        bool ok = true;
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+          const double v = arr.at(i).as_number();
+          if (!std::isfinite(v) || v < 0.0) ok = false;
+          ns.push_back(v);
+        }
+        if (!ok) ns.clear();
+      }
+    }
+    if (ns.empty()) {
+      ns.reserve(candidates.size());
+      for (const TileConfig& c : candidates)
+        ns.push_back(options.measure
+                         ? options.measure(s, c)
+                         : measure_real(s, c, options.seed, options.repeats));
+    }
+    util::Json arr = util::Json::array();
+    for (double v : ns) arr.push_back(v);
+    measurements[key] = std::move(arr);
+    ns_by_key[key] = std::move(ns);
+  }
+
+  // Co-tune shapes sharing (k, n): one winner per key, by summed ns across
+  // every claiming shape, ties broken toward the lowest candidate index.
+  // std::map keys the groups in (k, n) order, so the output is stable.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<const TuneShape*>>
+      groups;
+  for (const TuneShape& s : shapes) groups[{s.k, s.n}].push_back(&s);
+
+  util::Json winners = util::Json::array();
+  util::Json entries_json = util::Json::array();
+  std::vector<TunedTileEntry> entries;
+  for (const auto& [kn, members] : groups) {
+    std::size_t best = 0;
+    double best_total = std::numeric_limits<double>::infinity();
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      double total = 0.0;
+      for (const TuneShape* s : members) total += ns_by_key.at(s->key())[ci];
+      if (total < best_total) {
+        best_total = total;
+        best = ci;
+      }
+    }
+    TunedTileEntry e;
+    e.k = kn.first;
+    e.n = kn.second;
+    e.config = candidates[best];
+    entries.push_back(e);
+
+    util::Json w = util::Json::object();
+    w["candidate"] = best;
+    util::Json cls = util::Json::array();
+    for (const TuneShape* s : members) cls.push_back(s->key());
+    w["k"] = e.k;
+    w["n"] = e.n;
+    w["shapes"] = std::move(cls);
+    w["total_ns"] = best_total;
+    winners.push_back(std::move(w));
+
+    util::Json ej = config_to_json(e.config);
+    ej["k"] = e.k;
+    ej["n"] = e.n;
+    entries_json.push_back(std::move(ej));
+  }
+
+  util::Json shapes_json = util::Json::array();
+  for (const TuneShape& s : shapes) {
+    util::Json sj = util::Json::object();
+    sj["b_transposed"] = s.b_transposed;
+    sj["cls"] = s.cls;
+    sj["k"] = s.k;
+    sj["m"] = s.m;
+    sj["n"] = s.n;
+    shapes_json.push_back(std::move(sj));
+  }
+
+  TuneResult result;
+  result.doc = util::Json::object();
+  result.doc["candidates"] = std::move(cand_json);
+  result.doc["entries"] = std::move(entries_json);
+  result.doc["measurements"] = std::move(measurements);
+  result.doc["repeats"] = options.repeats;
+  result.doc["seed"] = options.seed;
+  result.doc["shapes"] = std::move(shapes_json);
+  result.doc["version"] = kTuneVersion;
+  result.doc["winners"] = std::move(winners);
+  result.entries = std::move(entries);
+  return result;
+}
+
+std::vector<TunedTileEntry> tune_entries_from_json(const util::Json& doc) {
+  if (!doc.is_object() || !doc.contains("entries"))
+    throw std::invalid_argument("tune document: missing 'entries'");
+  const int version =
+      static_cast<int>(doc.number_or("version", kTuneVersion));
+  if (version != kTuneVersion)
+    throw std::invalid_argument("tune document: unknown version " +
+                                std::to_string(version));
+  std::vector<TunedTileEntry> entries;
+  for (const util::Json& ej : doc.at("entries").as_array()) {
+    TunedTileEntry e;
+    e.k = static_cast<std::size_t>(ej.at("k").as_int());
+    e.n = static_cast<std::size_t>(ej.at("n").as_int());
+    e.config = config_from_json(ej);
+    validate_tile_config(e.config);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+void apply_tune_document(const util::Json& doc) {
+  set_tuned_tile_configs(tune_entries_from_json(doc));
+}
+
+void load_tune_file(const std::string& path) {
+  const std::string raw = util::read_file(path);
+  // Commons artifacts carry an integrity frame; a hand-written or
+  // CI-generated plain JSON file loads the same way.
+  const util::UnframeResult content = util::unframe_or_legacy(raw);
+  apply_tune_document(util::Json::parse(content.payload));
+}
+
+void ensure_env_tune_loaded() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* path = std::getenv("A4NN_TUNE");
+    if (path == nullptr || path[0] == '\0') return;
+    try {
+      load_tune_file(path);
+    } catch (const std::exception& e) {
+      // A requested-but-broken tune config must not silently fall back to
+      // untuned defaults — that would invalidate every perf gate run.
+      throw std::runtime_error(std::string("A4NN_TUNE: failed to load '") +
+                               path + "': " + e.what());
+    }
+  });
+}
+
+}  // namespace a4nn::tensor

@@ -1,0 +1,107 @@
+// One-shot kernel autotuner: sweeps the cache-blocking candidates over the
+// GEMM shape classes the search space actually emits (im2col conv GEMMs,
+// eval-mode whole-batch Linear, serving micro-batch Linear) and picks a
+// winner per (k, n).
+//
+// Determinism and resumability come from journal replay, not from
+// pretending timing is deterministic: tune.json records every raw
+// measurement, and a re-run (or a resume after an interrupt) reuses the
+// recorded numbers instead of re-timing, so the winners — and the emitted
+// bytes — are a pure function of the journal. A tune started and finished
+// on one machine therefore replays byte-identically anywhere, which is
+// what lets CI assert "same seed, same tune.json" and lets the artifact
+// live under the commons' CRC/journal discipline like any other.
+//
+// Shapes sharing (k, n) (an eval-batch Linear and a serving micro-batch of
+// the same layer differ only in m) are co-tuned: one winner is chosen by
+// summed time across the claiming shapes, because the runtime table is
+// keyed on (k, n) alone — see ops.hpp TileConfig for why m must not key
+// the lookup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::tensor {
+
+/// One GEMM problem to tune: a shape class name plus the (m, k, n) it
+/// emits. `b_transposed` selects the operand layout actually used by that
+/// class (Linear layers store weights (n x k) and run gemm_a_bt).
+struct TuneShape {
+  std::string cls;
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+  bool b_transposed = false;
+
+  /// Stable journal key, e.g. "conv_im2col m16 k36 n64".
+  std::string key() const;
+};
+
+/// Measurement hook: nanoseconds to run `shape` under `config`. Tests
+/// inject a fake to make the whole pipeline deterministic end to end; the
+/// default hook times the real kernels (best of `repeats` runs).
+using MeasureFn = std::function<double(const TuneShape&, const TileConfig&)>;
+
+struct TuneOptions {
+  /// Seeds the operand buffers of the default measurement hook and is
+  /// recorded in tune.json as part of the journal identity.
+  std::uint64_t seed = 0;
+  /// Timing repeats per (shape, candidate); the minimum is recorded.
+  std::size_t repeats = 3;
+  /// Override the measurement hook (tests). Null uses real timing.
+  MeasureFn measure;
+};
+
+struct TuneResult {
+  /// The complete tune.json document (journal + winners + entries).
+  util::Json doc;
+  /// The installed form of the winners, ready for
+  /// set_tuned_tile_configs().
+  std::vector<TunedTileEntry> entries;
+};
+
+/// The deterministic candidate list every tune sweeps. candidates[0] is
+/// the compiled default TileConfig, so a tuned table can never lose to the
+/// untuned baseline on a journaled shape. All candidates satisfy
+/// validate_tile_config.
+const std::vector<TileConfig>& candidate_tile_configs();
+
+/// The shape classes emitted by the phase-based search space for a given
+/// dataset geometry: per-layer im2col conv GEMMs, the eval-mode
+/// whole-batch Linear, and serving micro-batch Linears.
+std::vector<TuneShape> search_space_tune_shapes(
+    std::size_t pixels, std::size_t num_classes, std::size_t stem_channels,
+    std::size_t eval_batch, const std::vector<std::size_t>& serve_batches);
+
+/// Run (or resume) a tune. `prior` is a previously produced tune.json:
+/// any (shape, candidate) measurement it already records — under the same
+/// seed, repeats, and candidate list — is reused verbatim; only missing
+/// measurements are timed. Passing a completed journal back in therefore
+/// re-emits it byte-identically without running a single kernel.
+TuneResult run_tune(const std::vector<TuneShape>& shapes,
+                    const TuneOptions& options,
+                    const util::Json* prior = nullptr);
+
+/// Parse a tune.json document into runtime table entries, validating every
+/// config. Throws util::JsonError / std::invalid_argument on malformed or
+/// constraint-violating content.
+std::vector<TunedTileEntry> tune_entries_from_json(const util::Json& doc);
+
+/// Parse + install: set_tuned_tile_configs(tune_entries_from_json(doc)).
+void apply_tune_document(const util::Json& doc);
+
+/// Read `path` (a framed commons artifact or plain JSON), parse, install.
+void load_tune_file(const std::string& path);
+
+/// Install the file named by $A4NN_TUNE, once per process. Called from the
+/// GEMM driver; after the first call it is a single std::call_once load.
+/// A malformed file aborts startup loudly rather than silently untuned.
+void ensure_env_tune_loaded();
+
+}  // namespace a4nn::tensor

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
+#include "tensor/autotune.hpp"
 #include "tensor/scratch.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -54,15 +57,14 @@ std::size_t argmax(std::span<const float> xs) {
 
 namespace {
 
-// Register tile (MR x NR accumulator) and cache blocks: KC x NR B-strips
-// stream from L1, the MC x KC A-tile sits in L2. NR is one 16-lane float
-// vector (a zmm register, or an emulated pair of ymm); MR = 6 keeps the
-// accumulator tile inside the register file even on 256-bit hardware.
-constexpr std::size_t MR = 6;
-constexpr std::size_t NR = 16;
-constexpr std::size_t MC = 60;  // multiple of MR: no padded rows mid-tile
-constexpr std::size_t KC = 256;
-constexpr std::size_t NC = 256;
+// Register tile (MR x NR accumulator): NR is one 16-lane float vector (a
+// zmm register, or an emulated pair of ymm); MR = 6 keeps the accumulator
+// tile inside the register file even on 256-bit hardware. The cache blocks
+// (MC x KC A-tile in L2, KC x NR B-strips streaming from L1) are runtime
+// values from TileConfig — hand-fixed defaults, overridable per (k, n) by
+// the autotuner's tuned table.
+constexpr std::size_t MR = kGemmMR;
+constexpr std::size_t NR = kGemmNR;
 
 // 16-lane float vector for the microkernel. GCC/Clang lower this to the
 // widest SIMD the target has (one zmm, two ymm, or four xmm); lane-wise
@@ -74,16 +76,30 @@ typedef float vf16 __attribute__((vector_size(64)));
 static_assert(NR * sizeof(float) == 64);
 #endif
 
-// Below this many multiply-adds PER OUTPUT ROW (n*k) the pack/writeback
-// overhead dominates; plain loops win. The predicate deliberately ignores
-// m: a row's accumulation order then never depends on how many rows share
-// the call (the small path single-sweeps k; the blocked path's k-panel
-// partials are m-independent), so one output row is bit-identical whether
-// it was computed alone or inside any larger batch. The serving engine's
-// batch-size-invariance guarantee rests on this. Kept tighter than the
-// old m*n*k cutoff so many-row calls with mid-sized rows (conv im2col
-// shapes) stay on the packed kernel.
-constexpr std::size_t kSmallProblemRowFlops = 2048;
+// The invariants TileConfig.small_row_flops and .kc are bound by: the
+// small/blocked choice compares n*k (never m), and KC groups each row's
+// k-panel partials identically at any m — so one output row is
+// bit-identical whether it was computed alone or inside any larger batch.
+// The serving engine's batch-size-invariance guarantee rests on this,
+// which is why the tuned table below is keyed on (k, n) alone and why
+// tile_config_for must never consult m.
+
+// Tuned blocking, keyed by packed (k, n). Installed once at startup
+// (set_tuned_tile_configs); read-only while kernels run, so the lookup
+// needs no lock. Empty means "defaults everywhere".
+using TileTable = std::unordered_map<std::uint64_t, TileConfig>;
+
+TileTable& tile_table() {
+  static TileTable table;
+  return table;
+}
+
+constexpr TileConfig kDefaultTiles{};
+
+inline std::uint64_t kn_key(std::size_t k, std::size_t n) {
+  return (static_cast<std::uint64_t>(k) << 32) |
+         static_cast<std::uint64_t>(n & 0xffffffffu);
+}
 
 inline std::size_t round_up(std::size_t x, std::size_t to) {
   return (x + to - 1) / to * to;
@@ -235,31 +251,17 @@ void small_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
   if (ep) epilogue_pass(c, m, n, *ep);
 }
 
-void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
-                 bool at, const float* b, bool bt, float* c, bool accumulate,
-                 const Epilogue* ep) {
-  // GEMM is the innermost hot path, so per-call accounting is gated on
-  // tracing being live; a bare run pays only one relaxed atomic load.
-  if (util::trace::enabled()) {
-    auto& registry = util::metrics::global();
-    registry.counter("gemm.calls").add();
-    registry.counter("gemm.flops")
-        .add(2.0 * static_cast<double>(m) * static_cast<double>(k) *
-             static_cast<double>(n));
-    registry.gauge("gemm.scratch_high_water_floats")
-        .update_max(static_cast<double>(ScratchArena::tls().high_water()));
-  }
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-    if (ep) epilogue_pass(c, m, n, *ep);
-    return;
-  }
-  if (n * k <= kSmallProblemRowFlops) {
-    small_gemm(m, k, n, a, at, b, bt, c, accumulate, ep);
-    return;
-  }
-
+// The cache-blocked macrokernel, parameterized over how B panels are
+// produced: pack_b(k0, kc, n0, nc, out) fills a (kc x nc) tile in NR-column
+// strips. The GEMM variants gather from a materialized B; the direct
+// convolution gathers straight from the image. Everything downstream of
+// the packed panels — loop order, microkernel, writeback — is shared, so
+// two packers producing identical panel bytes produce identical results.
+template <typename PackB>
+void blocked_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                  bool at, float* c, bool accumulate, const Epilogue* ep,
+                  const TileConfig& t, PackB&& pack_b) {
+  const std::size_t MC = t.mc, KC = t.kc, NC = t.nc;
   ScratchScope scratch;
   float* bpack =
       scratch.alloc(std::min(k, KC) * round_up(std::min(n, NC), NR)).data();
@@ -272,7 +274,7 @@ void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
     const bool last_kb = k0 + kc == k;
     for (std::size_t n0 = 0; n0 < n; n0 += NC) {
       const std::size_t nc = std::min(NC, n - n0);
-      pack_b_tile(b, bt, k, n, k0, kc, n0, nc, bpack);
+      pack_b(k0, kc, n0, nc, bpack);
       const std::size_t nstrips = (nc + NR - 1) / NR;
       for (std::size_t m0 = 0; m0 < m; m0 += MC) {
         const std::size_t mc = std::min(MC, m - m0);
@@ -293,7 +295,83 @@ void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
   }
 }
 
+void count_gemm_call(std::size_t m, std::size_t k, std::size_t n) {
+  // GEMM is the innermost hot path, so per-call accounting is gated on
+  // tracing being live; a bare run pays only one relaxed atomic load.
+  if (!util::trace::enabled()) return;
+  auto& registry = util::metrics::global();
+  registry.counter("gemm.calls").add();
+  registry.counter("gemm.flops")
+      .add(2.0 * static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n));
+  registry.gauge("gemm.scratch_high_water_floats")
+      .update_max(static_cast<double>(ScratchArena::tls().high_water()));
+}
+
+void gemm_driver(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                 bool at, const float* b, bool bt, float* c, bool accumulate,
+                 const Epilogue* ep, const TileConfig* forced = nullptr) {
+  // First GEMM of the process installs A4NN_TUNE (if set); afterwards this
+  // is one relaxed atomic load inside std::call_once.
+  ensure_env_tune_loaded();
+  count_gemm_call(m, k, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    if (ep) epilogue_pass(c, m, n, *ep);
+    return;
+  }
+  const TileConfig& t = forced ? *forced : tile_config_for(k, n);
+  if (n * k <= t.small_row_flops) {
+    small_gemm(m, k, n, a, at, b, bt, c, accumulate, ep);
+    return;
+  }
+  blocked_gemm(m, k, n, a, at, c, accumulate, ep, t,
+               [&](std::size_t k0, std::size_t kc, std::size_t n0,
+                   std::size_t nc, float* out) {
+                 pack_b_tile(b, bt, k, n, k0, kc, n0, nc, out);
+               });
+}
+
 }  // namespace
+
+void validate_tile_config(const TileConfig& config) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("TileConfig: " + what);
+  };
+  if (config.mc == 0 || config.mc % kGemmMR != 0)
+    fail("mc (" + std::to_string(config.mc) +
+         ") must be a positive multiple of MR=" + std::to_string(kGemmMR));
+  if (config.nc == 0 || config.nc % kGemmNR != 0)
+    fail("nc (" + std::to_string(config.nc) +
+         ") must be a positive multiple of NR=" + std::to_string(kGemmNR));
+  if (config.kc == 0) fail("kc must be positive");
+}
+
+void set_tuned_tile_configs(const std::vector<TunedTileEntry>& entries) {
+  TileTable table;
+  table.reserve(entries.size());
+  for (const TunedTileEntry& e : entries) {
+    if (e.k == 0 || e.n == 0)
+      throw std::invalid_argument("TunedTileEntry: zero (k, n) key");
+    validate_tile_config(e.config);
+    if (!table.emplace(kn_key(e.k, e.n), e.config).second)
+      throw std::invalid_argument(
+          "TunedTileEntry: duplicate (k=" + std::to_string(e.k) +
+          ", n=" + std::to_string(e.n) +
+          ") key — one shape must map to one config (batch invariance)");
+  }
+  tile_table() = std::move(table);
+}
+
+void clear_tuned_tile_configs() { tile_table().clear(); }
+
+const TileConfig& tile_config_for(std::size_t k, std::size_t n) {
+  const TileTable& table = tile_table();
+  if (table.empty()) return kDefaultTiles;
+  const auto it = table.find(kn_key(k, n));
+  return it == table.end() ? kDefaultTiles : it->second;
+}
 
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c) {
@@ -335,6 +413,22 @@ void gemm_a_bt_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
   gemm_driver(m, k, n, a, false, b_t, true, c, /*accumulate=*/false, &epilogue);
 }
 
+void gemm_with_config(std::size_t m, std::size_t k, std::size_t n,
+                      const float* a, const float* b, float* c,
+                      const TileConfig& config) {
+  validate_tile_config(config);
+  gemm_driver(m, k, n, a, false, b, false, c, /*accumulate=*/false, nullptr,
+              &config);
+}
+
+void gemm_a_bt_with_config(std::size_t m, std::size_t k, std::size_t n,
+                           const float* a, const float* b_t, float* c,
+                           const TileConfig& config) {
+  validate_tile_config(config);
+  gemm_driver(m, k, n, a, false, b_t, true, c, /*accumulate=*/false, nullptr,
+              &config);
+}
+
 void gemm_naive(std::size_t m, std::size_t k, std::size_t n, const float* a,
                 const float* b, float* c) {
   std::memset(c, 0, m * n * sizeof(float));
@@ -350,8 +444,28 @@ void gemm_naive(std::size_t m, std::size_t k, std::size_t n, const float* a,
   }
 }
 
+void ConvGeometry::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ConvGeometry: " + what);
+  };
+  if (in_channels == 0 || in_h == 0 || in_w == 0)
+    fail("zero input extent (" + std::to_string(in_channels) + "x" +
+         std::to_string(in_h) + "x" + std::to_string(in_w) + ")");
+  if (kernel == 0) fail("zero kernel");
+  if (stride == 0) fail("zero stride");
+  if (pad >= kernel)
+    fail("padding (" + std::to_string(pad) + ") >= receptive extent (" +
+         std::to_string(kernel) +
+         "): border outputs would read only padding");
+  if (in_h + 2 * pad < kernel || in_w + 2 * pad < kernel)
+    fail("output dims truncate to zero: input " + std::to_string(in_h) + "x" +
+         std::to_string(in_w) + " + 2*pad " + std::to_string(pad) +
+         " is smaller than kernel " + std::to_string(kernel));
+}
+
 void im2col(const ConvGeometry& g, std::span<const float> image,
             std::span<float> columns) {
+  g.validate();
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t cols = oh * ow;
@@ -393,6 +507,7 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
 
 void col2im(const ConvGeometry& g, std::span<const float> columns,
             std::span<float> image_grad) {
+  g.validate();
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t cols = oh * ow;
@@ -424,6 +539,144 @@ void col2im(const ConvGeometry& g, std::span<const float> columns,
       }
     }
   }
+}
+
+// ------------------------------------------------- direct 3x3 convolution
+
+namespace {
+
+// Pack a (kc x nc) tile of the IMPLICIT im2col matrix of `image` (3x3
+// kernel, stride 1) into NR-column strips — byte-for-byte what
+// pack_b_tile() would produce from a materialized im2col buffer, gathered
+// straight from the image instead. Each im2col row k0+kk is one fixed
+// (channel, ky, kx); along an output row the input column advances in
+// lockstep with the output column, so the interior of every strip row is a
+// straight memcpy from the image with explicit zero runs for the padding
+// bands.
+void pack_b_conv3x3_tile(const float* image, const ConvGeometry& g,
+                         std::size_t k0, std::size_t kc, std::size_t n0,
+                         std::size_t nc, float* out) {
+  const std::size_t ow = g.out_w();
+  const std::size_t strips = (nc + NR - 1) / NR;
+  const std::ptrdiff_t in_h = static_cast<std::ptrdiff_t>(g.in_h);
+  const std::ptrdiff_t in_w = static_cast<std::ptrdiff_t>(g.in_w);
+  const std::size_t plane_size = g.in_h * g.in_w;
+  for (std::size_t s = 0; s < strips; ++s) {
+    float* dst = out + s * kc * NR;
+    const std::size_t col0 = s * NR;
+    // Real (non-pad-to-strip) columns of this strip; trailing columns are
+    // zeroed to mirror pack_b_tile's zero padding.
+    const std::size_t real =
+        col0 < nc ? std::min<std::size_t>(NR, nc - col0) : 0;
+    // Output pixel of the strip's first column — the only divisions in the
+    // routine; the row loop advances (oy, ox) and (c, ky, kx) by increment.
+    const std::size_t j0 = n0 + col0;
+    const std::size_t oy0 = j0 / ow;
+    const std::size_t ox0 = j0 % ow;
+    std::size_t c = k0 / 9;
+    std::size_t ky = (k0 % 9) / 3;
+    std::size_t kx = k0 % 3;
+    const float* plane = image + c * plane_size;
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      float* drow = dst + kk * NR;
+      if (real < NR)
+        std::memset(drow + real, 0, (NR - real) * sizeof(float));
+      // ix = ox + kx - pad is valid for ox in [pad-kx, in_w-kx+pad).
+      const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kx) -
+                                   static_cast<std::ptrdiff_t>(g.pad);
+      std::size_t oy = oy0;
+      std::size_t ox = ox0;
+      std::size_t cc = 0;
+      while (cc < real) {
+        // Columns [cc, cc+run) share output row oy.
+        const std::size_t run = std::min(ow - ox, real - cc);
+        const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                  static_cast<std::ptrdiff_t>(g.pad);
+        float* d = drow + cc;
+        if (iy < 0 || iy >= in_h) {
+          std::memset(d, 0, run * sizeof(float));
+        } else {
+          const float* in_row = plane + static_cast<std::size_t>(iy) * g.in_w;
+          const std::ptrdiff_t lo =
+              std::max<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(ox),
+                                       -shift);
+          const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+              static_cast<std::ptrdiff_t>(ox + run), in_w - shift);
+          if (hi <= lo) {
+            std::memset(d, 0, run * sizeof(float));
+          } else {
+            const std::size_t lead = static_cast<std::size_t>(lo) - ox;
+            const std::size_t mid = static_cast<std::size_t>(hi - lo);
+            if (lead > 0) std::memset(d, 0, lead * sizeof(float));
+            std::memcpy(d + lead, in_row + (lo + shift), mid * sizeof(float));
+            if (lead + mid < run)
+              std::memset(d + lead + mid, 0,
+                          (run - lead - mid) * sizeof(float));
+          }
+        }
+        cc += run;
+        ox += run;
+        if (ox == ow) {
+          ox = 0;
+          ++oy;
+        }
+      }
+      // Next im2col row: kx fastest, then ky, then channel.
+      if (++kx == 3) {
+        kx = 0;
+        if (++ky == 3) {
+          ky = 0;
+          ++c;
+          plane += plane_size;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool conv2d_direct_viable(const ConvGeometry& g) {
+  // 3x3 stride-1 is what the fused packer implements; the out_w >= NR
+  // condition is a measured perf heuristic, not a correctness one: with
+  // narrower outputs every NR-strip row splits into multiple short branchy
+  // runs, and the two-pass im2col path (straight contiguous copies both
+  // passes) is faster. out_w >= NR keeps one memcpy-dominated run per
+  // strip row, where skipping the materialization wins (~1.3x in
+  // bench_kernels on the 16x16 search-space shapes).
+  return g.kernel == 3 && g.stride == 1 && g.out_w() >= kGemmNR;
+}
+
+void conv2d_forward_direct(const ConvGeometry& g, std::size_t out_channels,
+                           const float* weights, std::span<const float> image,
+                           float* out, const Epilogue& epilogue) {
+  g.validate();
+  if (image.size() != g.in_channels * g.in_h * g.in_w)
+    throw std::invalid_argument("conv2d_forward_direct: image size mismatch");
+  const std::size_t m = out_channels;
+  const std::size_t k = g.patch_size();
+  const std::size_t n = g.out_h() * g.out_w();
+  ensure_env_tune_loaded();
+  const TileConfig& t = tile_config_for(k, n);
+  if (!conv2d_direct_viable(g) || n * k <= t.small_row_flops) {
+    // General geometries and small problems take the materialized path —
+    // the exact code the caller would have run, so the bits cannot differ.
+    ScratchScope scratch;
+    std::span<float> cols = scratch.alloc(k * n);
+    im2col(g, image, cols);
+    gemm_driver(m, k, n, weights, false, cols.data(), false, out,
+                /*accumulate=*/false, &epilogue);
+    return;
+  }
+  count_gemm_call(m, k, n);
+  if (util::trace::enabled())
+    util::metrics::global().counter("conv.direct_calls").add();
+  blocked_gemm(m, k, n, weights, false, out, /*accumulate=*/false, &epilogue,
+               t,
+               [&](std::size_t k0, std::size_t kc, std::size_t n0,
+                   std::size_t nc, float* bpack) {
+                 pack_b_conv3x3_tile(image.data(), g, k0, kc, n0, nc, bpack);
+               });
 }
 
 }  // namespace a4nn::tensor

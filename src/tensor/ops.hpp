@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -49,6 +51,59 @@ struct Epilogue {
   const float* bias_data = nullptr;
   bool relu = false;
 };
+
+/// Register tile of the GEMM microkernel. Compile-time: the accumulator
+/// layout is baked into the inner loop and cannot be retuned at runtime.
+inline constexpr std::size_t kGemmMR = 6;
+inline constexpr std::size_t kGemmNR = 16;
+
+/// Runtime-tunable cache blocking for the packed GEMM driver. The defaults
+/// are the hand-fixed constants the autotuner replaces per shape class.
+///
+/// KC and small_row_flops change the per-row float summation order (k-panel
+/// grouping and the small/blocked path choice), so they are part of the
+/// numeric contract; MC/NC only change scheduling. That is why the tuned
+/// table below is keyed on (k, n) alone.
+struct TileConfig {
+  /// A-tile rows per L2 block; must be a positive multiple of kGemmMR.
+  std::size_t mc = 60;
+  /// k-panel depth (L1-resident B strips); positive.
+  std::size_t kc = 256;
+  /// B-tile columns per block; must be a positive multiple of kGemmNR.
+  std::size_t nc = 256;
+  /// Below this many multiply-adds per output row (n*k) the unblocked
+  /// small-problem path wins; the predicate deliberately ignores m.
+  std::size_t small_row_flops = 2048;
+
+  bool operator==(const TileConfig&) const = default;
+};
+
+/// One tuned entry: the blocking the driver uses for every GEMM with this
+/// exact (k, n), at any m.
+struct TunedTileEntry {
+  std::size_t k = 0;
+  std::size_t n = 0;
+  TileConfig config;
+};
+
+/// Install the tuned blocking table (replacing any previous one). Entries
+/// are keyed on (k, n) only — never m — because a row's accumulation order
+/// must be independent of how many rows share the call (the serving
+/// engine's batch-size-invariance guarantee). Duplicate (k, n) keys and
+/// configs violating the MR/NR alignment rules are rejected.
+/// Like set_intra_op_threads: configure at startup, not while kernels run.
+void set_tuned_tile_configs(const std::vector<TunedTileEntry>& entries);
+
+/// Drop every tuned entry (back to the compiled defaults).
+void clear_tuned_tile_configs();
+
+/// The blocking the driver will use for shape (k, n): the tuned entry if
+/// one is installed, else the defaults.
+const TileConfig& tile_config_for(std::size_t k, std::size_t n);
+
+/// Throws std::invalid_argument if `config` violates the driver's
+/// constraints (mc % MR, nc % NR, zero extents).
+void validate_tile_config(const TileConfig& config);
 
 /// C(m x n) = A(m x k) * B(k x n), row-major, C overwritten.
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
@@ -90,6 +145,18 @@ void gemm_a_bt_ex(std::size_t m, std::size_t k, std::size_t n, const float* a,
 void gemm_naive(std::size_t m, std::size_t k, std::size_t n, const float* a,
                 const float* b, float* c);
 
+/// gemm under an explicit blocking config, bypassing the installed tuned
+/// table. Autotuner measurement hook; also used by tests to pin a config.
+void gemm_with_config(std::size_t m, std::size_t k, std::size_t n,
+                      const float* a, const float* b, float* c,
+                      const TileConfig& config);
+
+/// gemm_a_bt under an explicit blocking config (dense-layer layout, B
+/// stored (n x k) row-major).
+void gemm_a_bt_with_config(std::size_t m, std::size_t k, std::size_t n,
+                           const float* a, const float* b_t, float* c,
+                           const TileConfig& config);
+
 /// Geometry of a 2-d convolution / pooling window.
 struct ConvGeometry {
   std::size_t in_channels = 0;
@@ -103,6 +170,12 @@ struct ConvGeometry {
   std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
   /// Rows of the im2col matrix: one per (channel, ky, kx).
   std::size_t patch_size() const { return in_channels * kernel * kernel; }
+
+  /// Rejects degenerate geometries with a clear error instead of letting
+  /// out_h()/out_w() wrap or im2col fail with a size mismatch downstream:
+  /// zero extents, padding >= the receptive extent (border outputs would
+  /// read only padding), and output dims that truncate to zero.
+  void validate() const;
 };
 
 /// im2col for a single image (C x H x W span) into a
@@ -113,5 +186,25 @@ void im2col(const ConvGeometry& g, std::span<const float> image,
 /// Adjoint of im2col: scatter-add columns back into the image gradient.
 void col2im(const ConvGeometry& g, std::span<const float> columns,
             std::span<float> image_grad);
+
+/// Whether conv2d_forward_direct profitably skips im2col for this
+/// geometry: 3x3 stride-1 with out_w >= kGemmNR (the full-resolution
+/// shapes that dominate the search space; narrower outputs pack in short
+/// branchy runs and measure slower than the two-pass im2col path). Other
+/// geometries take the materialized fallback inside the call.
+bool conv2d_direct_viable(const ConvGeometry& g);
+
+/// Convolution forward for one image:
+///   out(oc x oh*ow) = epilogue(W(oc x patch) * im2col(image))
+/// For viable geometries the im2col matrix is never materialized: image
+/// tiles are packed straight into the NR-strip panel layout the blocked
+/// GEMM driver consumes, so the result is bit-identical to
+/// im2col() + gemm_ex() — same packed bytes, same microkernel, same
+/// summation order — while skipping a full (patch x cols) buffer write
+/// and re-read. Non-viable and small-problem shapes fall back to the
+/// materialized path (also bit-identical: it IS that path).
+void conv2d_forward_direct(const ConvGeometry& g, std::size_t out_channels,
+                           const float* weights, std::span<const float> image,
+                           float* out, const Epilogue& epilogue);
 
 }  // namespace a4nn::tensor

@@ -54,6 +54,27 @@ void ScratchArena::release() {
   live_ = 0;
 }
 
+void ScratchArena::trim(std::size_t max_floats) {
+  if (live_ != 0) return;
+  std::size_t keep = blocks_.size();
+  std::size_t keep_size = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].size <= max_floats && blocks_[i].size > keep_size) {
+      keep = i;
+      keep_size = blocks_[i].size;
+    }
+  }
+  if (keep == blocks_.size()) {
+    release();
+    return;
+  }
+  Block kept = std::move(blocks_[keep]);
+  blocks_.clear();
+  blocks_.push_back(std::move(kept));
+  current_block_ = 0;
+  used_in_block_ = 0;
+}
+
 std::size_t ScratchArena::capacity() const {
   std::size_t total = 0;
   for (const Block& b : blocks_) total += b.size;

@@ -49,6 +49,13 @@ class ScratchArena {
   /// its peak scratch forever.
   void release();
 
+  /// Soft-watermark trim for long-lived processes: keep at most the
+  /// largest block that fits in `max_floats` (the steady-state working
+  /// set) and free the rest, so one outlier request cannot pin its peak
+  /// scratch on every serving thread forever. No-op while allocations are
+  /// live (freeing would dangle); `max_floats == 0` frees everything.
+  void trim(std::size_t max_floats);
+
   /// Total floats currently reserved across blocks.
   std::size_t capacity() const;
   /// Largest single-scope footprint seen (floats), for diagnostics.

@@ -1,0 +1,257 @@
+// Autotuner pipeline tests. The measurement hook is faked throughout, so
+// every assertion here — winner selection, journal replay, byte-identical
+// re-emission, the commons round-trip — is fully deterministic; the live
+// timing path is exercised by bench_kernels and the CI tune-smoke job.
+#include "tensor/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lineage/tracker.hpp"
+#include "tensor/ops.hpp"
+#include "util/fsutil.hpp"
+#include "util/json.hpp"
+
+namespace a4nn::tensor {
+namespace {
+
+// Reinstalls the compiled defaults no matter how a test exits.
+struct TableGuard {
+  ~TableGuard() { clear_tuned_tile_configs(); }
+};
+
+// A fake measurement that makes candidate `winner_index` the fastest for
+// every shape. Values are a pure function of (shape, candidate), so
+// re-runs journal identically.
+MeasureFn favor(std::size_t winner_index) {
+  return [winner_index](const TuneShape& s, const TileConfig& c) {
+    const auto& cands = candidate_tile_configs();
+    std::size_t ci = 0;
+    while (ci < cands.size() && !(cands[ci] == c)) ++ci;
+    return ci == winner_index ? 100.0 : 1000.0 + 10.0 * static_cast<double>(ci) +
+                                            static_cast<double>(s.m);
+  };
+}
+
+TEST(Autotune, ShapeKeyIsStable) {
+  TuneShape s{"conv3x3", 4, 36, 256, false};
+  EXPECT_EQ(s.key(), "conv3x3 m4 k36 n256");
+  TuneShape t{"linear_eval", 64, 32, 2, true};
+  EXPECT_EQ(t.key(), "linear_eval m64 k32 n2 bt");
+}
+
+TEST(Autotune, CandidateZeroIsTheCompiledDefault) {
+  // The winner is an argmin over the candidate list, so as long as entry 0
+  // is the default config a tune can never regress a journaled shape below
+  // the untuned baseline. Every candidate must also be installable.
+  const auto& cands = candidate_tile_configs();
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0], TileConfig{});
+  for (const TileConfig& c : cands) EXPECT_NO_THROW(validate_tile_config(c));
+}
+
+TEST(Autotune, SearchSpaceShapesShareLinearKN) {
+  // The eval-batch Linear and every serving micro-batch Linear must land in
+  // one (k, n) group (they are the same layer at different m) — that is
+  // what the co-tuning pass relies on.
+  const auto shapes = search_space_tune_shapes(16, 2, 4, 64, {1, 8, 32});
+  std::size_t lin_k = 0, lin_n = 0, lin_count = 0;
+  for (const TuneShape& s : shapes) {
+    if (!s.b_transposed) continue;
+    ++lin_count;
+    if (lin_count == 1) {
+      lin_k = s.k;
+      lin_n = s.n;
+    } else {
+      EXPECT_EQ(s.k, lin_k);
+      EXPECT_EQ(s.n, lin_n);
+    }
+  }
+  EXPECT_EQ(lin_count, 4u);  // eval + 3 serving batches
+  for (const TuneShape& s : shapes) {
+    EXPECT_GT(s.m, 0u);
+    EXPECT_GT(s.k, 0u);
+    EXPECT_GT(s.n, 0u);
+  }
+}
+
+TEST(Autotune, FakeMeasureTuneIsByteDeterministic) {
+  const std::vector<TuneShape> shapes = {
+      {"conv3x3", 4, 36, 64, false},
+      {"linear", 8, 32, 2, true},
+  };
+  TuneOptions opt;
+  opt.seed = 7;
+  opt.measure = favor(3);
+  const TuneResult r1 = run_tune(shapes, opt);
+  const TuneResult r2 = run_tune(shapes, opt);
+  EXPECT_EQ(r1.doc.dump(2), r2.doc.dump(2));
+  ASSERT_EQ(r1.entries.size(), 2u);
+  for (const TunedTileEntry& e : r1.entries)
+    EXPECT_EQ(e.config, candidate_tile_configs()[3]);
+}
+
+TEST(Autotune, ResumeReplaysJournalWithoutMeasuring) {
+  const std::vector<TuneShape> shapes = {
+      {"conv3x3", 4, 36, 64, false},
+      {"linear", 8, 32, 2, true},
+  };
+  TuneOptions opt;
+  opt.seed = 11;
+  opt.measure = favor(2);
+  const TuneResult first = run_tune(shapes, opt);
+
+  // Replay: the measure hook must never fire; the emitted bytes match.
+  std::size_t calls = 0;
+  TuneOptions replay = opt;
+  replay.measure = [&](const TuneShape&, const TileConfig&) -> double {
+    ++calls;
+    return 0.0;
+  };
+  const TuneResult second = run_tune(shapes, replay, &first.doc);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(first.doc.dump(2), second.doc.dump(2));
+}
+
+TEST(Autotune, ResumeIgnoresJournalFromDifferentIdentity) {
+  const std::vector<TuneShape> shapes = {{"conv3x3", 4, 36, 64, false}};
+  TuneOptions opt;
+  opt.seed = 1;
+  opt.measure = favor(2);
+  const TuneResult first = run_tune(shapes, opt);
+
+  // Different seed: the prior journal's identity no longer matches, so the
+  // tune re-measures rather than replaying stale numbers.
+  std::size_t calls = 0;
+  TuneOptions other = opt;
+  other.seed = 2;
+  other.measure = [&](const TuneShape&, const TileConfig&) -> double {
+    ++calls;
+    return 500.0;
+  };
+  run_tune(shapes, other, &first.doc);
+  EXPECT_EQ(calls, candidate_tile_configs().size());
+}
+
+TEST(Autotune, CoTuningPicksTheSummedArgmin) {
+  // Two shapes share (k, n) = (32, 48). Candidate 4 is best for the big
+  // shape by a wide margin and slightly worse for the small one; candidate
+  // 5 is the reverse. The summed argmin must side with the big shape.
+  const std::vector<TuneShape> shapes = {
+      {"big", 64, 32, 48, false},
+      {"small", 1, 32, 48, false},
+  };
+  TuneOptions opt;
+  opt.measure = [](const TuneShape& s, const TileConfig& c) {
+    const auto& cands = candidate_tile_configs();
+    std::size_t ci = 0;
+    while (ci < cands.size() && !(cands[ci] == c)) ++ci;
+    const bool big = s.cls == "big";
+    if (ci == 4) return big ? 100.0 : 210.0;   // sum 310
+    if (ci == 5) return big ? 900.0 : 200.0;   // sum 1100
+    return big ? 1000.0 : 1000.0;
+  };
+  const TuneResult r = run_tune(shapes, opt);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].k, 32u);
+  EXPECT_EQ(r.entries[0].n, 48u);
+  EXPECT_EQ(r.entries[0].config, candidate_tile_configs()[4]);
+  // The winner row records both claiming shapes.
+  const util::Json& w = r.doc.at("winners").at(0);
+  EXPECT_EQ(w.at("shapes").size(), 2u);
+  EXPECT_DOUBLE_EQ(w.at("total_ns").as_number(), 310.0);
+}
+
+TEST(Autotune, TiesBreakTowardTheDefaultConfig) {
+  const std::vector<TuneShape> shapes = {{"flat", 4, 30, 40, false}};
+  TuneOptions opt;
+  opt.measure = [](const TuneShape&, const TileConfig&) { return 42.0; };
+  const TuneResult r = run_tune(shapes, opt);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].config, TileConfig{});  // candidate 0 wins ties
+}
+
+TEST(Autotune, RejectsDegenerateShapes) {
+  TuneOptions opt;
+  opt.measure = favor(0);
+  EXPECT_THROW(run_tune({{"zero_k", 4, 0, 8, false}}, opt),
+               std::invalid_argument);
+  EXPECT_THROW(run_tune({{"", 4, 8, 8, false}}, opt), std::invalid_argument);
+}
+
+TEST(Autotune, EntriesFromJsonValidates) {
+  EXPECT_THROW(tune_entries_from_json(util::Json::parse("[]")),
+               std::invalid_argument);
+  EXPECT_THROW(tune_entries_from_json(util::Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(tune_entries_from_json(util::Json::parse(
+                   R"({"entries": [], "version": 99})")),
+               std::invalid_argument);
+  // An entry violating the MR/NR alignment rules must not install.
+  EXPECT_THROW(
+      tune_entries_from_json(util::Json::parse(
+          R"({"entries": [{"k": 36, "n": 64, "mc": 7, "kc": 256,
+              "nc": 256, "small_row_flops": 0}], "version": 1})")),
+      std::invalid_argument);
+  // A well-formed document parses into installable entries.
+  const auto entries = tune_entries_from_json(util::Json::parse(
+      R"({"entries": [{"k": 36, "n": 64, "mc": 36, "kc": 128,
+          "nc": 128, "small_row_flops": 512}], "version": 1})"));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].k, 36u);
+  EXPECT_EQ(entries[0].config.kc, 128u);
+}
+
+TEST(Autotune, ArtifactRoundTripsThroughTheCommons) {
+  // The full production path: run a (fake-measured) tune, journal it as a
+  // CRC-framed commons artifact, deep-fsck the tree, load it back, install
+  // it, and observe the driver serving the tuned config.
+  TableGuard guard;
+  const std::filesystem::path dir = util::make_temp_dir("a4nn_tune_test");
+  const std::vector<TuneShape> shapes = {{"conv3x3", 4, 36, 64, false}};
+  TuneOptions opt;
+  opt.seed = 3;
+  opt.measure = favor(7);
+  const TuneResult r = run_tune(shapes, opt);
+  {
+    lineage::LineageTracker tracker({dir.string()});
+    tracker.record_artifact("tune.json", r.doc);
+  }
+  lineage::DataCommons commons(dir.string());
+  const lineage::FsckReport report = commons.fsck(lineage::FsckMode::kDeep);
+  EXPECT_TRUE(report.clean());
+  ASSERT_TRUE(commons.has_artifact("tune.json"));
+  const util::Json loaded = commons.load_artifact("tune.json");
+  EXPECT_EQ(loaded.dump(2), r.doc.dump(2));
+  apply_tune_document(loaded);
+  EXPECT_EQ(tile_config_for(36, 64), candidate_tile_configs()[7]);
+  // Unjournaled (k, n) keys still see the defaults.
+  EXPECT_EQ(tile_config_for(36, 65), TileConfig{});
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Autotune, LoadTuneFileAcceptsPlainJsonAndRejectsGarbage) {
+  TableGuard guard;
+  const std::filesystem::path dir = util::make_temp_dir("a4nn_tune_file");
+  const std::string good = (dir / "tune.json").string();
+  util::write_file(good,
+                   R"({"entries": [{"k": 36, "n": 64, "mc": 120, "kc": 512,
+                       "nc": 512, "small_row_flops": 2048}], "version": 1})");
+  load_tune_file(good);
+  EXPECT_EQ(tile_config_for(36, 64).kc, 512u);
+  clear_tuned_tile_configs();
+
+  const std::string bad = (dir / "bad.json").string();
+  util::write_file(bad, "not json at all");
+  EXPECT_THROW(load_tune_file(bad), std::exception);
+  EXPECT_THROW(load_tune_file((dir / "missing.json").string()),
+               std::exception);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace a4nn::tensor

@@ -12,6 +12,7 @@
 #include "nn/factory.hpp"
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -65,6 +66,31 @@ std::string train_and_dump(std::size_t kernel_threads, bool fuse) {
 
 TEST(Determinism, TrainingBitIdenticalAtPoolSizes128) {
   IntraOpGuard guard;
+  const std::string w1 = train_and_dump(1, /*fuse=*/false);
+  const std::string w2 = train_and_dump(2, /*fuse=*/false);
+  const std::string w8 = train_and_dump(8, /*fuse=*/false);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w8);
+}
+
+TEST(Determinism, TrainingBitIdenticalAtPoolSizesUnderTunedBlocking) {
+  // The autotuner may install per-(k, n) blocking that changes KC and the
+  // small-path cutoff — a different (but fixed) summation order. Pool-size
+  // invariance must survive any such table: the order may depend on the
+  // tuned config, never on the worker count.
+  IntraOpGuard guard;
+  struct TableGuard {
+    ~TableGuard() { tensor::clear_tuned_tile_configs(); }
+  } table_guard;
+  // The shapes this model's layers emit: conv im2col GEMM (k=9, n=64) and
+  // the dense layer (k=64, n=2). Non-default kc and a forced blocked path
+  // make the tuned order observably different from the compiled defaults.
+  tensor::TileConfig forced;
+  forced.mc = 36;
+  forced.kc = 4;
+  forced.nc = 64;
+  forced.small_row_flops = 0;
+  tensor::set_tuned_tile_configs({{9, 64, forced}, {64, 2, forced}});
   const std::string w1 = train_and_dump(1, /*fuse=*/false);
   const std::string w2 = train_and_dump(2, /*fuse=*/false);
   const std::string w8 = train_and_dump(8, /*fuse=*/false);

@@ -13,6 +13,7 @@
 #include "nn/layers.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
+#include "tensor/ops.hpp"
 #include "util/fsutil.hpp"
 
 namespace a4nn::serve {
@@ -214,6 +215,64 @@ TEST_F(ServeFixture, PredictionsBitIdenticalAcrossBatchingAndWorkers) {
             << "image " << i << " max_batch " << max_batch << " workers "
             << workers;
       }
+    }
+  }
+}
+
+TEST_F(ServeFixture, BatchInvarianceSurvivesTunedBlocking) {
+  // Same guarantee as above, but with an autotuned blocking table installed
+  // for the exact (k, n) shapes this champion's layers emit. A tuned config
+  // may change the summation order, but never per-m: row i of a batched
+  // GEMM must still be the bytes batch-1 would produce.
+  struct TableGuard {
+    ~TableGuard() { tensor::clear_tuned_tile_configs(); }
+  } table_guard;
+  tensor::TileConfig forced;
+  forced.mc = 36;
+  forced.kc = 4;  // k=9 conv GEMM now spans three k-panels
+  forced.nc = 64;
+  forced.small_row_flops = 0;  // force the blocked path even at these sizes
+  // Conv2d(1->4, 3x3) on 8x8: k = 9, n = 64. Linear(4 -> 3): k = 4, n = 3.
+  tensor::set_tuned_tile_configs({{9, 64, forced}, {4, 3, forced}});
+
+  publish(0, 90.0, 2000, 51, {1}, /*normed=*/true);
+  ModelRegistry registry({root});
+  registry.refresh();
+
+  util::Rng rng(79);
+  std::vector<std::vector<float>> images;
+  for (int i = 0; i < 48; ++i) images.push_back(random_image(rng));
+
+  std::vector<std::vector<float>> reference;
+  {
+    auto generation = registry.active();
+    for (const auto& img : images) {
+      tensor::Tensor one({1, 1, 8, 8}, img);
+      tensor::Tensor out = generation->model.predict(one);
+      reference.emplace_back(out.data(), out.data() + kClasses);
+    }
+  }
+
+  for (std::size_t max_batch : {1u, 8u, 32u}) {
+    EngineConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_delay_ms = 0.5;
+    cfg.queue_capacity = 1024;
+    cfg.workers = 2;
+    InferenceEngine engine(registry, cfg);
+    std::vector<std::future<Prediction>> futures;
+    for (const auto& img : images) {
+      auto res = engine.submit(img);
+      ASSERT_EQ(res.admission, Admission::kAccepted);
+      futures.push_back(std::move(res.prediction));
+    }
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      Prediction p = futures[i].get();
+      ASSERT_EQ(p.scores.size(), kClasses);
+      EXPECT_EQ(std::memcmp(p.scores.data(), reference[i].data(),
+                            kClasses * sizeof(float)),
+                0)
+          << "image " << i << " max_batch " << max_batch;
     }
   }
 }

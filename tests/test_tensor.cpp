@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "tensor/autotune.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/scratch.hpp"
@@ -429,6 +431,9 @@ TEST(OpsSweep, AdjointnessOverStridedPaddedGeometries) {
           for (std::size_t stride : {1, 2}) {
             for (std::size_t pad : {0, 1, 2}) {
               if (h + 2 * pad < kernel || w + 2 * pad < kernel) continue;
+              // ConvGeometry::validate rejects pad >= kernel (border
+              // outputs would read only padding) — no layer emits these.
+              if (pad >= kernel) continue;
               ConvGeometry g;
               g.in_channels = ch;
               g.in_h = h;
@@ -462,6 +467,272 @@ TEST(OpsSweep, AdjointnessOverStridedPaddedGeometries) {
       }
     }
   }
+}
+
+// ----------------------------------------------- tuned blocking candidates
+//
+// Every candidate the autotuner can install must produce correct results on
+// adversarial shapes: extents of 1, extents straddling the register tile
+// (MR=6, NR=16), and extents straddling that candidate's own kc/nc cache
+// boundaries. A candidate that mispacks a partial panel would win a tune on
+// round shapes and then corrupt real layer shapes at runtime.
+
+std::vector<std::size_t> boundary_extents(std::size_t tile,
+                                          std::size_t cap) {
+  std::vector<std::size_t> out{1, tile - 1, tile + 1};
+  std::erase_if(out, [&](std::size_t e) { return e == 0 || e > cap; });
+  return out;
+}
+
+TEST(OpsTuned, EveryCandidateMatchesNaiveOnBoundaryShapes) {
+  util::Rng rng(314);
+  for (std::size_t ci = 0; ci < candidate_tile_configs().size(); ++ci) {
+    const TileConfig& cfg = candidate_tile_configs()[ci];
+    ASSERT_NO_THROW(validate_tile_config(cfg));
+    // m boundaries stress the MR strips; k the candidate's k-panel depth
+    // (plus the small-path cutoff via n*k); n the NR strips and nc blocks.
+    std::vector<std::size_t> ms = boundary_extents(kGemmMR, 16);
+    std::vector<std::size_t> ks = boundary_extents(cfg.kc, 600);
+    ks.push_back(3);
+    std::vector<std::size_t> ns = boundary_extents(kGemmNR, 600);
+    for (std::size_t e : boundary_extents(cfg.nc, 600)) ns.push_back(e);
+    for (std::size_t m : ms) {
+      for (std::size_t k : ks) {
+        for (std::size_t n : ns) {
+          if (m * k * n > 3'000'000) continue;
+          SCOPED_TRACE("candidate=" + std::to_string(ci) + " m=" +
+                       std::to_string(m) + " k=" + std::to_string(k) +
+                       " n=" + std::to_string(n));
+          std::vector<float> a(m * k), b(k * n), c(m * n, 123.0f),
+              ref(m * n, -7.0f);
+          for (auto& x : a) x = static_cast<float>(rng.normal());
+          for (auto& x : b) x = static_cast<float>(rng.normal());
+          gemm_with_config(m, k, n, a.data(), b.data(), c.data(), cfg);
+          gemm_naive(m, k, n, a.data(), b.data(), ref.data());
+          const float tol = sweep_tolerance(k);
+          for (std::size_t i = 0; i < m * n; ++i)
+            ASSERT_NEAR(c[i], ref[i], tol) << "entry " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(OpsTuned, RowResultsAreIndependentOfBatchSize) {
+  // The serving engine's batch-size-invariance guarantee, at the kernel
+  // level: row i of an m-row GEMM is bit-identical to the same row computed
+  // alone, under every tuner candidate. This is what makes it safe to key
+  // the tuned table on (k, n) and never on m.
+  util::Rng rng(1618);
+  const std::size_t k = 36, n = 64, m = 9;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (std::size_t ci = 0; ci < candidate_tile_configs().size(); ++ci) {
+    const TileConfig& cfg = candidate_tile_configs()[ci];
+    SCOPED_TRACE("candidate=" + std::to_string(ci));
+    std::vector<float> batch(m * n);
+    gemm_with_config(m, k, n, a.data(), b.data(), batch.data(), cfg);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<float> solo(n);
+      gemm_with_config(1, k, n, a.data() + i * k, b.data(), solo.data(), cfg);
+      ASSERT_EQ(std::memcmp(solo.data(), batch.data() + i * n,
+                            n * sizeof(float)),
+                0)
+          << "row " << i;
+    }
+  }
+}
+
+TEST(OpsTuned, InstalledTableMatchesExplicitConfig) {
+  util::Rng rng(2718);
+  const std::size_t m = 7, k = 36, n = 64;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  TileConfig cfg;
+  cfg.mc = 36;
+  cfg.kc = 128;
+  cfg.nc = 128;
+  cfg.small_row_flops = 0;  // force the blocked path even for this shape
+  std::vector<float> expect(m * n), got(m * n);
+  gemm_with_config(m, k, n, a.data(), b.data(), expect.data(), cfg);
+  set_tuned_tile_configs({{k, n, cfg}});
+  gemm(m, k, n, a.data(), b.data(), got.data());
+  // Another (k, n) still uses the defaults — tuned entries never leak.
+  std::vector<float> other(m * (n + 1)), other_ref(m * (n + 1));
+  std::vector<float> b2(k * (n + 1));
+  for (auto& x : b2) x = static_cast<float>(rng.normal());
+  gemm(m, k, n + 1, a.data(), b2.data(), other.data());
+  clear_tuned_tile_configs();
+  gemm(m, k, n + 1, a.data(), b2.data(), other_ref.data());
+  EXPECT_EQ(std::memcmp(got.data(), expect.data(), m * n * sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(other.data(), other_ref.data(),
+                        m * (n + 1) * sizeof(float)),
+            0);
+}
+
+TEST(OpsTuned, TableRejectsInvalidAndDuplicateEntries) {
+  TileConfig bad_mc;
+  bad_mc.mc = 7;  // not a multiple of MR=6
+  EXPECT_THROW(validate_tile_config(bad_mc), std::invalid_argument);
+  TileConfig bad_nc;
+  bad_nc.nc = 100;  // not a multiple of NR=16
+  EXPECT_THROW(validate_tile_config(bad_nc), std::invalid_argument);
+  TileConfig bad_kc;
+  bad_kc.kc = 0;
+  EXPECT_THROW(validate_tile_config(bad_kc), std::invalid_argument);
+  EXPECT_THROW(set_tuned_tile_configs({{36, 64, bad_mc}}),
+               std::invalid_argument);
+  EXPECT_THROW(set_tuned_tile_configs({{0, 64, TileConfig{}}}),
+               std::invalid_argument);
+  // Two entries for one (k, n) could give the same row two different
+  // summation orders depending on which wins — rejected outright.
+  EXPECT_THROW(
+      set_tuned_tile_configs({{36, 64, TileConfig{}}, {36, 64, TileConfig{}}}),
+      std::invalid_argument);
+  clear_tuned_tile_configs();
+}
+
+// -------------------------------------------------------- direct 3x3 conv
+
+TEST(OpsConv, DirectViabilityFollowsGeometry) {
+  auto geom = [](std::size_t ch, std::size_t hw, std::size_t kernel,
+                 std::size_t stride, std::size_t pad) {
+    ConvGeometry g;
+    g.in_channels = ch;
+    g.in_h = hw;
+    g.in_w = hw;
+    g.kernel = kernel;
+    g.stride = stride;
+    g.pad = pad;
+    return g;
+  };
+  EXPECT_TRUE(conv2d_direct_viable(geom(1, 16, 3, 1, 1)));   // out_w = 16
+  EXPECT_FALSE(conv2d_direct_viable(geom(1, 8, 3, 1, 1)));   // out_w = 8
+  EXPECT_FALSE(conv2d_direct_viable(geom(1, 16, 3, 2, 1)));  // stride 2
+  EXPECT_FALSE(conv2d_direct_viable(geom(1, 16, 1, 1, 0)));  // 1x1
+}
+
+TEST(OpsConv, DirectMatchesIm2colBitExact) {
+  // The direct packer feeds the same microkernel the same panel bytes in
+  // the same order as im2col + gemm_ex, so the outputs must be bit-equal —
+  // across viable geometries (out_w >= NR), fallback geometries (narrow,
+  // small), pad 0 and 1, and fused epilogues.
+  util::Rng rng(999);
+  struct Case {
+    std::size_t ch, h, w, pad, oc;
+  };
+  const Case cases[] = {
+      {1, 16, 16, 1, 4},  // stem shape: viable, padded
+      {4, 16, 16, 1, 8},  // multi-channel viable
+      {1, 18, 20, 0, 3},  // viable, no padding, non-square
+      {2, 16, 17, 1, 5},  // odd out_w = 17 (partial last strip)
+      {4, 8, 8, 1, 8},    // narrow: materialized fallback
+      {1, 4, 4, 1, 2},    // tiny: small-problem fallback
+  };
+  for (const Case& tc : cases) {
+    SCOPED_TRACE("ch=" + std::to_string(tc.ch) + " h=" + std::to_string(tc.h) +
+                 " w=" + std::to_string(tc.w) + " pad=" +
+                 std::to_string(tc.pad) + " oc=" + std::to_string(tc.oc));
+    ConvGeometry g;
+    g.in_channels = tc.ch;
+    g.in_h = tc.h;
+    g.in_w = tc.w;
+    g.kernel = 3;
+    g.stride = 1;
+    g.pad = tc.pad;
+    g.validate();
+    const std::size_t cols = g.out_h() * g.out_w();
+    const std::size_t patch = g.patch_size();
+    std::vector<float> image(tc.ch * tc.h * tc.w), weights(tc.oc * patch),
+        bias(tc.oc);
+    for (auto& v : image) v = static_cast<float>(rng.normal());
+    for (auto& v : weights) v = static_cast<float>(rng.normal());
+    for (auto& v : bias) v = static_cast<float>(rng.normal());
+    Epilogue ep;
+    ep.bias = Epilogue::Bias::kPerRow;
+    ep.bias_data = bias.data();
+    ep.relu = true;
+
+    std::vector<float> col_buf(patch * cols);
+    im2col(g, image, col_buf);
+    std::vector<float> expect(tc.oc * cols, -5.0f);
+    gemm_ex(tc.oc, patch, cols, weights.data(), col_buf.data(), expect.data(),
+            ep);
+
+    std::vector<float> got(tc.oc * cols, 17.0f);
+    conv2d_forward_direct(g, tc.oc, weights.data(), image, got.data(), ep);
+    ASSERT_EQ(
+        std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)), 0);
+  }
+}
+
+TEST(OpsConv, DirectBitExactUnderEveryCandidateConfig) {
+  // The bit-equality contract has to survive retuning: whatever blocking
+  // the autotuner installs for the conv's (k, n), direct and materialized
+  // paths still agree bit for bit.
+  util::Rng rng(555);
+  ConvGeometry g;
+  g.in_channels = 4;
+  g.in_h = 16;
+  g.in_w = 16;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const std::size_t oc = 8, patch = g.patch_size(),
+                    cols = g.out_h() * g.out_w();
+  std::vector<float> image(4 * 16 * 16), weights(oc * patch);
+  for (auto& v : image) v = static_cast<float>(rng.normal());
+  for (auto& v : weights) v = static_cast<float>(rng.normal());
+  Epilogue ep;
+  std::vector<float> col_buf(patch * cols);
+  im2col(g, image, col_buf);
+  for (std::size_t ci = 0; ci < candidate_tile_configs().size(); ++ci) {
+    SCOPED_TRACE("candidate=" + std::to_string(ci));
+    set_tuned_tile_configs({{patch, cols, candidate_tile_configs()[ci]}});
+    std::vector<float> expect(oc * cols), got(oc * cols);
+    gemm_ex(oc, patch, cols, weights.data(), col_buf.data(), expect.data(),
+            ep);
+    conv2d_forward_direct(g, oc, weights.data(), image, got.data(), ep);
+    clear_tuned_tile_configs();
+    ASSERT_EQ(
+        std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)), 0);
+  }
+}
+
+TEST(OpsConv, GeometryValidationRejectsDegenerates) {
+  ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 8;
+  g.in_w = 8;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  EXPECT_NO_THROW(g.validate());
+  ConvGeometry pad_heavy = g;
+  pad_heavy.pad = 3;  // pad >= kernel: border outputs read only padding
+  EXPECT_THROW(pad_heavy.validate(), std::invalid_argument);
+  ConvGeometry too_small = g;
+  too_small.in_h = 2;
+  too_small.pad = 0;  // 2 + 0 < 3: out_h truncates to zero (size_t wrap)
+  EXPECT_THROW(too_small.validate(), std::invalid_argument);
+  ConvGeometry zero_ch = g;
+  zero_ch.in_channels = 0;
+  EXPECT_THROW(zero_ch.validate(), std::invalid_argument);
+  ConvGeometry zero_stride = g;
+  zero_stride.stride = 0;
+  EXPECT_THROW(zero_stride.validate(), std::invalid_argument);
+  ConvGeometry zero_kernel = g;
+  zero_kernel.kernel = 0;
+  EXPECT_THROW(zero_kernel.validate(), std::invalid_argument);
+  // im2col and the direct forward validate too — the degenerate geometry
+  // never reaches the kernels.
+  std::vector<float> img(64), cols(1);
+  EXPECT_THROW(im2col(pad_heavy, img, cols), std::invalid_argument);
+  EXPECT_THROW(
+      conv2d_forward_direct(pad_heavy, 1, nullptr, img, nullptr, Epilogue{}),
+      std::invalid_argument);
 }
 
 // ------------------------------------------------------------ scratch arena
@@ -522,6 +793,40 @@ TEST(Scratch, NestedScopesUnwindInOrder) {
   // Inner released; the next alloc reuses its slot. Outer's span survives.
   ScratchScope again(arena);
   EXPECT_EQ(again.alloc(16).data(), inner_ptr);
+}
+
+TEST(Scratch, TrimKeepsOnlyTheWatermarkBlock) {
+  ScratchArena arena;
+  {
+    ScratchScope scope(arena);
+    scope.alloc(100);      // first block: 1 << 14 floats
+    scope.alloc(1 << 15);  // second block: 1 << 15 floats
+  }
+  ASSERT_EQ(arena.capacity(), (1u << 14) + (1u << 15));
+  // Trim to a watermark that fits only the smaller block: the outlier
+  // block is freed, the steady-state one survives.
+  arena.trim(1 << 14);
+  EXPECT_EQ(arena.capacity(), 1u << 14);
+  // The surviving block is immediately reusable from offset zero.
+  {
+    ScratchScope scope(arena);
+    scope.alloc(1 << 14);
+  }
+  EXPECT_EQ(arena.capacity(), 1u << 14);
+  // A watermark below every block frees everything.
+  arena.trim(100);
+  EXPECT_EQ(arena.capacity(), 0u);
+}
+
+TEST(Scratch, TrimIsANoOpWhileAllocationsAreLive) {
+  ScratchArena arena;
+  ScratchScope scope(arena);
+  auto s = scope.alloc(256);
+  s[0] = 3.5f;
+  const std::size_t cap = arena.capacity();
+  arena.trim(0);  // live floats: freeing would dangle the span above
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(s[0], 3.5f);
 }
 
 // --------------------------------------------------- deterministic chunking
