@@ -65,6 +65,10 @@ core::WorkflowConfig build_config(const util::ArgParser& args) {
   // sent — the genome-keyed seed rides the job payload).
   cfg.memo = nas::memo_mode_from_name(args.get("memo"));
   cfg.nas.allow_duplicates = args.get_flag("allow-duplicates");
+  // Parsed on both sides so the handshake CRC covers the objective mode:
+  // a master searching on measured latency refuses workers launched in
+  // flops mode (and vice versa) at connect time, not mid-search.
+  cfg.nas.objective = nas::objective_mode_from_name(args.get("objective"));
   cfg.seed = static_cast<std::uint64_t>(args.get_double("seed"));
   return cfg;
 }
@@ -256,8 +260,17 @@ int run_worker(const util::ArgParser& args, core::WorkflowConfig cfg,
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   });
+  const std::string objective_name(nas::objective_mode_name(cfg.nas.objective));
   const cluster::WorkerStats stats =
       worker.run([&](const cluster::JobRequest& req) {
+        // Belt-and-suspenders beyond the handshake CRC: a request whose
+        // objective mode disagrees with this worker's flags is a config
+        // drift, not a trainable job.
+        if (req.objective != objective_name)
+          throw std::runtime_error("job " + std::to_string(req.job) +
+                                   " requests objective mode '" +
+                                   req.objective + "', worker configured '" +
+                                   objective_name + "'");
         const nas::Genome genome = nas::Genome::from_json(req.genome);
         const std::uint64_t model_seed = cluster::hex_to_u64(req.seed_hex);
         nas::EvaluationRecord record =
@@ -308,6 +321,9 @@ int main(int argc, char** argv) {
   args.add_option("memo", "off",
                   "fitness memo-cache: off|cold|on (master-side replay of "
                   "already-evaluated genomes; never re-dispatches a hit)");
+  args.add_option("objective", "flops",
+                  "hardware objectives: flops | latency | both (latency is "
+                  "probed on the master's own hardware)");
   args.add_flag("allow-duplicates",
                 "let crossover/mutation re-produce evaluated genomes");
   args.add_option("seed", "2023", "experiment seed");

@@ -64,6 +64,19 @@ int main(int argc, char** argv) {
                 "checkpoint (requires --snapshot-every >= 1)");
   args.add_option("inherit-fraction", "0.5",
                   "fraction of --epochs an inherited child fine-tunes for");
+  args.add_flag("coalesce",
+                "train same-generation duplicate genomes once and copy the "
+                "record (requires --memo cold|on; journal bytes unchanged)");
+  // Hardware-aware objectives.
+  args.add_option("objective", "flops",
+                  "hardware objectives beside accuracy/FLOPs: flops "
+                  "(analytic, the legacy 2-objective search) | latency "
+                  "(+ measured ms/image at serving batch) | both "
+                  "(+ latency and roofline bytes moved)");
+  args.add_option("probe-batch", "8",
+                  "latency-probe micro-batch (match the serving engine)");
+  args.add_option("probe-repeats", "9",
+                  "timed probe passes (median is the objective)");
   // Resource manager + lineage.
   args.add_option("gpus", "1", "simulated GPU count");
   args.add_option("commons", "", "data-commons directory (empty: disabled)");
@@ -156,6 +169,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.nas.allow_duplicates = args.get_flag("allow-duplicates");
+  cfg.coalesce_duplicates = args.get_flag("coalesce");
+  if (cfg.coalesce_duplicates && cfg.memo == nas::MemoMode::kOff) {
+    std::fprintf(stderr,
+                 "--coalesce requires genome-keyed training seeds: pass "
+                 "--memo cold or --memo on\n");
+    return 1;
+  }
+  try {
+    cfg.nas.objective = nas::objective_mode_from_name(args.get("objective"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  cfg.probe.batch = args.get_size("probe-batch");
+  cfg.probe.repeats = args.get_size("probe-repeats");
   cfg.trainer.inherit_weights = args.get_flag("inherit-weights");
   cfg.trainer.inherit_epoch_fraction = args.get_double("inherit-fraction");
   if (cfg.trainer.inherit_weights &&
@@ -298,6 +326,14 @@ int main(int argc, char** argv) {
     std::printf("inherit: %zu child(ren) warm-started from ancestor "
                 "checkpoints\n",
                 result.summary.inherited_starts);
+  if (result.summary.coalesced_evaluations > 0)
+    std::printf("coalesce: %zu same-generation duplicate(s) rode a leader's "
+                "training\n",
+                result.summary.coalesced_evaluations);
+  if (result.summary.latency_probes > 0)
+    std::printf("latency: %zu candidate(s) probed at the serving batch "
+                "geometry\n",
+                result.summary.latency_probes);
   if (result.summary.failed_evaluations > 0)
     std::printf(
         "failed: %zu evaluation(s) exhausted retries (excluded from "

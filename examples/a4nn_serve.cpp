@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "latency/probe.hpp"
+#include "lineage/tracker.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
 #include "tensor/autotune.hpp"
@@ -31,13 +33,28 @@ int main(int argc, char** argv) {
                        "Serve the commons champion with micro-batching");
   args.add_option("commons", "a4nn_commons", "data commons root to serve");
   args.add_option("policy", "best-fitness",
-                  "champion policy: best-fitness | min-flops | balanced");
+                  "champion policy: best-fitness | min-flops | balanced | "
+                  "measured-p99");
   args.add_option("max-flops", "0", "FLOPs-per-image budget (0 = unlimited)");
   args.add_option("max-batch", "8", "micro-batch width");
   args.add_option("max-delay-ms", "2", "max batching delay before flush");
   args.add_option("queue-capacity", "256", "request queue bound");
   args.add_option("workers", "2", "inference worker threads");
-  args.add_option("slo-ms", "0", "latency SLO for shedding (0 = off)");
+  args.add_option("slo-ms", "0", "latency SLO for shedding (0 = off); "
+                  "measured-p99 also holds probed candidates against it");
+  args.add_flag("quantize",
+                "measured-p99 only: consider an int8 post-training-quantized "
+                "variant per candidate (served when faster and within "
+                "--epsilon of float accuracy)");
+  args.add_option("epsilon", "0.5",
+                  "max absolute accuracy drop (percentage points) an int8 "
+                  "variant may cost before falling back to float");
+  args.add_option("calibration", "32",
+                  "calibration samples for int8 activation scales");
+  args.add_flag("auto-batch",
+                "sweep (max-batch, max-delay-ms) pairs against the measured "
+                "champion latency before serving; journals serve_tune.json "
+                "to the commons and serves the winner");
   args.add_option("requests", "2000", "total requests to drive");
   args.add_option("clients", "8", "closed-loop client threads");
   args.add_option("stats-out", "", "write engine stats JSON here");
@@ -70,8 +87,36 @@ int main(int argc, char** argv) {
 
   serve::RegistryConfig reg_cfg;
   reg_cfg.commons_root = args.get("commons");
-  reg_cfg.policy = serve::champion_policy_from_name(args.get("policy"));
   reg_cfg.max_flops = args.get_size("max-flops");
+  reg_cfg.slo_ms = args.get_double("slo-ms");
+  reg_cfg.quantize = args.get_flag("quantize");
+  reg_cfg.epsilon_pct = args.get_double("epsilon");
+  reg_cfg.calibration = args.get_size("calibration");
+  reg_cfg.probe.batch = args.get_size("max-batch");
+  // Labelled shots regenerated at a candidate's own geometry: calibration
+  // batch for int8 activation scales plus the float-vs-int8 accuracy guard.
+  reg_cfg.eval_data = [](const tensor::Shape& shape, std::size_t classes) {
+    if (shape.size() != 3 || shape[0] != 1 || shape[1] != shape[2])
+      throw std::runtime_error(
+          "quantize: candidate input " + tensor::shape_to_string(shape) +
+          " is not a square single-channel detector");
+    xfel::XfelDatasetConfig data_cfg;
+    data_cfg.detector.pixels = shape[1];
+    data_cfg.conformations = classes;
+    data_cfg.images_per_class = 32;
+    return xfel::generate_xfel_dataset(data_cfg).validation;
+  };
+  try {
+    reg_cfg.policy = serve::champion_policy_from_name(args.get("policy"));
+    if (reg_cfg.quantize &&
+        reg_cfg.policy != serve::ChampionPolicy::kMeasuredP99)
+      throw std::runtime_error(
+          "--quantize requires --policy measured-p99 (the only policy that "
+          "probes and accuracy-guards the int8 variant)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "a4nn_serve: %s\n", e.what());
+    return 1;
+  }
   serve::ModelRegistry registry(reg_cfg);
   try {
     registry.refresh();
@@ -81,13 +126,18 @@ int main(int argc, char** argv) {
   }
   auto champion = registry.active();
   {
-    util::AsciiTable t({"champion", "epoch", "fitness", "MFLOPs", "classes"});
+    util::AsciiTable t({"champion", "epoch", "fitness", "MFLOPs", "classes",
+                        "variant", "p99 ms"});
     t.add_row({std::to_string(champion->info.model_id),
                std::to_string(champion->info.epoch),
                util::AsciiTable::num(champion->info.fitness, 2),
                util::AsciiTable::num(
                    static_cast<double>(champion->info.flops) / 1e6, 3),
-               std::to_string(champion->num_classes)});
+               std::to_string(champion->num_classes),
+               champion->info.quantized ? "int8" : "float",
+               champion->info.p99_ms > 0.0
+                   ? util::AsciiTable::num(champion->info.p99_ms, 3)
+                   : "-"});
     std::printf("%s", t.render().c_str());
   }
 
@@ -113,6 +163,86 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = args.get_size("queue-capacity");
   cfg.workers = args.get_size("workers");
   cfg.slo_ms = args.get_double("slo-ms");
+
+  if (args.get_flag("auto-batch")) {
+    // One-shot sweep before serving: probe the champion — the exact
+    // variant (float or int8) the registry published — at each candidate
+    // micro-batch width, combine each width with each flush delay
+    // arithmetically (the delay only shifts the request deadline, it never
+    // changes the forward pass), and serve the highest-throughput pair
+    // whose estimated worst-case request p99 meets the SLO. The sweep is
+    // journaled to the commons like tune.json so the choice is auditable.
+    const std::vector<std::size_t> widths = {1, 2, 4, 8, 16, 32};
+    const std::vector<double> delays = {0.5, 1.0, 2.0, 4.0};
+    const double slo = cfg.slo_ms;
+    util::Json cands = util::Json::array();
+    std::size_t best_b = cfg.max_batch;
+    double best_d = cfg.max_delay_ms;
+    double best_tput = 0.0, best_p99 = 0.0;
+    bool best_ok = false, have = false;
+    for (std::size_t b : widths) {
+      latency::ProbeConfig pc;
+      pc.batch = b;
+      const latency::LatencyProbe prober(pc);
+      const latency::ProbeResult r = prober.probe_fn(
+          [&](const tensor::Tensor& x) { champion->predict(x); },
+          champion->input_shape);
+      for (double d : delays) {
+        // Worst case for an admitted request: it waits out the full flush
+        // delay, then a whole batch runs at the probed per-image p99.
+        const double est_p99 = d + static_cast<double>(b) * r.p99_ms;
+        const double tput = r.median_ms > 0.0 ? 1000.0 / r.median_ms : 0.0;
+        const bool ok = slo <= 0.0 || est_p99 <= slo;
+        util::Json c = util::Json::object();
+        c["max_batch"] = b;
+        c["max_delay_ms"] = d;
+        c["per_image_median_ms"] = r.median_ms;
+        c["per_image_p99_ms"] = r.p99_ms;
+        c["est_request_p99_ms"] = est_p99;
+        c["throughput_ips"] = tput;
+        c["meets_slo"] = ok;
+        cands.push_back(std::move(c));
+        const bool better =
+            !have ||
+            (ok != best_ok
+                 ? ok
+                 : (ok ? (tput != best_tput ? tput > best_tput
+                                            : est_p99 < best_p99)
+                       : est_p99 < best_p99));
+        if (better) {
+          have = true;
+          best_ok = ok;
+          best_tput = tput;
+          best_p99 = est_p99;
+          best_b = b;
+          best_d = d;
+        }
+      }
+    }
+    cfg.max_batch = best_b;
+    cfg.max_delay_ms = best_d;
+    util::Json doc = util::Json::object();
+    doc["host"] = latency::host_fingerprint();
+    util::Json id = util::Json::object();
+    id["model_id"] = static_cast<double>(champion->info.model_id);
+    id["epoch"] = static_cast<double>(champion->info.epoch);
+    id["quantized"] = champion->info.quantized;
+    doc["champion"] = std::move(id);
+    doc["slo_ms"] = slo;
+    doc["candidates"] = std::move(cands);
+    util::Json chosen = util::Json::object();
+    chosen["max_batch"] = best_b;
+    chosen["max_delay_ms"] = best_d;
+    doc["chosen"] = std::move(chosen);
+    lineage::LineageTracker tracker({args.get("commons")});
+    tracker.record_artifact("serve_tune.json", doc);
+    std::printf(
+        "auto-batch: max_batch %zu, max_delay %.1fms (est request p99 "
+        "%.2fms%s) -> %s/serve_tune.json\n",
+        best_b, best_d, best_p99, best_ok ? "" : ", SLO missed",
+        args.get("commons").c_str());
+  }
+
   serve::InferenceEngine engine(registry, cfg);
 
   const std::size_t total = args.get_size("requests");

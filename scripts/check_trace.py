@@ -64,6 +64,13 @@ STREAM_PAIRS = [
     ("stream.watchdog_stalls", "child.stall"),
     ("stream.degraded_entries", "child.degraded"),
 ]
+# Hardware-aware objective instants live on the host lane (pid 1): every
+# latency probe and every post-training quantization bumps its counter at
+# the same point it emits the instant, so the two must agree one-for-one.
+HARDWARE_PAIRS = [
+    ("latency.probes", "latency.probe"),
+    ("quant.quantizations", "quant.quantize"),
+]
 # Everything crossing JSON is an IEEE-754 round-trippable double, so the
 # sums should match exactly; the epsilon only absorbs the associativity of
 # Python summing in event order vs C++ summing in placement order.
@@ -268,6 +275,49 @@ def check_stream_agreement(doc, events):
     )
 
 
+def check_hardware_agreement(doc, events):
+    """Cross-check latency.*/quant.* counters against their host instants.
+
+    Passes trivially for flops-objective, unquantized runs: no hardware
+    counters and no matching instants means nothing to disagree about.
+    """
+    counters = doc.get("metrics", {}).get("counters", {})
+    names = {event_name for _, event_name in HARDWARE_PAIRS}
+    instants = [
+        e
+        for e in events
+        if e["pid"] == HOST_PID and e["ph"] == "i" and e["name"] in names
+    ]
+    has_counters = any(
+        name.startswith(("latency.", "quant.")) for name in counters
+    )
+    if not instants and not has_counters:
+        print(
+            "check_trace: ok: no hardware-objective activity "
+            "(skipping latency/quant cross-check)"
+        )
+        return
+
+    by_name = {}
+    for e in instants:
+        by_name.setdefault(e["name"], []).append(e)
+
+    checked = 0
+    for counter_name, event_name in HARDWARE_PAIRS:
+        expected = counters.get(counter_name, 0.0)
+        observed = len(by_name.get(event_name, []))
+        if not close(expected, observed):
+            fail(
+                f"{event_name!r} instants number {observed} but the "
+                f"{counter_name} counter says {expected}"
+            )
+        checked += 1
+    print(
+        f"check_trace: ok: {len(instants)} hardware-objective instants "
+        f"match {checked} counters"
+    )
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -285,6 +335,7 @@ def main():
     check_metrics_agreement(doc, real)
     check_cluster_agreement(doc, real)
     check_stream_agreement(doc, real)
+    check_hardware_agreement(doc, real)
     print("check_trace: PASS")
 
 

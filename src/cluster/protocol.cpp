@@ -75,6 +75,7 @@ util::Json JobRequest::to_json() const {
   j["generation"] = generation;
   j["seed"] = seed_hex;
   j["genome"] = genome;
+  if (objective != "flops") j["objective"] = objective;
   return j;
 }
 
@@ -85,6 +86,7 @@ JobRequest JobRequest::from_json(const util::Json& j) {
   r.generation = static_cast<int>(j.at("generation").as_number());
   r.seed_hex = j.at("seed").as_string();
   r.genome = j.at("genome");
+  r.objective = j.string_or("objective", "flops");
   return r;
 }
 

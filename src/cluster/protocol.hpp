@@ -78,6 +78,12 @@ struct JobRequest {
   int generation = -1;
   std::string seed_hex;   // per-model training seed, u64 as lowercase hex
   util::Json genome;      // nas::Genome::to_json()
+  /// Objective mode of the search dispatching this job
+  /// (nas::objective_mode_name). Serialized only when not "flops", so
+  /// default-mode requests keep their historical wire bytes. Informational
+  /// for workers — latency is always probed on the master's own hardware —
+  /// but lets a worker log/refuse a mode mismatch beyond the config CRC.
+  std::string objective = "flops";
 
   util::Json to_json() const;
   static JobRequest from_json(const util::Json& j);

@@ -25,6 +25,19 @@ util::Json WorkflowConfig::to_json() const {
   cl["fault"] = cluster.fault.to_json();
   j["cluster"] = std::move(cl);
   j["memo"] = std::string(nas::memo_mode_name(memo));
+  // Conditional keys: default runs (flops objective, no coalescing) keep
+  // their historical config bytes — and therefore the cluster handshake
+  // CRC — unchanged. Non-default modes change the CRC on purpose: master
+  // and workers must agree on the objective before sharing a search.
+  if (coalesce_duplicates) j["coalesce"] = true;
+  if (nas.objective != nas::ObjectiveMode::kFlops) {
+    util::Json pr = util::Json::object();
+    pr["batch"] = probe.batch;
+    pr["warmup"] = probe.warmup;
+    pr["repeats"] = probe.repeats;
+    pr["seed"] = probe.seed;
+    j["probe"] = std::move(pr);
+  }
   j["seed"] = seed;
   return j;
 }
@@ -61,6 +74,9 @@ util::Json RunSummary::to_json() const {
   j["memo_hits"] = memo_hits;
   j["inherited_starts"] = inherited_starts;
   j["engine_overhead_replayed_seconds"] = engine_overhead_replayed_seconds;
+  j["coalesced_evaluations"] = coalesced_evaluations;
+  j["engine_overhead_coalesced_seconds"] = engine_overhead_coalesced_seconds;
+  j["latency_probes"] = latency_probes;
   j["cluster"] = cluster.to_json();
   return j;
 }
@@ -152,6 +168,20 @@ WorkflowResult A4nnWorkflow::run() {
   evaluator.set_metrics(&registry);
   evaluator.set_crash_after(config_.crash_after_evaluations);
   if (config_.memo != nas::MemoMode::kOff) evaluator.set_memo(&memo);
+  if (config_.coalesce_duplicates && config_.memo == nas::MemoMode::kOff)
+    util::log_warn(
+        "coalesce: duplicate coalescing needs genome-keyed training seeds "
+        "(memo mode cold or on); request ignored");
+  evaluator.set_coalesce(config_.coalesce_duplicates);
+  evaluator.set_objective(config_.nas.objective);
+  // Hardware-aware objectives: every record the search ranks must carry a
+  // latency measured on this machine; the evaluator re-probes anything the
+  // memo or commons replays from another host.
+  std::optional<latency::LatencyProbe> probe;
+  if (config_.nas.objective != nas::ObjectiveMode::kFlops) {
+    probe.emplace(config_.probe);
+    evaluator.set_latency_probe(&*probe);
+  }
   if (resuming) {
     // Reuse whatever record trails a previous (interrupted) run left in
     // the commons; deterministic seeding makes the replay exact. The memo
@@ -197,7 +227,12 @@ WorkflowResult A4nnWorkflow::run() {
     result.summary.engine_overhead_replayed_seconds =
         result.summary.metrics.at("counters").number_or(
             "penguin.engine_overhead_replayed_seconds", 0.0);
+    result.summary.engine_overhead_coalesced_seconds =
+        result.summary.metrics.at("counters").number_or(
+            "penguin.engine_overhead_coalesced_seconds", 0.0);
   }
+  result.summary.coalesced_evaluations = evaluator.coalesced_count();
+  result.summary.latency_probes = evaluator.probed_count();
   if (result.summary.metrics.contains("counters")) {
     const util::Json& counters = result.summary.metrics.at("counters");
     const auto count = [&counters](const char* name) {

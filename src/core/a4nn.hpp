@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "analytics/analyzer.hpp"
+#include "latency/probe.hpp"
 #include "lineage/tracker.hpp"
 #include "nas/memo.hpp"
 #include "nas/search.hpp"
@@ -52,6 +53,14 @@ struct WorkflowConfig {
   /// warmed from the commons on resume, and `memo_index.json` is journaled
   /// at the end of the run in both non-kOff modes.
   nas::MemoMode memo = nas::MemoMode::kOff;
+  /// Same-generation duplicate coalescing (requires a genome-keyed memo,
+  /// i.e. memo != kOff): duplicate genomes within a generation train once
+  /// and the copies ride the leader's record. Journal bytes are provably
+  /// unchanged; only the wall clock and the nas.coalesced counter move.
+  bool coalesce_duplicates = false;
+  /// Latency-probe settings, used when nas.objective requests measured
+  /// hardware objectives (kLatency/kBoth).
+  latency::ProbeConfig probe;
   std::uint64_t seed = 2023;
 
   util::Json to_json() const;
@@ -117,6 +126,13 @@ struct RunSummary {
   /// canonical evaluations; kept out of engine_overhead_seconds so cache
   /// hits never inflate the fresh-overhead total).
   double engine_overhead_replayed_seconds = 0.0;
+  /// Same-generation duplicates whose record rode a leader's training
+  /// (duplicate coalescing), and the engine overhead those copies carry
+  /// (paid once by the leader, split out like the replayed bucket).
+  std::size_t coalesced_evaluations = 0;
+  double engine_overhead_coalesced_seconds = 0.0;
+  /// Latency probes run for hardware-aware objectives (0 in flops mode).
+  std::size_t latency_probes = 0;
   /// Remote-execution accounting (all zeros without a cluster backend).
   ClusterTotals cluster;
 

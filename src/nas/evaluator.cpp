@@ -54,6 +54,17 @@ util::Json EvaluationRecord::to_json() const {
     j["inherited_params_copied"] = inherited_params_copied;
     j["inherited_params_fresh"] = inherited_params_fresh;
   }
+  // Probe fields ride along only when a latency probe actually ran, keyed
+  // by the host fingerprint: flops-mode records keep their historical
+  // journal bytes, and a replayed/warmed record on another machine can tell
+  // the stored timing is not its own.
+  if (!latency_host.empty()) {
+    j["latency_ms"] = latency_ms;
+    j["latency_p99_ms"] = latency_p99_ms;
+    j["bytes_moved"] = bytes_moved;
+    j["arithmetic_intensity"] = arithmetic_intensity;
+    j["latency_host"] = latency_host;
+  }
   return j;
 }
 
@@ -91,6 +102,11 @@ EvaluationRecord EvaluationRecord::from_json(const util::Json& j) {
       static_cast<std::size_t>(j.number_or("inherited_params_copied", 0.0));
   r.inherited_params_fresh =
       static_cast<std::size_t>(j.number_or("inherited_params_fresh", 0.0));
+  r.latency_ms = j.number_or("latency_ms", 0.0);
+  r.latency_p99_ms = j.number_or("latency_p99_ms", 0.0);
+  r.bytes_moved = static_cast<std::uint64_t>(j.number_or("bytes_moved", 0.0));
+  r.arithmetic_intensity = j.number_or("arithmetic_intensity", 0.0);
+  r.latency_host = j.string_or("latency_host", "");
   return r;
 }
 

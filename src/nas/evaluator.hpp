@@ -64,11 +64,31 @@ struct EvaluationRecord {
   std::size_t inherited_params_copied = 0;
   std::size_t inherited_params_fresh = 0;
 
+  /// Hardware-aware objectives (latency/probe.hpp). Populated only when a
+  /// latency probe ran for this record; `latency_host` names the machine
+  /// fingerprint the timing belongs to — measured latency is machine-local,
+  /// so memo/resume replay on a different host must re-probe rather than
+  /// trust a foreign number. Serialized only when stamped (latency_host
+  /// non-empty), so flops-mode journal bytes are unchanged from pre-probe
+  /// runs.
+  double latency_ms = 0.0;      ///< median per-image ms at serving geometry
+  double latency_p99_ms = 0.0;  ///< p99 per-image ms across probe repeats
+  std::uint64_t bytes_moved = 0;       ///< roofline bytes per image forward
+  double arithmetic_intensity = 0.0;   ///< flops / bytes_moved
+  std::string latency_host;            ///< probe host fingerprint
+
   /// True when this record was resolved from the fitness memo-cache rather
   /// than trained. Transient: never serialized, so a replayed record's
   /// journal bytes are identical to its cold-trained twin's — that is the
   /// differential-equivalence guarantee the memo tests pin down.
   bool replayed = false;
+
+  /// True when this record was copied from a same-generation duplicate's
+  /// leader job instead of training its own copy (duplicate coalescing).
+  /// Transient like `replayed`: the journal bytes of a coalesced record are
+  /// identical to the record the duplicate would have trained — genome-keyed
+  /// seeds make the two trainings bit-equal, so only the accounting differs.
+  bool coalesced = false;
 
   util::Json to_json() const;
   static EvaluationRecord from_json(const util::Json& j);

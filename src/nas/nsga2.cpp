@@ -58,17 +58,22 @@ std::vector<double> crowding_distance(std::span<const Objectives> points,
               std::numeric_limits<double>::infinity());
     return distance;
   }
-  for (std::size_t obj = 0; obj < 2; ++obj) {
+  const std::size_t num_objectives = points.empty() ? 0 : points[front[0]].size();
+  for (std::size_t obj = 0; obj < num_objectives; ++obj) {
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return points[front[a]][obj] < points[front[b]][obj];
     });
-    distance[order.front()] = std::numeric_limits<double>::infinity();
-    distance[order.back()] = std::numeric_limits<double>::infinity();
     const double lo = points[front[order.front()]][obj];
     const double hi = points[front[order.back()]][obj];
-    if (hi <= lo) continue;  // degenerate objective: no spread
+    // A degenerate objective (no spread across the front) discriminates
+    // nothing: skip it entirely — pinning its arbitrary sort boundaries to
+    // infinity would make a constant extra objective change the crowding a
+    // 2-objective run computes, breaking the k->2 reduction property.
+    if (hi <= lo) continue;
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
     for (std::size_t i = 1; i + 1 < n; ++i) {
       distance[order[i]] += (points[front[order[i + 1]]][obj] -
                              points[front[order[i - 1]]][obj]) /

@@ -6,14 +6,39 @@
 
 #include <array>
 #include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
 namespace a4nn::nas {
 
-/// One point in objective space (2 objectives, both minimized:
-/// {-accuracy, flops} for NSGA-Net).
-using Objectives = std::array<double, 2>;
+/// One point in objective space, every component minimized. Historically a
+/// fixed {-accuracy, flops} pair; now a small k-objective vector so the
+/// hardware-aware modes can append measured latency and bytes-moved.
+/// Fixed capacity (no allocation): dominance checks are the innermost loop
+/// of the sort. Every point handed to one NSGA-II call must have the same
+/// size; brace-init keeps the historical `{{-a, f}, ...}` literals working.
+class Objectives {
+ public:
+  static constexpr std::size_t kMaxObjectives = 6;
+
+  constexpr Objectives() = default;
+  constexpr Objectives(std::initializer_list<double> values) {
+    for (double v : values) push_back(v);
+  }
+
+  constexpr void push_back(double v) { values_[size_++] = v; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr double operator[](std::size_t i) const { return values_[i]; }
+  constexpr double& operator[](std::size_t i) { return values_[i]; }
+  constexpr const double* begin() const { return values_.data(); }
+  constexpr const double* end() const { return values_.data() + size_; }
+  constexpr bool operator==(const Objectives&) const = default;
+
+ private:
+  std::array<double, kMaxObjectives> values_{};
+  std::size_t size_ = 0;
+};
 
 /// True if a dominates b (<= in every objective, < in at least one).
 bool dominates(const Objectives& a, const Objectives& b);

@@ -8,6 +8,37 @@
 
 namespace a4nn::nas {
 
+const char* objective_mode_name(ObjectiveMode mode) {
+  switch (mode) {
+    case ObjectiveMode::kFlops:
+      return "flops";
+    case ObjectiveMode::kLatency:
+      return "latency";
+    case ObjectiveMode::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
+ObjectiveMode objective_mode_from_name(const std::string& name) {
+  if (name == "flops") return ObjectiveMode::kFlops;
+  if (name == "latency") return ObjectiveMode::kLatency;
+  if (name == "both") return ObjectiveMode::kBoth;
+  throw std::invalid_argument("unknown objective mode: " + name);
+}
+
+std::size_t objective_count(ObjectiveMode mode) {
+  switch (mode) {
+    case ObjectiveMode::kFlops:
+      return 2;
+    case ObjectiveMode::kLatency:
+      return 3;
+    case ObjectiveMode::kBoth:
+      return 4;
+  }
+  return 2;
+}
+
 util::Json NsgaNetConfig::to_json() const {
   util::Json j = util::Json::object();
   j["population_size"] = population_size;
@@ -19,6 +50,11 @@ util::Json NsgaNetConfig::to_json() const {
   j["mutation_rate"] = operators.mutation_rate;
   j["seed"] = seed;
   j["allow_duplicates"] = allow_duplicates;
+  // Only non-default modes serialize: flops-mode search.json bytes (and the
+  // cluster handshake CRC computed over them) stay pre-PR identical, while
+  // a latency-mode master/worker pair must agree on the mode to shake hands.
+  if (objective != ObjectiveMode::kFlops)
+    j["objective"] = std::string(objective_mode_name(objective));
   return j;
 }
 
@@ -42,6 +78,15 @@ double SearchResult::total_wall_seconds() const {
 
 Objectives record_objectives(const EvaluationRecord& r) {
   return {-r.fitness, static_cast<double>(r.flops)};
+}
+
+Objectives record_objectives(const EvaluationRecord& r, ObjectiveMode mode) {
+  Objectives obj = record_objectives(r);
+  if (mode == ObjectiveMode::kLatency || mode == ObjectiveMode::kBoth)
+    obj.push_back(r.latency_ms);
+  if (mode == ObjectiveMode::kBoth)
+    obj.push_back(static_cast<double>(r.bytes_moved));
+  return obj;
 }
 
 NsgaNetSearch::NsgaNetSearch(NsgaNetConfig config, Evaluator& evaluator)
@@ -87,6 +132,17 @@ SearchResult NsgaNetSearch::run() {
     for (std::size_t i = 0; i < records.size(); ++i) {
       records[i].model_id = static_cast<int>(base + i);
       records[i].generation = generation;
+      // Hardware-aware modes rank on measured latency: a record without a
+      // probe stamp would enter selection as a phantom 0 ms candidate and
+      // dominate everything, so an evaluator that cannot probe is a
+      // configuration error, not a silent degradation.
+      if (config_.objective != ObjectiveMode::kFlops && !records[i].failed &&
+          records[i].latency_host.empty())
+        throw std::runtime_error(
+            "NsgaNetSearch: objective mode '" +
+            std::string(objective_mode_name(config_.objective)) + "' needs " +
+            "latency-probed records, but model " +
+            std::to_string(records[i].model_id) + " carries no probe stamp");
       result.history.push_back(records[i]);
     }
     if (observer_) {
@@ -115,7 +171,7 @@ SearchResult NsgaNetSearch::run() {
     std::vector<Objectives> pop_obj;
     pop_obj.reserve(pop_indices.size());
     for (std::size_t idx : pop_indices)
-      pop_obj.push_back(record_objectives(result.history[idx]));
+      pop_obj.push_back(record_objectives(result.history[idx], config_.objective));
     const auto ranked = rank_population(pop_obj);
 
     auto pick_parent = [&] {
@@ -168,7 +224,7 @@ SearchResult NsgaNetSearch::run() {
     std::vector<Objectives> union_obj;
     union_obj.reserve(union_indices.size());
     for (std::size_t idx : union_indices)
-      union_obj.push_back(record_objectives(result.history[idx]));
+      union_obj.push_back(record_objectives(result.history[idx], config_.objective));
     const auto survivors = environmental_selection(
         union_obj, std::min(config_.population_size, union_indices.size()));
     std::vector<std::size_t> next;
@@ -188,7 +244,7 @@ SearchResult NsgaNetSearch::run() {
   for (std::size_t i = 0; i < result.history.size(); ++i) {
     if (result.history[i].failed) continue;
     viable.push_back(i);
-    all_obj.push_back(record_objectives(result.history[i]));
+    all_obj.push_back(record_objectives(result.history[i], config_.objective));
   }
   const auto front = pareto_front(all_obj);
   result.pareto.clear();

@@ -13,6 +13,21 @@
 
 namespace a4nn::nas {
 
+/// Which objective vector the search minimizes (besides -fitness, which is
+/// always first). kFlops is the historical 2-objective configuration and
+/// the default; the hardware-aware modes append measured per-image latency
+/// (kLatency: 3 objectives) and the roofline bytes-moved estimate (kBoth:
+/// 4 objectives). Non-default modes require an evaluator that stamps the
+/// latency fields into its records (see latency/probe.hpp).
+enum class ObjectiveMode { kFlops, kLatency, kBoth };
+
+const char* objective_mode_name(ObjectiveMode mode);
+/// Parse "flops" | "latency" | "both"; throws std::invalid_argument.
+ObjectiveMode objective_mode_from_name(const std::string& name);
+
+/// Number of minimized objectives under `mode` (2, 3, or 4).
+std::size_t objective_count(ObjectiveMode mode);
+
 /// Table 2 of the paper, plus operator settings.
 struct NsgaNetConfig {
   std::size_t population_size = 10;          // size of starting population
@@ -29,6 +44,10 @@ struct NsgaNetConfig {
   /// fitness memo-cache; with it, duplicate-heavy searches resolve repeats
   /// in O(1) — the configuration the memo bench measures.
   bool allow_duplicates = false;
+  /// Objective vector (see ObjectiveMode). Serialized only when non-default
+  /// so the search.json bytes — and the cluster handshake CRC derived from
+  /// them — are unchanged for every historical flops-mode run.
+  ObjectiveMode objective = ObjectiveMode::kFlops;
 
   /// Networks the configuration will train in total.
   std::size_t total_networks() const {
@@ -74,7 +93,15 @@ class NsgaNetSearch {
   GenerationObserver observer_;
 };
 
-/// Objective-space view of a record: {-accuracy, flops}, both minimized.
+/// Objective-space view of a record: {-accuracy, flops}, both minimized —
+/// the historical 2-objective view (== kFlops mode).
 Objectives record_objectives(const EvaluationRecord& r);
+
+/// Mode-aware view: kFlops appends nothing, kLatency appends the measured
+/// per-image latency (ms), kBoth also appends the roofline bytes-moved
+/// estimate. The latency fields must have been stamped by a probe-aware
+/// evaluator; records without them contribute 0 (and would corrupt the
+/// front), so NsgaNetSearch validates before using them.
+Objectives record_objectives(const EvaluationRecord& r, ObjectiveMode mode);
 
 }  // namespace a4nn::nas

@@ -368,7 +368,12 @@ Shape Linear::output_shape(const Shape& in) const {
   return {out_features_};
 }
 
-std::uint64_t Linear::flops(const Shape&) const {
+std::uint64_t Linear::flops(const Shape& in) const {
+  // Same contract as output_shape: a FLOPs walk that hands this layer the
+  // wrong feature count is a wiring bug upstream; silently returning the
+  // weight-matrix cost would hide it from the accounting.
+  if (in.size() != 1 || in[0] != in_features_)
+    throw std::invalid_argument("Linear::flops: feature mismatch");
   return static_cast<std::uint64_t>(out_features_) *
          (2 * in_features_ + 1 + (act_ == Activation::kRelu ? 1 : 0));
 }

@@ -1,9 +1,14 @@
 #include "orchestrator/workflow_evaluator.hpp"
 
 #include <charconv>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
+#include "nas/search_space.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
@@ -18,6 +23,44 @@ std::string seed_to_hex(std::uint64_t v) {
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v, 16);
   (void)ec;
   return std::string(buf, ptr);
+}
+
+/// Shared state between a coalesced duplicate group's leader job and its
+/// followers. Deadlock-free by construction: dispatch is FIFO and the
+/// leader always has a lower job index than every follower, so by the time
+/// a follower runs, its leader is already running (or done) on another
+/// worker and never waits on anything itself. The leader publishes exactly
+/// once — on training success, or on the real exception that
+/// execute_contained will treat as permanent (the attempt budget is
+/// exhausted), so a permanently failing leader fails its followers with
+/// the same error instead of hanging them.
+struct CoalesceGroup {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  std::string error;
+  const nas::EvaluationRecord* leader = nullptr;
+  std::size_t throws = 0;  // real leader exceptions observed so far
+};
+
+void publish_success(CoalesceGroup& group, const nas::EvaluationRecord* rec) {
+  std::lock_guard<std::mutex> lock(group.mu);
+  group.leader = rec;
+  group.ok = true;
+  group.done = true;
+  group.cv.notify_all();
+}
+
+void publish_throw_if_final(CoalesceGroup& group, const std::string& error,
+                            std::size_t attempt_budget) {
+  std::lock_guard<std::mutex> lock(group.mu);
+  if (++group.throws >= attempt_budget && !group.done) {
+    group.error = error;
+    group.ok = false;
+    group.done = true;
+    group.cv.notify_all();
+  }
 }
 
 }  // namespace
@@ -72,6 +115,9 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
   // shared state, so they can run on any pool worker.
   std::vector<sched::Job> jobs;
   jobs.reserve(genomes.size());
+  // Duplicate-coalescing groups for this generation, keyed by genome.
+  std::unordered_map<std::string, std::shared_ptr<CoalesceGroup>> groups;
+  const std::size_t attempt_budget = cluster_->config().fault.max_retries + 1;
   const int base_id = next_model_id_;
   for (std::size_t i = 0; i < genomes.size(); ++i) {
     const nas::Genome genome = genomes[i];
@@ -161,17 +207,67 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
             : seed_ ^ (0x9E3779B97F4A7C15ULL *
                        static_cast<std::uint64_t>(model_id + 1));
 
-    sched::Job job{
-        [this, genome, model_id, model_seed, generation, ancestor, slot] {
-          *slot = ancestor >= 0
-                      ? loop_->train_genome_inherited(genome, space_, model_id,
-                                                      model_seed, ancestor)
-                      : loop_->train_genome(genome, space_, model_id,
-                                            model_seed);
-          slot->generation = generation;
-          flush_record(*slot);
-          return slot->virtual_seconds;
-        }};
+    // Same-generation duplicate coalescing: genome-keyed seeds make
+    // duplicate trainings bit-identical, so the first occurrence of a
+    // genome (the leader) trains and every later duplicate (follower)
+    // waits for the leader's record instead of re-paying the training.
+    // A follower flushes exactly the bytes its own training would have
+    // journaled — same record content, same virtual seconds (so the FIFO
+    // schedule and every later device placement are unchanged) — only the
+    // accounting (nas.coalesced) tells the difference. Warm-starting
+    // children are excluded: their result depends on the ancestor, not
+    // just the genome.
+    std::shared_ptr<CoalesceGroup> group;
+    if (coalesce_ && genome_keyed && ancestor < 0) {
+      auto [it, inserted] = groups.try_emplace(genome.key(), nullptr);
+      if (inserted) {
+        it->second = std::make_shared<CoalesceGroup>();
+        group = it->second;
+      } else {
+        std::shared_ptr<CoalesceGroup> leader = it->second;
+        jobs.push_back(
+            sched::Job{[this, leader, slot, model_id, generation] {
+              std::unique_lock<std::mutex> lock(leader->mu);
+              leader->cv.wait(lock, [&] { return leader->done; });
+              if (!leader->ok)
+                // Replicate the leader's permanent failure: the rethrown
+                // error exhausts this job's own attempt budget too, so the
+                // follower's placement fails with the same message a
+                // non-coalesced duplicate training would have produced.
+                throw std::runtime_error(leader->error);
+              *slot = *leader->leader;
+              lock.unlock();
+              slot->model_id = model_id;
+              slot->generation = generation;
+              slot->coalesced = true;
+              flush_record(*slot);
+              return slot->virtual_seconds;
+            }});
+        continue;
+      }
+    }
+
+    sched::Job job{[this, genome, model_id, model_seed, generation, ancestor,
+                    slot, group, attempt_budget] {
+      try {
+        *slot = ancestor >= 0
+                    ? loop_->train_genome_inherited(genome, space_, model_id,
+                                                    model_seed, ancestor)
+                    : loop_->train_genome(genome, space_, model_id,
+                                          model_seed);
+        slot->generation = generation;
+        flush_record(*slot);
+        if (group) publish_success(*group, slot);
+        return slot->virtual_seconds;
+      } catch (const std::exception& e) {
+        if (group) publish_throw_if_final(*group, e.what(), attempt_budget);
+        throw;
+      } catch (...) {
+        if (group)
+          publish_throw_if_final(*group, "unknown exception", attempt_budget);
+        throw;
+      }
+    }};
 
     // Remote offering: what a cluster worker needs to reproduce this job
     // bit-exactly (cluster::JobRequest schema), and how to install its
@@ -190,10 +286,13 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     payload["generation"] = generation;
     payload["seed"] = seed_to_hex(model_seed);
     payload["genome"] = genome.to_json();
+    // Default mode keeps the historical wire bytes (key absent).
+    if (objective_ != nas::ObjectiveMode::kFlops)
+      payload["objective"] = std::string(nas::objective_mode_name(objective_));
     job.remote_payload =
         std::make_shared<const util::Json>(std::move(payload));
-    job.apply_remote = [this, genome, model_id, generation,
-                        slot](const util::Json& doc) {
+    job.apply_remote = [this, genome, model_id, generation, slot,
+                        group](const util::Json& doc) {
       nas::EvaluationRecord record = nas::EvaluationRecord::from_json(doc);
       if (record.model_id != model_id)
         throw std::runtime_error("remote record names model " +
@@ -208,6 +307,8 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
       *slot = std::move(record);
       slot->generation = generation;
       flush_record(*slot);
+      // A leader served by a cluster worker still unblocks its followers.
+      if (group) publish_success(*group, slot);
       return slot->virtual_seconds;
     };
     jobs.push_back(std::move(job));
@@ -241,6 +342,7 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
     const bool fresh_inherited =
         records[i].inherited_from_model >= 0 && !records[i].replayed;
     if (fresh_inherited) ++inherited_;
+    if (records[i].coalesced && !records[i].failed) ++coalesced_;
     if (metrics_) {
       metrics_->counter("nas.evaluations").add();
       if (records[i].failed) metrics_->counter("nas.failed_evaluations").add();
@@ -253,12 +355,50 @@ std::vector<nas::EvaluationRecord> WorkflowEvaluator::evaluate_generation(
         metrics_->counter("nas.memo_hits").add();
         metrics_->counter("penguin.engine_overhead_replayed_seconds")
             .add(records[i].engine_overhead_seconds);
+      } else if (records[i].coalesced && !records[i].failed) {
+        // Same split for coalesced duplicates: their engine cost was paid
+        // once, by the group leader.
+        metrics_->counter("nas.coalesced").add();
+        metrics_->counter("penguin.engine_overhead_coalesced_seconds")
+            .add(records[i].engine_overhead_seconds);
       } else {
         metrics_->counter("penguin.engine_overhead_seconds")
             .add(records[i].engine_overhead_seconds);
       }
       if (fresh_inherited)
         metrics_->counter("nas.inherited_evaluations").add();
+    }
+    // Hardware objectives: probe every record that does not already carry
+    // a timing from *this* machine — fresh trainings, remote-trained
+    // records, and memo/resume replays stamped on another host. Probing
+    // happens here, before cache admission and the placement re-record, so
+    // the memo and the commons both carry the probed fields; latency is
+    // measured at the serving micro-batch geometry on the search machine,
+    // never modeled and never trusted across hosts.
+    if (probe_ && !records[i].failed &&
+        records[i].latency_host != latency::host_fingerprint()) {
+      util::Rng init_rng(nas::memo_model_seed(seed_, records[i].genome));
+      nn::Model model =
+          nas::decode_genome(records[i].genome, space_, init_rng);
+      const latency::ProbeResult probed = probe_->probe(model);
+      const latency::RooflineEstimate roofline =
+          latency::roofline_estimate(model);
+      records[i].latency_ms = probed.median_ms;
+      records[i].latency_p99_ms = probed.p99_ms;
+      records[i].bytes_moved = roofline.bytes_moved;
+      records[i].arithmetic_intensity = roofline.arithmetic_intensity();
+      records[i].latency_host = latency::host_fingerprint();
+      ++probed_;
+      if (metrics_) metrics_->counter("latency.probes").add();
+      if (trace::enabled()) {
+        trace::emit_instant(
+            "latency.probe", "latency", trace::now_us(), trace::kHostPid,
+            trace::current_tid(),
+            {{"model_id", static_cast<double>(records[i].model_id)},
+             {"latency_ms", records[i].latency_ms},
+             {"latency_p99_ms", records[i].latency_p99_ms},
+             {"bytes_moved", static_cast<double>(records[i].bytes_moved)}});
+      }
     }
     // Cache admission happens here, in the single-threaded accounting
     // pass, so insertion order is deterministic and failures (which the

@@ -9,7 +9,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "latency/probe.hpp"
 #include "nas/memo.hpp"
+#include "nas/search.hpp"
 #include "orchestrator/training_loop.hpp"
 #include "sched/resource_manager.hpp"
 
@@ -63,6 +65,38 @@ class WorkflowEvaluator : public nas::Evaluator {
   std::size_t memo_hits() const { return memo_hits_; }
   std::size_t inherited_count() const { return inherited_; }
 
+  /// Attach a latency probe (null detaches; must outlive the evaluator).
+  /// During the accounting pass every non-failed record whose stored
+  /// latency_host is not *this* machine's fingerprint — fresh trainings,
+  /// and memo/resume replays stamped on another host — is probed at the
+  /// serving micro-batch geometry and roofline-priced, so the hardware
+  /// objectives the search minimizes are always measurements from the
+  /// machine running the search.
+  void set_latency_probe(const latency::LatencyProbe* probe) {
+    probe_ = probe;
+  }
+
+  /// Records latency-probed so far (re-probes; fingerprint matches reuse
+  /// the stored timing and are not counted).
+  std::size_t probed_count() const { return probed_; }
+
+  /// Objective mode of the owning search. Stamped into remote job payloads
+  /// (cluster::JobRequest.objective, serialized only when not kFlops) so
+  /// workers can cross-check the mode beyond the handshake config CRC.
+  void set_objective(nas::ObjectiveMode mode) { objective_ = mode; }
+
+  /// Same-generation duplicate coalescing: when enabled (and the attached
+  /// memo keys training seeds by genome, which is what makes duplicate
+  /// trainings bit-identical), duplicate genomes within one generation
+  /// train once — the first occurrence is the leader, the rest wait for
+  /// its record and copy it under their own model ids. The journal bytes
+  /// each follower flushes are exactly what its own training would have
+  /// produced; only the accounting (nas.coalesced, the coalesced
+  /// engine-overhead bucket) tells the difference. Off by default so
+  /// existing counter expectations are undisturbed.
+  void set_coalesce(bool on) { coalesce_ = on; }
+  std::size_t coalesced_count() const { return coalesced_; }
+
   /// Attach a metrics registry: evaluation and engine-overhead counters are
   /// accumulated there (in record order, so they bit-match the RunSummary
   /// ad-hoc totals). Pass nullptr to detach; must outlive the evaluator.
@@ -109,6 +143,11 @@ class WorkflowEvaluator : public nas::Evaluator {
   nas::FitnessMemo* memo_ = nullptr;
   std::size_t memo_hits_ = 0;
   std::size_t inherited_ = 0;
+  const latency::LatencyProbe* probe_ = nullptr;
+  std::size_t probed_ = 0;
+  nas::ObjectiveMode objective_ = nas::ObjectiveMode::kFlops;
+  bool coalesce_ = false;
+  std::size_t coalesced_ = 0;
   util::metrics::Registry* metrics_ = nullptr;
   std::size_t crash_after_ = 0;
   std::atomic<std::size_t> flushed_{0};

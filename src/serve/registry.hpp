@@ -16,12 +16,17 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "latency/probe.hpp"
 #include "lineage/tracker.hpp"
+#include "nn/dataset.hpp"
 #include "nn/model.hpp"
+#include "quant/quantized_model.hpp"
 #include "util/metrics.hpp"
 
 namespace a4nn::serve {
@@ -31,10 +36,17 @@ enum class ChampionPolicy {
   kBestFitness,  ///< highest fitness; FLOPs break ties
   kMinFlops,     ///< cheapest forward pass; fitness breaks ties
   kBalanced,     ///< fitness per FLOPs doubling: fitness / log2(2 + flops)
+  /// Probe every front candidate on THIS host at the serving micro-batch
+  /// geometry and pick by the measured p99 under the SLO — no analytic
+  /// proxy. With quantization enabled each candidate is considered in
+  /// float and int8 form; int8 is served only when its accuracy stays
+  /// within epsilon of float on the evaluation set.
+  kMeasuredP99,
 };
 
 const char* champion_policy_name(ChampionPolicy policy);
-/// Parse "best-fitness" | "min-flops" | "balanced"; throws on anything else.
+/// Parse "best-fitness" | "min-flops" | "balanced" | "measured-p99";
+/// throws on anything else.
 ChampionPolicy champion_policy_from_name(const std::string& name);
 
 struct RegistryConfig {
@@ -47,6 +59,31 @@ struct RegistryConfig {
   /// Counters/gauges land here when set (serve.registry.*). Must outlive
   /// the registry. Nullable.
   util::metrics::Registry* metrics = nullptr;
+
+  // --- measured-p99 policy knobs (ignored by the analytic policies) ----
+  /// Latency SLO (ms per image) the measured p99 is held against; 0 means
+  /// no SLO filter — the lowest-p99 candidate simply wins ties later.
+  double slo_ms = 0.0;
+  /// Also build an int8 post-training-quantized variant per candidate and
+  /// serve it when it is both faster and accurate enough.
+  bool quantize = false;
+  /// Largest absolute accuracy drop (percentage points) the int8 variant
+  /// may cost before the registry falls back to float for that candidate.
+  double epsilon_pct = 0.5;
+  /// Calibration samples (the first N of eval_data, deterministic).
+  std::size_t calibration = 32;
+  /// Probe geometry; defaults mirror the serving engine's micro-batch.
+  latency::ProbeConfig probe = {};
+  /// Timing hook forwarded to the probe (LatencyProbe::set_measure_hook):
+  /// lets tests pin the measured milliseconds instead of reading a clock.
+  latency::LatencyProbe::MeasureHook probe_hook = {};
+  /// Labelled evaluation set provider for a given image shape (C,H,W) and
+  /// class count: supplies the calibration batch and the float-vs-int8
+  /// accuracy guard. Required when quantize is true. Candidates sharing a
+  /// geometry share one dataset per refresh.
+  std::function<nn::Dataset(const tensor::Shape& image_shape,
+                            std::size_t num_classes)>
+      eval_data = {};
 };
 
 /// Identity of a published champion.
@@ -56,6 +93,10 @@ struct ChampionInfo {
   double fitness = 0.0;      ///< fitness recorded by the NAS (%)
   std::uint64_t flops = 0;   ///< forward FLOPs per image
   std::uint64_t generation = 0;  ///< 1-based publish counter
+  // measured-p99 extras (zero / false under the analytic policies):
+  double p99_ms = 0.0;       ///< probed p99 of the served variant (ms/image)
+  bool quantized = false;    ///< serving the int8 variant
+  double accuracy_drop_pct = 0.0;  ///< float minus int8 accuracy, when probed
 };
 
 /// One immutable published generation. Eval-mode forward is pure (see
@@ -63,11 +104,17 @@ struct ChampionInfo {
 struct ServableGeneration {
   ChampionInfo info;
   nn::Model model;
+  /// Set when the champion serves int8 (info.quantized); the float model
+  /// above is always kept — shape metadata and fallback come from it.
+  std::optional<quant::QuantizedModel> quantized;
   tensor::Shape input_shape;   ///< one image (C,H,W)
   std::size_t input_numel = 0;
   std::size_t num_classes = 0;
 
   ServableGeneration(ChampionInfo champion, nn::Model loaded);
+
+  /// Forward a batch through whichever variant this generation serves.
+  tensor::Tensor predict(const tensor::Tensor& images);
 };
 
 class ModelRegistry {
@@ -95,6 +142,19 @@ class ModelRegistry {
   const RegistryConfig& config() const { return config_; }
 
  private:
+  /// measured-p99 refresh: probe the front candidates (falling back to the
+  /// best dominated record when the whole front is damaged) and publish by
+  /// measured latency. `order` is front members first, fallbacks after;
+  /// `front_size` is where the front ends.
+  bool refresh_measured(lineage::DataCommons& commons,
+                        std::vector<nas::EvaluationRecord>& eligible,
+                        const std::vector<std::size_t>& order,
+                        std::size_t front_size,
+                        std::size_t& newly_quarantined);
+  /// Publish `generation` under the lock, bump counters, emit traces.
+  bool publish(std::shared_ptr<ServableGeneration> generation,
+               std::size_t newly_quarantined);
+
   RegistryConfig config_;
   mutable std::mutex mutex_;
   std::shared_ptr<ServableGeneration> active_;

@@ -1,0 +1,108 @@
+// int8 inference kernels: symmetric quantization helpers and the
+// dequant-fused GEMM the quantized serving path runs on.
+//
+// The accumulator is int32 and the products are int8*int8, so every dot
+// product is computed exactly: the only rounding in the whole pipeline
+// happens once, at quantization time. That makes int8 predictions
+// bit-deterministic by construction — no tile table, no summation-order
+// contract, no per-shape tuning — while the inner loop still
+// auto-vectorizes (widen to int16/int32 and multiply-accumulate).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/ops.hpp"
+
+namespace a4nn::tensor {
+
+namespace {
+
+/// Beyond this depth k * 127 * 127 no longer fits an int32 accumulator.
+constexpr std::size_t kMaxS8Depth =
+    static_cast<std::size_t>(INT32_MAX) / (127 * 127);
+
+/// Resolve a broadcastable scale span: size 1 broadcasts, size `rows` is
+/// per-row; anything else is a caller bug.
+float scale_at(std::span<const float> scales, std::size_t row) {
+  return scales.size() == 1 ? scales[0] : scales[row];
+}
+
+void validate_scales(std::span<const float> scales, std::size_t rows,
+                     const char* which) {
+  if (scales.size() != 1 && scales.size() != rows)
+    throw std::invalid_argument(
+        std::string("gemm_s8_a_bt_ex: ") + which + " scale span has " +
+        std::to_string(scales.size()) + " entries, expected 1 or " +
+        std::to_string(rows));
+  for (float s : scales)
+    if (!(s > 0.0f))
+      throw std::invalid_argument(std::string("gemm_s8_a_bt_ex: ") + which +
+                                  " scales must be positive");
+}
+
+}  // namespace
+
+float max_abs(std::span<const float> xs) {
+  float limit = 0.0f;
+  for (float x : xs) limit = std::max(limit, std::fabs(x));
+  return limit;
+}
+
+float symmetric_scale_s8(float limit) {
+  // An all-zero tensor still needs a usable (positive) scale: 1.0 maps
+  // every zero to quantized zero and back.
+  if (!(limit > 0.0f)) return 1.0f;
+  return limit / 127.0f;
+}
+
+void quantize_s8(std::span<const float> xs, float scale, std::int8_t* out) {
+  if (!(scale > 0.0f))
+    throw std::invalid_argument("quantize_s8: scale must be positive");
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const float q = std::nearbyintf(xs[i] * inv);
+    out[i] = static_cast<std::int8_t>(
+        std::clamp(q, -127.0f, 127.0f));
+  }
+}
+
+void gemm_s8_a_bt_ex(std::size_t m, std::size_t k, std::size_t n,
+                     const std::int8_t* a, std::span<const float> a_scales,
+                     const std::int8_t* b_t, std::span<const float> b_scales,
+                     float* c, const Epilogue& epilogue) {
+  if (k > kMaxS8Depth)
+    throw std::invalid_argument(
+        "gemm_s8_a_bt_ex: k = " + std::to_string(k) +
+        " overflows the int32 accumulator (max " +
+        std::to_string(kMaxS8Depth) + ")");
+  validate_scales(a_scales, m, "A");
+  validate_scales(b_scales, n, "B");
+
+  // Row-dot-row like the float b_t path: both operands stream unit-stride,
+  // and the widened int multiply-accumulate auto-vectorizes. The epilogue
+  // (dequant * bias * ReLU) happens once per output during writeback.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    const float a_scale = scale_at(a_scales, i);
+    const float row_bias =
+        epilogue.bias == Epilogue::Bias::kPerRow ? epilogue.bias_data[i]
+                                                 : 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* b_row = b_t + j * k;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(a_row[kk]) *
+               static_cast<std::int32_t>(b_row[kk]);
+      float v = static_cast<float>(acc) * a_scale * scale_at(b_scales, j);
+      v += epilogue.bias == Epilogue::Bias::kPerCol ? epilogue.bias_data[j]
+                                                    : row_bias;
+      if (epilogue.relu && v < 0.0f) v = 0.0f;
+      c_row[j] = v;
+    }
+  }
+}
+
+}  // namespace a4nn::tensor

@@ -278,6 +278,63 @@ TEST(MemoCache, TwoWorkerClusterRunMatchesSoloRun) {
 }
 
 // ---------------------------------------------------------------------------
+// Same-generation duplicate coalescing: a coalesce-on run trains each
+// distinct genome once per generation and copies the leader's record into
+// every duplicate slot. Genome-keyed seeds make that copy bit-equal to the
+// training the duplicate would have run, so the whole run — history,
+// Pareto front, commons journal, memo index — matches the coalesce-off
+// run exactly. Only search.json differs (the "coalesce" config key), so
+// that file is deliberately NOT compared here.
+// ---------------------------------------------------------------------------
+
+TEST(MemoCache, CoalescedRunIsBitIdenticalToSequentialRun) {
+  const fs::path off_root = util::make_temp_dir("a4nn_coalesce_off");
+  const fs::path on_root = util::make_temp_dir("a4nn_coalesce_on");
+
+  WorkflowConfig off_cfg = memo_config(nas::MemoMode::kCold);
+  off_cfg.lineage = lineage::TrackerConfig{off_root, 0};
+  A4nnWorkflow off_flow(off_cfg);
+  const WorkflowResult off = off_flow.run();
+  EXPECT_EQ(off.summary.coalesced_evaluations, 0u);
+
+  WorkflowConfig on_cfg = memo_config(nas::MemoMode::kCold);
+  on_cfg.coalesce_duplicates = true;
+  on_cfg.lineage = lineage::TrackerConfig{on_root, 0};
+  A4nnWorkflow on_flow(on_cfg, off_flow.dataset());
+  const WorkflowResult on = on_flow.run();
+  // The 36-evaluation / 16-genome configuration revisits genomes within
+  // single generations, so the leader/follower path must actually fire.
+  EXPECT_GT(on.summary.coalesced_evaluations, 0u);
+
+  expect_histories_identical(off.search.history, on.search.history);
+  EXPECT_EQ(off.search.pareto, on.search.pareto);
+  EXPECT_EQ(off.search.final_population, on.search.final_population);
+
+  // Coalesced followers flush their own (restamped) copy of the leader's
+  // record, and device placement is stamped from the virtual-time schedule
+  // in the accounting pass — so the persisted journals agree byte-for-byte
+  // after stripping host time.
+  lineage::DataCommons off_commons(off_root);
+  lineage::DataCommons on_commons(on_root);
+  expect_histories_identical(off_commons.load_records(),
+                             on_commons.load_records());
+  EXPECT_EQ(util::read_file(off_root / "memo_index.json"),
+            util::read_file(on_root / "memo_index.json"));
+
+  // The coalesced engine cost is split into its own bucket, mirroring the
+  // replayed-overhead accounting: the history's coalesced records carry
+  // the overhead the summary attributes to coalescing.
+  double coalesced_overhead = 0.0;
+  for (const auto& r : on.search.history)
+    if (r.coalesced) coalesced_overhead += r.engine_overhead_seconds;
+  EXPECT_DOUBLE_EQ(on.summary.engine_overhead_coalesced_seconds,
+                   coalesced_overhead);
+
+  fs::remove_all(off_root);
+  fs::remove_all(on_root);
+}
+
+// ---------------------------------------------------------------------------
 // PR 4 semantics: failed evaluations never become cache hits.
 // ---------------------------------------------------------------------------
 

@@ -211,6 +211,80 @@ TEST(Nsga2, ParetoFront) {
   EXPECT_TRUE(pareto_front(std::vector<Objectives>{}).empty());
 }
 
+TEST(Nsga2, ThirdObjectiveWeakensDominanceKnownFront) {
+  // The hardware-aware motivation in miniature: {2,2} is dominated by
+  // {1,1} on {-accuracy, flops} alone, but once measured latency joins the
+  // vector the cheap-but-slow point stops dominating the fast one.
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_FALSE(dominates({1.0, 1.0, 9.0}, {2.0, 2.0, 1.0}));
+  EXPECT_TRUE(dominates({1.0, 1.0, 9.0}, {2.0, 2.0, 9.0}));  // still <= all
+
+  // Known 3-objective front structure: the four trade-off points are
+  // mutually non-dominated; {2,2,2} loses only to {2,2,1}, and {3,3,9}
+  // loses to both {1,1,9} and {2,2,2} — three nested fronts.
+  const std::vector<Objectives> pts{{0, 3, 5}, {1, 1, 9}, {3, 0, 2},
+                                    {2, 2, 1}, {3, 3, 9}, {2, 2, 2}};
+  const auto fronts = fast_non_dominated_sort(pts);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(std::set<std::size_t>(fronts[0].begin(), fronts[0].end()),
+            (std::set<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{5}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{4}));
+  const auto front0 = pareto_front(pts);
+  EXPECT_EQ(std::set<std::size_t>(front0.begin(), front0.end()),
+            (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Nsga2, ConstantExtraObjectivesReduceToTwoObjectiveBehavior) {
+  // A degenerate objective (identical for every point) discriminates
+  // nothing, so sort, crowding, selection, and ranking over k objectives
+  // must reproduce the 2-objective results bit-for-bit. This is the
+  // property that keeps `--objective flops` runs byte-identical whether
+  // the code path is the historical pair or the general k-vector.
+  util::Rng rng(42);
+  std::vector<Objectives> two, three, four;
+  for (int i = 0; i < 24; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    two.push_back({a, b});
+    three.push_back({a, b, 7.0});
+    four.push_back({a, b, 7.0, -2.5});
+  }
+
+  const auto fronts2 = fast_non_dominated_sort(two);
+  EXPECT_EQ(fast_non_dominated_sort(three), fronts2);
+  EXPECT_EQ(fast_non_dominated_sort(four), fronts2);
+  EXPECT_EQ(pareto_front(three), pareto_front(two));
+  EXPECT_EQ(pareto_front(four), pareto_front(two));
+
+  for (const auto& front : fronts2) {
+    const auto dist2 = crowding_distance(two, front);
+    EXPECT_EQ(crowding_distance(three, front), dist2);
+    EXPECT_EQ(crowding_distance(four, front), dist2);
+  }
+
+  for (std::size_t count : {1u, 6u, 12u, 23u}) {
+    const auto chosen2 = environmental_selection(two, count);
+    EXPECT_EQ(environmental_selection(three, count), chosen2);
+    EXPECT_EQ(environmental_selection(four, count), chosen2);
+  }
+
+  const auto ranked2 = rank_population(two);
+  const auto ranked3 = rank_population(three);
+  const auto ranked4 = rank_population(four);
+  ASSERT_EQ(ranked3.size(), ranked2.size());
+  ASSERT_EQ(ranked4.size(), ranked2.size());
+  for (std::size_t i = 0; i < ranked2.size(); ++i) {
+    EXPECT_EQ(ranked3[i].rank, ranked2[i].rank);
+    EXPECT_EQ(ranked3[i].crowding, ranked2[i].crowding);
+    EXPECT_EQ(ranked4[i].rank, ranked2[i].rank);
+    EXPECT_EQ(ranked4[i].crowding, ranked2[i].crowding);
+  }
+  for (std::size_t i = 0; i + 1 < ranked2.size(); i += 2) {
+    EXPECT_EQ(tournament_winner(ranked3, i, i + 1),
+              tournament_winner(ranked2, i, i + 1));
+  }
+}
+
 TEST(Operators, CrossoverPreservesStructure) {
   util::Rng rng(6);
   const Genome a = random_genome(3, 4, rng);
